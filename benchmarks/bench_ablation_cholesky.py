@@ -1,0 +1,63 @@
+"""Extension: Cholesky-based block-Jacobi for SPD problems.
+
+The paper's stated future work ("a Cholesky-based variant for symmetric
+positive definite problems").  For SPD blocks the LLT factorization
+halves the setup flops (``m^3/3`` vs ``2 m^3/3``) and needs no pivot
+reductions at all; the preconditioner quality is identical, so CG
+iteration counts must match the LU-based variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.bench import format_table
+from repro.core import cholesky_factor, lu_factor, random_batch
+from repro.precond import BlockJacobiPreconditioner
+from repro.solvers import cg
+from repro.sparse import laplacian_2d, laplacian_3d
+
+
+@pytest.fixture(scope="module")
+def spd_cases():
+    return {
+        "lap2d_50": laplacian_2d(50, 50),
+        "lap3d_12": laplacian_3d(12, 12, 12),
+    }
+
+
+def test_cholesky_vs_lu_iterations(benchmark, spd_cases):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for name, A in spd_cases.items():
+        b = np.ones(A.n_rows)
+        its = {}
+        for method in ("lu", "cholesky"):
+            M = BlockJacobiPreconditioner(
+                method=method, max_block_size=16
+            ).setup(A)
+            r = cg(A, b, M=M)
+            assert r.converged, (name, method)
+            its[method] = r.iterations
+        rows.append([name, its["lu"], its["cholesky"]])
+        assert its["cholesky"] == its["lu"], (
+            "same preconditioner operator must give identical CG paths"
+        )
+    text = format_table(
+        ["matrix", "CG its (LU blocks)", "CG its (Cholesky blocks)"],
+        rows,
+        title="Extension - Cholesky-based block-Jacobi (the paper's "
+        "future work): identical preconditioner quality at half the "
+        "setup flops",
+    )
+    write_result("ablation_cholesky.txt", text)
+
+
+@pytest.mark.parametrize("method", ["lu", "cholesky"])
+def test_spd_factorization_benchmark(benchmark, method):
+    batch = random_batch(2000, 16, kind="spd", seed=31)
+    fn = lu_factor if method == "lu" else cholesky_factor
+    result = benchmark(lambda: fn(batch))
+    assert result.ok

@@ -1,0 +1,77 @@
+"""Figure 5: batched factorization GFLOPS vs matrix size (batch 40,000).
+
+Expected shape (paper, Section IV-B): the small-size LU overtakes the
+GH variants above size ~16 (single precision) / ~23 (double); GH-T's
+non-coalesced writes only matter beyond ~16; cuBLAS shows local peaks
+at its size-specialised kernels (SP: 8, 16, 29; DP: 8, 20) and loses
+to the small-size LU almost everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.bench import SIZE_SWEEP, format_series_table
+from repro.core import lu_factor, random_batch
+from repro.gpu import CUBLAS_TILE_SIZES, project_kernel
+
+NB = 40000
+KERNELS = ("lu_factor", "gh_factor", "ght_factor", "cublas_factor")
+LABELS = {
+    "lu_factor": "small-size LU",
+    "gh_factor": "Gauss-Huard",
+    "ght_factor": "Gauss-Huard-T",
+    "cublas_factor": "cuBLAS LU",
+}
+
+
+def _series(dtype) -> dict[str, list[float]]:
+    return {
+        LABELS[k]: [
+            round(project_kernel(k, m, NB, dtype=dtype).gflops, 1)
+            for m in SIZE_SWEEP
+        ]
+        for k in KERNELS
+    }
+
+
+@pytest.mark.parametrize("precision", ["single", "double"])
+def test_fig5_series(benchmark, precision):
+    benchmark.pedantic(lambda: None, rounds=1)
+    dtype = np.float32 if precision == "single" else np.float64
+    series = _series(dtype)
+    text = format_series_table(
+        "size", SIZE_SWEEP, series,
+        title=f"Figure 5 - GETRF GFLOPS vs size (P100 projection), "
+        f"batch {NB}, {precision} precision",
+    )
+    write_result(f"fig5_{precision}.txt", text)
+
+    lu = np.array(series["small-size LU"])
+    gh = np.array(series["Gauss-Huard"])
+    cu = np.array(series["cuBLAS LU"])
+    sizes = np.array(SIZE_SWEEP)
+
+    # a single LU/GH crossover exists and sits in the upper half of the
+    # size range (paper: 16 in SP, 23 in DP)
+    wins = lu > gh
+    assert not wins[0] and wins[-1]
+    crossover = sizes[np.argmax(wins)]
+    assert 14 <= crossover <= 26
+    # cuBLAS sawtooth: every specialised tile is a local GFLOPS peak
+    es = 4 if precision == "single" else 8
+    for t in CUBLAS_TILE_SIZES[es]:
+        if t + 1 <= sizes[-1]:
+            i = np.where(sizes == t)[0][0]
+            assert cu[i] > cu[i + 1], f"no peak at specialised size {t}"
+    # LU beats cuBLAS at the full tile by a wide margin
+    assert lu[-1] > 3.0 * cu[-1]
+
+
+def test_fig5_numpy_reference_throughput(benchmark):
+    """Host throughput of the NumPy LU across a variable-size batch."""
+    batch = random_batch(2000, (4, 32), kind="uniform", seed=1)
+    result = benchmark(lambda: lu_factor(batch))
+    assert result.ok

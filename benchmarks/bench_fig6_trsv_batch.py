@@ -1,0 +1,65 @@
+"""Figure 6: batched triangular-solve GFLOPS vs batch size.
+
+Expected shape (paper, Section IV-C): at block size 16 the three
+register-resident implementations are close; at 32 the GH solve is
+capped by its non-coalesced factor reads while GH-T (having paid the
+transposition in the factorization) stays competitive with the
+small-size LU solve; cuBLAS GETRS trails by ~4-4.5x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.bench import BATCH_SWEEP, format_series_table
+from repro.core import lu_factor, lu_solve, random_batch, random_rhs
+from repro.gpu import project_kernel
+
+KERNELS = ("lu_solve", "gh_solve", "ght_solve", "cublas_solve")
+LABELS = {
+    "lu_solve": "small-size LU",
+    "gh_solve": "Gauss-Huard",
+    "ght_solve": "Gauss-Huard-T",
+    "cublas_solve": "cuBLAS LU",
+}
+
+
+def _series(m: int, dtype) -> dict[str, list[float]]:
+    return {
+        LABELS[k]: [
+            round(project_kernel(k, m, nb, dtype=dtype).gflops, 1)
+            for nb in BATCH_SWEEP
+        ]
+        for k in KERNELS
+    }
+
+
+@pytest.mark.parametrize("precision", ["single", "double"])
+@pytest.mark.parametrize("size", [16, 32])
+def test_fig6_series(benchmark, precision, size):
+    benchmark.pedantic(lambda: None, rounds=1)
+    dtype = np.float32 if precision == "single" else np.float64
+    series = _series(size, dtype)
+    text = format_series_table(
+        "batch", BATCH_SWEEP, series,
+        title=f"Figure 6 - TRSV GFLOPS (P100 projection), "
+        f"block size {size}, {precision} precision",
+    )
+    write_result(f"fig6_{precision}_m{size}.txt", text)
+    sat = {k: v[-1] for k, v in series.items()}
+    if size == 32:
+        # LU >= GH-T >> GH > cuBLAS, with GH-T ~2x GH (Section IV-C)
+        assert sat["small-size LU"] >= sat["Gauss-Huard-T"]
+        assert sat["Gauss-Huard-T"] > 1.4 * sat["Gauss-Huard"]
+        assert sat["small-size LU"] > 2.5 * sat["cuBLAS LU"]
+    assert all(v[0] < v[-1] for v in series.values())  # ramp-up
+
+
+@pytest.mark.parametrize("size", [16, 32])
+def test_fig6_numpy_reference_throughput(benchmark, size):
+    batch = random_batch(2000, size, kind="uniform", seed=2)
+    fac = lu_factor(batch)
+    rhs = random_rhs(batch)
+    benchmark(lambda: lu_solve(fac, rhs))

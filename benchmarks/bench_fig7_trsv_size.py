@@ -1,0 +1,64 @@
+"""Figure 7: batched triangular-solve GFLOPS vs matrix size (batch 40,000).
+
+Expected shape (paper, Section IV-C): the GH solve's non-coalesced
+reads flatten its curve beyond size ~16 while GH-T keeps tracking the
+small-size LU; NVIDIA's GETRS reaches only a fraction of the
+small-size LU at every size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.bench import SIZE_SWEEP, format_series_table
+from repro.core import gh_factor, gh_solve, random_batch, random_rhs
+from repro.gpu import project_kernel
+
+NB = 40000
+KERNELS = ("lu_solve", "gh_solve", "ght_solve", "cublas_solve")
+LABELS = {
+    "lu_solve": "small-size LU",
+    "gh_solve": "Gauss-Huard",
+    "ght_solve": "Gauss-Huard-T",
+    "cublas_solve": "cuBLAS LU",
+}
+
+
+@pytest.mark.parametrize("precision", ["single", "double"])
+def test_fig7_series(benchmark, precision):
+    benchmark.pedantic(lambda: None, rounds=1)
+    dtype = np.float32 if precision == "single" else np.float64
+    series = {
+        LABELS[k]: [
+            round(project_kernel(k, m, NB, dtype=dtype).gflops, 1)
+            for m in SIZE_SWEEP
+        ]
+        for k in KERNELS
+    }
+    text = format_series_table(
+        "size", SIZE_SWEEP, series,
+        title=f"Figure 7 - TRSV GFLOPS vs size (P100 projection), "
+        f"batch {NB}, {precision} precision",
+    )
+    write_result(f"fig7_{precision}.txt", text)
+
+    lu = np.array(series["small-size LU"])
+    gh = np.array(series["Gauss-Huard"])
+    ght = np.array(series["Gauss-Huard-T"])
+    cu = np.array(series["cuBLAS LU"])
+    sizes = np.array(SIZE_SWEEP)
+    big = sizes >= 20
+    # beyond ~16 the GH solve falls clearly behind GH-T and LU
+    assert (ght[big] > 1.2 * gh[big]).all()
+    assert (lu[big] >= 0.95 * ght[big]).all()
+    # the small-size LU solve dominates cuBLAS GETRS at every size
+    assert (lu > cu).all()
+
+
+def test_fig7_gh_solve_reference_throughput(benchmark):
+    batch = random_batch(2000, (4, 32), kind="uniform", seed=3)
+    fac = gh_factor(batch)
+    rhs = random_rhs(batch)
+    benchmark(lambda: gh_solve(fac, rhs))

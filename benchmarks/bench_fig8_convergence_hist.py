@@ -1,0 +1,87 @@
+"""Figure 8: IDR(4) iteration-overhead histogram, LU- vs GH-based
+block-Jacobi.
+
+For every suite matrix and block-size bound in {8, 12, 16, 24, 32} the
+paper compares the IDR(4) iteration count under an LU-based and a
+GH-based block-Jacobi preconditioner.  Both factorizations are
+backward stable, so the differences are rounding noise: the histogram
+of overheads is concentrated at zero and roughly symmetric - "none of
+the factorization strategies is generally superior".
+
+Overhead convention (paper's x-axis): positive percentage on the GH
+side means LU provided the better preconditioner, and vice versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import suite_subset, write_result
+from repro.bench import format_table
+from repro.precond import BlockJacobiPreconditioner
+from repro.sparse.suite import SUITE
+
+BOUNDS = (8, 12, 16, 24, 32)
+BINS = (-100, -50, -25, -10, -2, 2, 10, 25, 50, 100)
+
+
+@pytest.fixture(scope="module")
+def overheads(solver_lab):
+    subset = suite_subset()
+    entries = SUITE if subset is None else SUITE[:subset]
+    data: dict[int, list[float]] = {b: [] for b in BOUNDS}
+    for bound in BOUNDS:
+        for e in entries:
+            r_lu = solver_lab.run(e.name, ("lu", bound))
+            r_gh = solver_lab.run(e.name, ("gh", bound))
+            if not (r_lu["converged"] and r_gh["converged"]):
+                continue  # paper's histogram only counts solved cases
+            it_lu, it_gh = r_lu["iterations"], r_gh["iterations"]
+            if it_lu <= it_gh:  # LU better: GH pays overhead (right side)
+                pct = 100.0 * (it_gh - it_lu) / it_lu
+            else:  # GH better: LU pays overhead (left side)
+                pct = -100.0 * (it_lu - it_gh) / it_gh
+            data[bound].append(pct)
+    return data
+
+
+def test_fig8_histogram(benchmark, overheads):
+    benchmark.pedantic(lambda: None, rounds=1)
+    edges = np.array(BINS, dtype=float)
+    rows = []
+    all_pcts = []
+    for bound in BOUNDS:
+        pcts = np.clip(np.asarray(overheads[bound]), -99.9, 99.9)
+        all_pcts.extend(pcts.tolist())
+        hist, _ = np.histogram(pcts, bins=edges)
+        rows.append([f"bound {bound}"] + hist.tolist() + [len(pcts)])
+    headers = ["config"] + [
+        f"[{int(edges[i])},{int(edges[i + 1])})" for i in range(len(edges) - 1)
+    ] + ["cases"]
+    text = format_table(
+        headers, rows,
+        title="Figure 8 - IDR(4) iteration overhead histogram "
+        "(negative: GH-based better / LU pays; positive: LU-based "
+        "better / GH pays; % overhead)",
+    )
+    write_result("fig8_histogram.txt", text)
+
+    pcts = np.asarray(all_pcts)
+    assert pcts.size >= 20, "not enough converged cases"
+    # concentration at the centre: most cases within a few percent
+    assert np.mean(np.abs(pcts) <= 10.0) > 0.5
+    # rough symmetry: neither method systematically superior
+    assert abs(np.mean(np.sign(pcts))) < 0.45
+    assert abs(np.median(pcts)) <= 5.0
+
+
+def test_fig8_setup_benchmark(benchmark):
+    """Times the LU-based block-Jacobi setup on one suite matrix."""
+    from repro.sparse.suite import load_matrix
+
+    A = load_matrix("fem_b4_s0")
+    benchmark(
+        lambda: BlockJacobiPreconditioner(method="lu", max_block_size=16)
+        .setup(A)
+    )

@@ -1,0 +1,94 @@
+"""Table I: IDR(4) iterations and runtime with scalar Jacobi and
+block-Jacobi(8/12/16/24/32) over the 48-matrix suite.
+
+The paper's take-away: "larger block sizes typically improve the solver
+convergence with respect to both iteration count and time-to-solution",
+with a few non-converging entries ("-").  The harness regenerates the
+full table (iterations + combined setup/solve runtime per
+configuration) and asserts the aggregate trend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import suite_subset, write_result
+from repro.bench import format_table
+from repro.sparse.suite import SUITE
+
+BOUNDS = (8, 12, 16, 24, 32)
+CONFIGS = [("scalar",)] + [("lu", b) for b in BOUNDS]
+LABELS = ["Jacobi"] + [f"BJ({b})" for b in BOUNDS]
+
+
+@pytest.fixture(scope="module")
+def table(solver_lab):
+    subset = suite_subset()
+    entries = SUITE if subset is None else SUITE[:subset]
+    recs = []
+    for e in entries:
+        rec = {"entry": e}
+        for cfg, lab in zip(CONFIGS, LABELS):
+            rec[lab] = solver_lab.run(e.name, cfg)
+        recs.append(rec)
+    return recs
+
+
+def test_table1(benchmark, table):
+    benchmark.pedantic(lambda: None, rounds=1)
+    rows = []
+    for rec in table:
+        e = rec["entry"]
+        row = [e.name, rec[LABELS[0]]["n"], rec[LABELS[0]]["nnz"], e.id]
+        for lab in LABELS:
+            r = rec[lab]
+            if r["converged"]:
+                row += [r["iterations"], f"{r['total_seconds']:.2f}"]
+            else:
+                row += ["-", "-"]
+        rows.append(row)
+    headers = ["matrix", "n", "nnz", "ID"]
+    for lab in LABELS:
+        headers += [f"{lab} its", f"{lab} t[s]"]
+    text = format_table(
+        headers, rows,
+        title="Table I - IDR(4) iterations and runtime (CPU wall-clock), "
+        "scalar Jacobi vs LU-based block-Jacobi at bounds 8..32",
+    )
+    write_result("table1_suite.txt", text)
+
+    # aggregate claims: block-Jacobi(32) converges at least as often as
+    # scalar Jacobi, and reduces iterations on the cases both solve
+    both, wins, total_scalar, total_bj32 = 0, 0, 0, 0
+    scalar_ok = bj32_ok = 0
+    for rec in table:
+        rs, rb = rec["Jacobi"], rec["BJ(32)"]
+        scalar_ok += rs["converged"]
+        bj32_ok += rb["converged"]
+        if rs["converged"] and rb["converged"]:
+            both += 1
+            wins += rb["iterations"] <= rs["iterations"]
+            total_scalar += rs["iterations"]
+            total_bj32 += rb["iterations"]
+    assert bj32_ok >= scalar_ok
+    assert both >= 5
+    assert wins / both > 0.8, "block-Jacobi(32) should beat scalar Jacobi"
+    assert total_bj32 < 0.8 * total_scalar
+    # larger bounds monotone-ish: BJ(32) <= BJ(8) iterations in aggregate
+    t8 = t32 = 0
+    for rec in table:
+        r8, r32 = rec["BJ(8)"], rec["BJ(32)"]
+        if r8["converged"] and r32["converged"]:
+            t8 += r8["iterations"]
+            t32 += r32["iterations"]
+    assert t32 <= t8
+
+
+def test_table1_spmv_benchmark(benchmark):
+    """Times the SpMV that dominates every iteration."""
+    from repro.sparse.suite import load_matrix
+
+    A = load_matrix("fem_b6_s0")
+    x = np.ones(A.n_rows)
+    benchmark(lambda: A.matvec(x))

@@ -1,0 +1,102 @@
+"""Shared infrastructure for the figure/table benchmark harnesses.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it computes the series, prints it, writes it under
+``benchmarks/results/`` (EXPERIMENTS.md quotes those files), and
+registers a pytest-benchmark timing on a representative kernel so the
+harness also measures this machine's real throughput.
+
+Environment knobs
+-----------------
+``REPRO_SUITE_SUBSET``
+    Integer; restricts the solver experiments (Figures 8-9, Table I)
+    to the first N suite matrices for quick runs.  Unset = all 48.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def suite_subset() -> int | None:
+    val = os.environ.get("REPRO_SUITE_SUBSET")
+    return int(val) if val else None
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a harness table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+class SolverLab:
+    """Memoised IDR(4) runs over the suite (shared by Figs. 8/9, Table I).
+
+    One (matrix, configuration) pair is solved at most once per pytest
+    session; Figures 8 and 9 and Table I all draw from the same pool of
+    runs, exactly like the paper's single experimental campaign.
+    """
+
+    TOL = 1e-6
+    MAXITER = 10000
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, dict] = {}
+
+    def run(self, matrix_name: str, config: tuple) -> dict:
+        """``config`` is ("scalar",) or (method, bound) or ("none",)."""
+        key = (matrix_name, config)
+        if key in self._cache:
+            return self._cache[key]
+        from repro.precond import (
+            BlockJacobiPreconditioner,
+            ScalarJacobiPreconditioner,
+        )
+        from repro.solvers import idrs
+        from repro.sparse.suite import load_matrix
+
+        A = load_matrix(matrix_name)
+        b = np.ones(A.n_rows)
+        out: dict = {"n": A.n_rows, "nnz": A.nnz}
+        try:
+            if config[0] == "scalar":
+                M = ScalarJacobiPreconditioner().setup(A)
+            elif config[0] == "none":
+                M = None
+            else:
+                method, bound = config
+                M = BlockJacobiPreconditioner(
+                    method=method, max_block_size=bound
+                ).setup(A)
+            res = idrs(A, b, s=4, M=M, tol=self.TOL, maxiter=self.MAXITER)
+            out.update(
+                converged=res.converged,
+                iterations=res.iterations,
+                setup_seconds=res.setup_seconds,
+                solve_seconds=res.solve_seconds,
+                total_seconds=res.total_seconds,
+            )
+        except ValueError as exc:  # singular blocks etc. -> "missing" entry
+            out.update(
+                converged=False,
+                iterations=-1,
+                setup_seconds=0.0,
+                solve_seconds=0.0,
+                total_seconds=float("inf"),
+                error=str(exc),
+            )
+        self._cache[key] = out
+        return out
+
+
+@pytest.fixture(scope="session")
+def solver_lab() -> SolverLab:
+    return SolverLab()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""End-to-end block-Jacobi preconditioned IDR(4) solve (Section IV-D).
+
+Reproduces the paper's solver pipeline on one FEM-like problem:
+
+* supervariable blocking discovers the natural 4x4 node blocks and
+  agglomerates them under a user-chosen bound;
+* the diagonal blocks are extracted and factorized by the batched LU;
+* IDR(4) runs with the preconditioner applied via batched triangular
+  solves - and we compare against scalar Jacobi, no preconditioning,
+  and the Gauss-Huard backend.
+
+Run:  python examples/block_jacobi_idr_solver.py
+"""
+
+import numpy as np
+
+from repro.blocking import find_supervariables, supervariable_blocking
+from repro.precond import (
+    BlockJacobiPreconditioner,
+    ScalarJacobiPreconditioner,
+)
+from repro.solvers import idrs
+from repro.sparse import fem_block_2d
+
+
+def main() -> None:
+    # a 2-D mesh with 4 unknowns per node -> natural 4x4 blocks
+    A = fem_block_2d(30, 30, 4, seed=7, dominance=0.4)
+    b = np.ones(A.n_rows)  # the paper's right-hand side convention
+    print(f"matrix: n={A.n_rows}, nnz={A.nnz}")
+
+    sv = find_supervariables(A)
+    print(f"supervariables found: {sv.size} (sizes {np.unique(sv)})")
+    for bound in (8, 16, 32):
+        sizes = supervariable_blocking(A, bound)
+        print(f"  bound {bound:2d}: {sizes.size} diagonal blocks, "
+              f"largest {sizes.max()}")
+
+    print("\nIDR(4), relative residual reduction 1e-6, max 10000 its:")
+    runs = {
+        "unpreconditioned": None,
+        "scalar Jacobi": ScalarJacobiPreconditioner().setup(A),
+        "block-Jacobi LU (32)": BlockJacobiPreconditioner(
+            method="lu", max_block_size=32
+        ).setup(A),
+        "block-Jacobi GH (32)": BlockJacobiPreconditioner(
+            method="gh", max_block_size=32
+        ).setup(A),
+        "block-Jacobi LU (8)": BlockJacobiPreconditioner(
+            method="lu", max_block_size=8
+        ).setup(A),
+    }
+    for label, M in runs.items():
+        r = idrs(A, b, s=4, M=M)
+        status = "ok " if r.converged else "FAIL"
+        print(f"  {label:22s} [{status}] iterations={r.iterations:5d}  "
+              f"setup={r.setup_seconds * 1e3:6.1f}ms  "
+              f"solve={r.solve_seconds * 1e3:7.1f}ms")
+
+    # verify the winner's solution against the true residual
+    M = runs["block-Jacobi LU (32)"]
+    r = idrs(A, b, s=4, M=M)
+    true_res = np.linalg.norm(A.matvec(r.x) - b) / np.linalg.norm(b)
+    print(f"\ntrue relative residual of the LU(32) solve: {true_res:.2e}")
+    assert true_res < 1e-5
+    print("block_jacobi_idr_solver OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: factorize a variable-size batch and solve with it.
+
+Walks the paper's core loop in five steps:
+
+1. build a batch of small matrices of *different* sizes (4..32);
+2. factorize them all with one batched LU call (implicit pivoting);
+3. solve one right-hand side per block with the batched GETRS;
+4. verify the residuals;
+5. peek at the implicit-pivoting bookkeeping of one block.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BatchedMatrices,
+    BatchedVectors,
+    lu_factor,
+    lu_solve,
+    solve_residuals,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # 1. a variable-size batch: 1000 blocks, sizes drawn from 4..32
+    sizes = rng.integers(4, 33, size=1000)
+    blocks = [
+        rng.uniform(-1, 1, (m, m)) + np.diag(np.full(m, float(m)))
+        for m in sizes
+    ]
+    batch = BatchedMatrices.identity_padded(blocks)
+    print(f"batch: {batch}")
+
+    # 2. one call factorizes everything (P A_i = L_i U_i per block)
+    fac = lu_factor(batch)
+    print(f"factorized {fac.nb} blocks, all regular: {fac.ok}")
+
+    # 3. one call solves a right-hand side per block
+    rhs = BatchedVectors.from_vectors(
+        [rng.uniform(-1, 1, m) for m in sizes], tile=batch.tile
+    )
+    x = lu_solve(fac, rhs)
+
+    # 4. residual check
+    res = solve_residuals(batch, x, rhs)
+    print(f"max relative residual over the batch: {res.max():.2e}")
+    assert res.max() < 1e-10
+
+    # 5. the implicit-pivoting record of block 0: a permutation that was
+    # applied once, fused with the factor off-load - no row was ever
+    # swapped during the elimination itself (Section III-A)
+    print(f"block 0 (size {sizes[0]}) pivot permutation: "
+          f"{fac.perm[0][: sizes[0]]}")
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

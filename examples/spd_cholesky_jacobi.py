@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Extension example: Cholesky block-Jacobi + CG on SPD problems.
+
+The paper's conclusion names a Cholesky-based variant for symmetric
+positive definite problems as future work; this library implements it.
+On SPD systems the LLT factorization halves the setup flops and the
+preconditioned operator is identical, so CG follows the exact same
+iteration path as with LU-factorized blocks.
+
+Run:  python examples/spd_cholesky_jacobi.py
+"""
+
+import numpy as np
+
+from repro.precond import BlockJacobiPreconditioner
+from repro.solvers import cg
+from repro.sparse import laplacian_3d
+
+
+def main() -> None:
+    A = laplacian_3d(14, 14, 14)
+    b = np.ones(A.n_rows)
+    print(f"3-D Laplacian: n={A.n_rows}, nnz={A.nnz}")
+
+    results = {}
+    for method in ("lu", "cholesky", "gje"):
+        M = BlockJacobiPreconditioner(method=method, max_block_size=16)
+        M.setup(A)
+        r = cg(A, b, M=M)
+        results[method] = r
+        print(f"  CG + block-Jacobi[{method:8s}]: "
+              f"{'ok ' if r.converged else 'FAIL'} "
+              f"iterations={r.iterations:4d} "
+              f"setup={M.setup_seconds * 1e3:6.1f}ms "
+              f"solve={r.solve_seconds * 1e3:7.1f}ms")
+
+    # identical operators -> identical CG trajectories (up to rounding)
+    assert results["lu"].iterations == results["cholesky"].iterations
+    x_err = np.linalg.norm(results["lu"].x - results["cholesky"].x)
+    print(f"  |x_lu - x_chol| = {x_err:.2e}")
+
+    # mixed-precision twist: fp32 blocks still precondition fp64 CG
+    M32 = BlockJacobiPreconditioner(
+        method="cholesky", max_block_size=16, dtype=np.float32
+    ).setup(A)
+    r32 = cg(A, b, M=M32)
+    print(f"  fp32-block preconditioner: converged={r32.converged} "
+          f"iterations={r32.iterations} "
+          f"(fp64 baseline: {results['cholesky'].iterations})")
+    assert r32.converged
+    print("spd_cholesky_jacobi OK")
+
+
+if __name__ == "__main__":
+    main()

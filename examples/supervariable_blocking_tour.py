@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Tour of supervariable blocking and diagonal-block extraction.
+
+Shows how the block-Jacobi setup discovers block structure (Section
+II-A) and why the shared-memory extraction matters on unbalanced
+matrices (Section III-C / Figure 3):
+
+* on an FEM matrix, blocking recovers the mesh's dofs-per-node blocks;
+* on a circuit-like matrix there is no pattern to find, agglomeration
+  still builds usable blocks, and the extraction strategy comparison
+  shows the naive scheme's load imbalance.
+
+Run:  python examples/supervariable_blocking_tour.py
+"""
+
+import numpy as np
+
+from repro.blocking import (
+    extract_blocks,
+    extraction_stats,
+    find_supervariables,
+    supervariable_blocking,
+)
+from repro.sparse import circuit_like, fem_block_2d
+
+
+def main() -> None:
+    # --- FEM: the mesh's 5-dof nodes are found exactly ----------------
+    A = fem_block_2d(20, 20, 5, seed=1)
+    sv = find_supervariables(A)
+    print(f"FEM matrix n={A.n_rows}: {sv.size} supervariables, "
+          f"sizes {dict(zip(*map(list, np.unique(sv, return_counts=True))))}")
+    for bound in (8, 16, 32):
+        sizes = supervariable_blocking(A, bound)
+        print(f"  bound {bound:2d}: {sizes.size:4d} blocks "
+              f"(mean size {sizes.mean():.1f})")
+
+    # extraction correctness: compare one block against a dense slice
+    sizes = supervariable_blocking(A, 16)
+    batch = extract_blocks(A, sizes)
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    ref = A.extract_block(int(starts[3]), int(sizes[3]))
+    assert np.array_equal(batch.block(3), ref)
+    print(f"  extracted {batch.nb} blocks into a tile-{batch.tile} batch; "
+          "block 3 verified against the dense reference")
+
+    # --- circuit: unbalanced rows punish the naive extraction ----------
+    C = circuit_like(3000, seed=2, hub_degree=300)
+    nnz = C.row_nnz()
+    print(f"\ncircuit matrix n={C.n_rows}: row nnz median "
+          f"{int(np.median(nnz))}, max {nnz.max()} (hub rows)")
+    csizes = supervariable_blocking(C, 32)
+    for strategy in ("shared-memory", "row-per-thread"):
+        st = extraction_stats(C, csizes, strategy=strategy)
+        print(f"  {strategy:15s}: {st.index_transactions:7d} index tx, "
+              f"warp-load imbalance {st.imbalance:5.2f}x")
+    shared = extraction_stats(C, csizes, "shared-memory")
+    naive = extraction_stats(C, csizes, "row-per-thread")
+    assert shared.imbalance < naive.imbalance
+    print("supervariable_blocking_tour OK")
+
+
+if __name__ == "__main__":
+    main()

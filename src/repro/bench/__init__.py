@@ -1,0 +1,15 @@
+"""Benchmark-harness utilities: flop conventions, series, reporting."""
+
+from .flops import getrf_flops, trsv_flops
+from .reporting import format_series_table, format_table
+from .series import BATCH_SWEEP, SIZE_SWEEP, sweep
+
+__all__ = [
+    "getrf_flops",
+    "trsv_flops",
+    "format_table",
+    "format_series_table",
+    "sweep",
+    "BATCH_SWEEP",
+    "SIZE_SWEEP",
+]

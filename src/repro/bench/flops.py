@@ -1,0 +1,33 @@
+"""Flop-count conventions used for all GFLOPS normalisations.
+
+The paper normalises every kernel's GFLOPS with the *algorithmic* cost
+of the operation (Section II-B), not with the instructions a particular
+kernel executes - that is what makes the comparison across LU, GH and
+cuBLAS fair.  These two functions are that convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["getrf_flops", "trsv_flops"]
+
+
+def getrf_flops(m, nb: int = 1) -> float:
+    """Algorithmic cost of ``nb`` LU factorizations of size ``m``.
+
+    Leading term ``2/3 m^3`` (Section II-B).  ``m`` may be an array of
+    per-problem sizes, in which case ``nb`` is ignored.
+    """
+    m = np.asarray(m, dtype=np.float64)
+    if m.ndim == 0:
+        return float(nb) * 2.0 * float(m) ** 3 / 3.0
+    return float(np.sum(2.0 * m**3 / 3.0))
+
+
+def trsv_flops(m, nb: int = 1) -> float:
+    """Algorithmic cost of ``nb`` lower+upper solve pairs (``2 m^2``)."""
+    m = np.asarray(m, dtype=np.float64)
+    if m.ndim == 0:
+        return float(nb) * 2.0 * float(m) ** 2
+    return float(np.sum(2.0 * m**2))

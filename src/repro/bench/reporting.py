@@ -1,0 +1,58 @@
+"""Plain-text table formatting for the benchmark harnesses.
+
+Every figure/table benchmark prints the series it regenerates in a
+fixed-width layout so EXPERIMENTS.md can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_name: str,
+    xs: Sequence,
+    series: dict[str, Sequence],
+    title: str | None = None,
+) -> str:
+    """Table with one x column and one column per named series."""
+    headers = [x_name] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:.0f}"
+        if abs(v) >= 1:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    return str(v)

@@ -1,0 +1,26 @@
+"""Parameter sweeps shared by the figure harnesses.
+
+The sweeps mirror the paper's axes: batch sizes up to 40,000
+(Figures 4 and 6) and matrix sizes 4..32 at a fixed batch of 40,000
+(Figures 5 and 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["BATCH_SWEEP", "SIZE_SWEEP", "sweep"]
+
+#: batch sizes of Figures 4/6 (the paper's x-axis runs to 4e4)
+BATCH_SWEEP: tuple[int, ...] = (
+    500, 1000, 2000, 4000, 8000, 12000, 16000, 20000,
+    24000, 28000, 32000, 36000, 40000,
+)
+
+#: matrix sizes of Figures 5/7
+SIZE_SWEEP: tuple[int, ...] = tuple(range(4, 33))
+
+
+def sweep(fn: Callable, xs: Iterable) -> list:
+    """Evaluate ``fn`` over ``xs`` (tiny helper kept for symmetry)."""
+    return [fn(x) for x in xs]

@@ -1,0 +1,17 @@
+"""Supervariable blocking and diagonal-block extraction."""
+
+from .extraction import ExtractionStats, extract_blocks, extraction_stats
+from .supervariable import (
+    agglomerate,
+    find_supervariables,
+    supervariable_blocking,
+)
+
+__all__ = [
+    "find_supervariables",
+    "agglomerate",
+    "supervariable_blocking",
+    "extract_blocks",
+    "extraction_stats",
+    "ExtractionStats",
+]

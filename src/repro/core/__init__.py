@@ -1,0 +1,62 @@
+"""Core batched dense kernels: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.batch.BatchedMatrices` /
+  :class:`~repro.core.batch.BatchedVectors` - variable-size batch
+  containers with the warp-tile padding convention.
+* :func:`~repro.core.batched_lu.lu_factor` /
+  :func:`~repro.core.batched_trsv.lu_solve` - the small-size LU with
+  implicit pivoting and its triangular solves (GETRF/GETRS).
+* :func:`~repro.core.batched_gauss_huard.gh_factor` /
+  :func:`~repro.core.batched_gauss_huard.gh_solve` - the Gauss-Huard
+  and Gauss-Huard-T baselines.
+* :func:`~repro.core.batched_gauss_jordan.gj_invert` /
+  :func:`~repro.core.batched_gauss_jordan.gj_apply` - inversion-based
+  alternative.
+* :func:`~repro.core.batched_cholesky.cholesky_factor` /
+  :func:`~repro.core.batched_cholesky.cholesky_solve` - the SPD variant
+  (the paper's stated future work).
+"""
+
+from .batch import MAX_TILE, BatchedMatrices, BatchedVectors, round_up_tile
+from .batched_cholesky import CholeskyFactors, cholesky_factor, cholesky_solve
+from .batched_gauss_huard import GHFactors, gh_factor, gh_solve
+from .batched_gauss_jordan import GJInverse, gj_apply, gj_invert
+from .batched_lu import LUFactors, lu_factor, lu_reconstruct
+from .batched_trsv import lower_unit_solve, lu_solve, upper_solve
+from .random_batches import random_batch, random_rhs
+from .validation import (
+    factorization_errors,
+    growth_factors,
+    max_relative_error,
+    solve_residuals,
+)
+
+__all__ = [
+    "MAX_TILE",
+    "BatchedMatrices",
+    "BatchedVectors",
+    "round_up_tile",
+    "LUFactors",
+    "lu_factor",
+    "lu_reconstruct",
+    "lower_unit_solve",
+    "upper_solve",
+    "lu_solve",
+    "GHFactors",
+    "gh_factor",
+    "gh_solve",
+    "GJInverse",
+    "gj_invert",
+    "gj_apply",
+    "CholeskyFactors",
+    "cholesky_factor",
+    "cholesky_solve",
+    "random_batch",
+    "random_rhs",
+    "factorization_errors",
+    "growth_factors",
+    "max_relative_error",
+    "solve_residuals",
+]

@@ -1,0 +1,134 @@
+"""Variable-size batched Cholesky factorization and SPD solves.
+
+The paper's concluding section names "a Cholesky-based variant for
+symmetric positive definite problems" as future work; this module
+implements it.  For SPD diagonal blocks the Cholesky factorization
+``D_i = L_i L_i^T`` halves the factorization flops (``m^3/3``) and
+needs no pivoting at all, which removes the pivot-selection reductions
+from the warp kernel entirely.
+
+The same identity-padding/uniform-loop conventions as the LU kernels
+apply (padding steps factor a 1 on the diagonal, a no-op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .batch import BatchedMatrices, BatchedVectors
+
+__all__ = ["CholeskyFactors", "cholesky_factor", "cholesky_solve"]
+
+
+@dataclass
+class CholeskyFactors:
+    """Result of a batched Cholesky factorization.
+
+    Attributes
+    ----------
+    factors:
+        Batch whose lower triangle (diagonal included) holds ``L`` with
+        ``D = L L^T``.  The strict upper triangle is zeroed.
+    info:
+        0 on success; ``k+1`` if the leading minor of order ``k+1`` is
+        not positive definite (LAPACK ``potrf`` semantics).
+    """
+
+    factors: BatchedMatrices
+    info: np.ndarray
+
+    @property
+    def nb(self) -> int:
+        return self.factors.nb
+
+    @property
+    def tile(self) -> int:
+        return self.factors.tile
+
+    @property
+    def ok(self) -> bool:
+        return bool((self.info == 0).all())
+
+
+def cholesky_factor(
+    batch: BatchedMatrices, overwrite: bool = False
+) -> CholeskyFactors:
+    """Right-looking batched Cholesky: ``D_i = L_i L_i^T`` per block.
+
+    Only the lower triangle of each input block is referenced, matching
+    LAPACK ``potrf('L', ...)``.  Blocks whose pivot becomes non-positive
+    are flagged in ``info`` and their trailing updates are skipped
+    (their factor content beyond the failing step is unspecified).
+    """
+    A = batch.data if overwrite else batch.data.copy()
+    nb, tile, _ = A.shape
+    info = np.zeros(nb, dtype=np.int64)
+    for k in range(tile):
+        dkk = A[:, k, k].copy()
+        bad = dkk <= 0
+        np.copyto(info, k + 1, where=(info == 0) & bad)
+        ok = ~bad
+        root = np.ones_like(dkk)
+        np.sqrt(dkk, out=root, where=ok)
+        A[:, k, k] = np.where(ok, root, dkk)
+        if k + 1 < tile:
+            inv_root = np.ones_like(root)
+            np.divide(1.0, root, out=inv_root, where=ok)
+            # scale the sub-column, then symmetric rank-1 downdate of the
+            # trailing lower triangle (we update the full trailing block;
+            # the upper part is zeroed on off-load below).
+            np.multiply(
+                A[:, k + 1 :, k],
+                inv_root[:, None],
+                out=A[:, k + 1 :, k],
+                where=ok[:, None],
+            )
+            colv = A[:, k + 1 :, k]
+            np.subtract(
+                A[:, k + 1 :, k + 1 :],
+                colv[:, :, None] * colv[:, None, :],
+                out=A[:, k + 1 :, k + 1 :],
+                where=ok[:, None, None],
+            )
+    # off-load: zero the strict upper triangle so `factors` is exactly L.
+    iu = np.triu_indices(tile, k=1)
+    A[:, iu[0], iu[1]] = 0.0
+    return CholeskyFactors(
+        factors=BatchedMatrices(A, batch.sizes.copy()), info=info
+    )
+
+
+def cholesky_solve(
+    fac: CholeskyFactors, rhs: BatchedVectors
+) -> BatchedVectors:
+    """Solve ``D_i x_i = b_i`` given ``D_i = L_i L_i^T``.
+
+    Two triangular solves: forward with ``L`` (non-unit diagonal), then
+    backward with ``L^T``.  Both use the eager (AXPY) formulation for
+    the same coalescing/parallelism reasons as the LU solves.
+    """
+    if not fac.ok:
+        bad = int(np.count_nonzero(fac.info))
+        raise ValueError(
+            f"cholesky_solve called with {bad} non-SPD block(s); "
+            "inspect CholeskyFactors.info"
+        )
+    if fac.nb != rhs.nb or fac.tile != rhs.tile:
+        raise ValueError("factor/right-hand-side batch mismatch")
+    L = fac.factors.data
+    b = rhs.data.copy()
+    tile = fac.tile
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # forward: L y = b (eager column updates)
+        for k in range(tile):
+            b[:, k] /= L[:, k, k]
+            if k + 1 < tile:
+                b[:, k + 1 :] -= L[:, k + 1 :, k] * b[:, k, None]
+        # backward: L^T x = y (rows of L read as columns of L^T)
+        for k in range(tile - 1, -1, -1):
+            b[:, k] /= L[:, k, k]
+            if k:
+                b[:, :k] -= L[:, k, :k] * b[:, k, None]
+    return BatchedVectors(b, rhs.sizes.copy())

@@ -1,0 +1,112 @@
+"""Permutation bookkeeping for implicit pivoting.
+
+The implicit pivoting technique of the paper (Section III-A, Figure 1
+bottom) replaces the explicit row exchanges of partial pivoting with a
+*marking* scheme: ``p[r] = k+1`` records that row ``r`` was selected as
+the pivot of elimination step ``k``; rows with ``p[r] == 0`` are still
+"unpivoted" and participate in the updates.  After the factorization
+loop, the marks are turned into a single permutation that is applied
+once, fused with the off-load of the triangular factors.
+
+This module centralises the conversions between the three permutation
+representations used across the package:
+
+``steps``
+    The per-row marks written during the factorization
+    (``steps[b, r] = k`` if row ``r`` pivoted step ``k``).
+``perm``
+    Gather form: ``perm[b, k] = r`` — row ``r`` of the input lands in
+    row ``k`` of the factored output, i.e. ``(P A)[k, :] = A[perm[k], :]``.
+``inv``
+    Scatter form: ``inv[b, r] = k`` — the inverse permutation.
+
+For Gauss-Huard column pivoting the same arrays describe *column*
+exchanges and therefore permute the solution instead of the right-hand
+side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "steps_to_perm",
+    "invert_perms",
+    "perms_valid",
+    "identity_perms",
+    "permute_vectors",
+    "compose_perms",
+]
+
+
+def identity_perms(nb: int, tile: int) -> np.ndarray:
+    """Batch of identity permutations, shape ``(nb, tile)``."""
+    return np.broadcast_to(np.arange(tile, dtype=np.int64), (nb, tile)).copy()
+
+
+def steps_to_perm(steps: np.ndarray) -> np.ndarray:
+    """Convert per-row pivot-step marks into gather permutations.
+
+    ``steps[b, r]`` holds the elimination step at which row ``r`` was
+    chosen as pivot.  The result ``perm`` satisfies
+    ``perm[b, steps[b, r]] = r``; this is the single "combined row swap"
+    the paper applies after the main loop (``p(p) = 1:m`` in Figure 1).
+
+    Raises
+    ------
+    ValueError
+        If any problem's marks are not a permutation of ``0..tile-1``
+        (which would indicate a broken pivot selection).
+    """
+    steps = np.asarray(steps)
+    nb, tile = steps.shape
+    perm = np.empty_like(steps)
+    rows = np.broadcast_to(np.arange(tile, dtype=steps.dtype), (nb, tile))
+    # Scatter: perm[b, steps[b, r]] = r.  With valid marks every slot is
+    # written exactly once.
+    perm[np.arange(nb)[:, None], steps] = rows
+    if not perms_valid(perm):
+        raise ValueError("pivot step marks do not form a permutation")
+    return perm
+
+
+def invert_perms(perm: np.ndarray) -> np.ndarray:
+    """Batched permutation inverse: ``inv[b, perm[b, i]] = i``."""
+    perm = np.asarray(perm)
+    nb, tile = perm.shape
+    inv = np.empty_like(perm)
+    inv[np.arange(nb)[:, None], perm] = np.broadcast_to(
+        np.arange(tile, dtype=perm.dtype), (nb, tile)
+    )
+    return inv
+
+
+def perms_valid(perm: np.ndarray) -> bool:
+    """Check that every row of ``perm`` is a permutation of ``0..tile-1``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 2:
+        return False
+    tile = perm.shape[1]
+    sorted_ = np.sort(perm, axis=1)
+    return bool((sorted_ == np.arange(tile, dtype=perm.dtype)).all())
+
+
+def permute_vectors(b: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Gather batched vectors: ``out[i, k] = b[i, perm[i, k]]``.
+
+    This is the fused "permute while reading the right-hand side into
+    registers" step of the batched triangular solve (Section III-B).
+    Returns a new array.
+    """
+    nb = b.shape[0]
+    return b[np.arange(nb)[:, None], perm]
+
+
+def compose_perms(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Compose gather permutations: result applies ``inner`` then ``outer``.
+
+    ``permute_vectors(x, compose_perms(outer, inner)) ==
+    permute_vectors(permute_vectors(x, inner), outer)``
+    """
+    nb = outer.shape[0]
+    return inner[np.arange(nb)[:, None], outer]

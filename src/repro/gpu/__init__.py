@@ -1,0 +1,49 @@
+"""GPU execution-model substrate.
+
+This package substitutes the paper's CUDA/P100 artifact (see DESIGN.md,
+"Reproduction strategy"):
+
+* :mod:`repro.gpu.simt` - a warp-level SIMT simulator with register
+  files, shuffles and transaction-accurate memory accounting;
+* :mod:`repro.gpu.kernels` - the paper's kernels written on that
+  machine (validated against the NumPy batched reference);
+* :mod:`repro.gpu.device` / :mod:`repro.gpu.perf` - device specs and
+  the analytic timing model;
+* :mod:`repro.gpu.projection` - the high-level "GFLOPS of kernel X at
+  size m, batch nb" API that the figure benchmarks call.
+"""
+
+from .cublas_model import (
+    CUBLAS_TILE_SIZES,
+    cublas_getrf_timing,
+    cublas_getrs_timing,
+    cublas_padded_size,
+)
+from .device import DeviceSpec
+from .perf import KernelTiming, time_batched_kernel
+from .precond_projection import BlockJacobiProjection, project_block_jacobi
+from .profiles import KernelProfile, kernel_profile
+from .projection import KERNEL_KINDS, project_kernel, project_variable_batch
+from .simt import WARP_WIDTH, GlobalMemory, KernelStats, SharedMemory, Warp
+
+__all__ = [
+    "WARP_WIDTH",
+    "Warp",
+    "GlobalMemory",
+    "SharedMemory",
+    "KernelStats",
+    "DeviceSpec",
+    "KernelTiming",
+    "time_batched_kernel",
+    "KernelProfile",
+    "kernel_profile",
+    "KERNEL_KINDS",
+    "project_kernel",
+    "project_variable_batch",
+    "BlockJacobiProjection",
+    "project_block_jacobi",
+    "CUBLAS_TILE_SIZES",
+    "cublas_padded_size",
+    "cublas_getrf_timing",
+    "cublas_getrs_timing",
+]

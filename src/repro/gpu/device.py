@@ -1,0 +1,122 @@
+"""GPU device specifications for the analytic performance model.
+
+The paper's measurements were taken on an NVIDIA Tesla P100 (Pascal,
+GP100) with CUDA 8.0.  :class:`DeviceSpec` carries the datasheet
+quantities the model needs; :func:`DeviceSpec.p100` is the default and
+matches the paper's testbed.  A V100 spec is included to let users
+project the kernels onto other hardware (the model is architecture-
+parameterised, not P100-specific).
+
+Calibration constants
+---------------------
+Two empirical efficiencies anchor the model's absolute levels (shapes
+come entirely from counted instructions and transactions):
+
+``issue_efficiency``
+    Fraction of the theoretical warp-issue bandwidth that small,
+    shuffle- and divide-heavy register kernels sustain in practice
+    (divergence, dual-issue limits, multi-cycle divides, syncs).
+
+``memory_efficiency``
+    Fraction of peak DRAM bandwidth sustained by many small independent
+    per-warp access streams (no streaming prefetch, short bursts).
+
+Both were calibrated once against the absolute GFLOPS levels of the
+paper's Figures 4-7 and are documented here rather than hidden in the
+kernel models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architecture parameters consumed by :mod:`repro.gpu.perf`."""
+
+    name: str
+    #: number of streaming multiprocessors
+    sm_count: int
+    #: warp schedulers per SM (warps issued per cycle per SM)
+    schedulers_per_sm: int
+    #: core clock in GHz
+    clock_ghz: float
+    #: peak DRAM bandwidth in GB/s
+    mem_bandwidth_gbs: float
+    #: 32-bit registers per SM
+    registers_per_sm: int
+    #: hardware warp-slot limit per SM
+    max_warps_per_sm: int
+    #: shared memory per SM in bytes
+    shared_per_sm: int
+    #: cycles-per-instruction multiplier for fp64 arithmetic relative to
+    #: fp32 (P100: DP units at half rate -> 2.0)
+    fp64_cpi: float
+    #: average exposed memory latency in cycles
+    mem_latency_cycles: float
+    #: fixed kernel launch overhead in seconds
+    launch_overhead_s: float
+    #: calibrated sustained fraction of issue bandwidth (see module doc)
+    issue_efficiency: float
+    #: calibrated sustained fraction of DRAM bandwidth (see module doc)
+    memory_efficiency: float
+
+    @classmethod
+    def p100(cls) -> "DeviceSpec":
+        """NVIDIA Tesla P100 (SXM2), the paper's testbed."""
+        return cls(
+            name="Tesla P100",
+            sm_count=56,
+            schedulers_per_sm=2,
+            clock_ghz=1.328,
+            mem_bandwidth_gbs=732.0,
+            registers_per_sm=65536,
+            max_warps_per_sm=64,
+            shared_per_sm=64 * 1024,
+            fp64_cpi=2.0,
+            mem_latency_cycles=400.0,
+            launch_overhead_s=4.0e-6,
+            issue_efficiency=0.28,
+            memory_efficiency=0.40,
+        )
+
+    @classmethod
+    def v100(cls) -> "DeviceSpec":
+        """NVIDIA Tesla V100 (for cross-architecture projections)."""
+        return cls(
+            name="Tesla V100",
+            sm_count=80,
+            schedulers_per_sm=4,
+            clock_ghz=1.530,
+            mem_bandwidth_gbs=900.0,
+            registers_per_sm=65536,
+            max_warps_per_sm=64,
+            shared_per_sm=96 * 1024,
+            fp64_cpi=2.0,
+            mem_latency_cycles=400.0,
+            launch_overhead_s=4.0e-6,
+            issue_efficiency=0.33,
+            memory_efficiency=0.40,
+        )
+
+    def peak_gflops(self, dtype_bytes: int) -> float:
+        """Theoretical FMA peak in GFLOPS for the given element width."""
+        per_cycle = self.sm_count * self.schedulers_per_sm * 32 * 2
+        cpi = self.fp64_cpi if dtype_bytes == 8 else 1.0
+        return per_cycle * self.clock_ghz / cpi
+
+    def concurrent_warps(self, regs_per_thread: int, shared_per_warp: int = 0) -> int:
+        """Resident warps across the device under register/shared limits.
+
+        The register file and shared-memory budgets bound occupancy the
+        same way the CUDA occupancy calculator does (granularity effects
+        ignored - irrelevant at this model's resolution).
+        """
+        by_regs = self.registers_per_sm // max(1, regs_per_thread * 32)
+        per_sm = min(self.max_warps_per_sm, by_regs)
+        if shared_per_warp > 0:
+            per_sm = min(per_sm, self.shared_per_sm // shared_per_warp)
+        return max(1, per_sm) * self.sm_count

@@ -1,0 +1,210 @@
+"""Warp kernels for the batched Gauss-Huard baselines (GH and GH-T).
+
+Reconstruction of the ICCS'17 companion kernels the paper benchmarks
+against, written on the SIMT machine so instruction/transaction counts
+are available to the performance model.  Design (documented in
+DESIGN.md as a modelling choice; the CUDA source is not public):
+
+Factorization - one warp per problem, **lane c holds column c** in
+registers (GH pivots over *columns*, so the pivot search at step ``k``
+is a shuffle reduction over the lanes' row-``k`` registers):
+
+* step ``k`` performs the lazy row update (``k`` shuffle+FMA pairs),
+  the pivot reduction, the scaling, and the eager upward elimination
+  (``k`` shuffle+FMA pairs).  Work grows like ``2k`` per step - the
+  *lazy* schedule, in contrast to the LU kernel's eager ``tile-k``
+  schedule.  This is precisely why GH wins below the crossover size and
+  loses at the full tile (Figure 5).
+* implicit *column* pivoting marks pivot lanes; the permutation is
+  fused with the off-load.
+* the natural off-load writes element ``i`` of every lane's column to
+  row-major storage - consecutive addresses across lanes, coalesced.
+  **GH-T** stores the transpose (column-major), paying non-coalesced
+  writes in the factorization to make the *solve* reads coalesced
+  (Figures 5 and 7).
+
+Application - the interleaved forward/upward pass (it provably does
+not split into two independent triangular sweeps; see
+``repro.core.batched_gauss_huard``).  Lane ``i`` loads logical factor
+row ``i`` into registers once and an in-register diagonal-exchange
+transpose gives it column ``i`` as well, so the per-step dot runs
+lane-parallel (multiply + butterfly sum) and each lane applies its own
+upward-elimination multiplier.  The factor is therefore read
+**row-wise, once**:
+
+* GH layout (row-major): "load register ``j`` of every lane" reads
+  addresses strided by ``m`` - non-coalesced, the effect that caps the
+  GH solve for sizes above ~16 (Figure 7);
+* GH-T layout (column-major): the same loads are consecutive -
+  coalesced, which is the entire point of GH-T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simt import GlobalMemory, KernelStats, Warp, WARP_WIDTH
+
+__all__ = ["warp_gh_factor", "warp_gh_solve"]
+
+
+def warp_gh_factor(
+    matrix: np.ndarray,
+    transposed: bool = False,
+    tile: int = WARP_WIDTH,
+    stats: KernelStats | None = None,
+    dtype=np.float64,
+):
+    """Gauss-Huard factorization of one block on a simulated warp.
+
+    Returns ``(factors, colperm, info, stats)`` where ``factors`` is the
+    ``(m, m)`` GH storage (logical orientation, regardless of the
+    physical layout used for the off-load accounting) and ``colperm``
+    the gather column permutation.
+    """
+    matrix = np.asarray(matrix, dtype=dtype)
+    m = matrix.shape[0]
+    if matrix.shape != (m, m) or m > tile or tile > WARP_WIDTH:
+        raise ValueError(f"bad kernel shapes: matrix {matrix.shape}, tile {tile}")
+    stats = stats if stats is not None else KernelStats()
+    warp = Warp(stats)
+    lanes = warp.lanes
+    active = lanes < m
+
+    # input stored row-major so that "load row i across column-lanes" is
+    # coalesced (the extraction step writes whichever layout the
+    # factorization kernel wants).
+    gin = GlobalMemory(np.ascontiguousarray(matrix).ravel(), stats)
+    # reg[c, i] = current value of row i in the column held by lane c
+    reg = np.zeros((warp.width, tile), dtype=dtype)
+    for i in range(m):
+        reg[:, i] = gin.load(i * m + lanes, mask=active)
+    for c in range(m, warp.width):
+        reg[c, :] = 0.0
+        if c < tile:
+            reg[c, c] = 1.0
+    for i in range(m, tile):
+        reg[:, i] = (lanes == i).astype(dtype)
+
+    unpivoted = np.ones(warp.width, dtype=bool)
+    cstep = np.full(warp.width, -1, dtype=np.int64)
+    cstep[m:] = np.arange(m, warp.width)
+    pivlane = np.zeros(tile, dtype=np.int64)
+    pivlane[m:] = np.arange(m, tile)
+    info = 0
+
+    for k in range(m):
+        # -- lazy row update: A[k, c] -= sum_j A[k, p_j] * A[j, c]
+        for j in range(k):
+            m_j = warp.shfl(reg[:, k], pivlane[j])
+            reg[:, k] = warp.fma(-m_j, reg[:, j], reg[:, k], mask=unpivoted)
+        # -- column pivot: largest |A[k, c]| among unpivoted lanes
+        jpiv, mag = warp.reduce_argmax_abs(reg[:, k], active=unpivoted)
+        d = warp.shfl(reg[:, k], jpiv)
+        cstep[jpiv] = k
+        pivlane[k] = jpiv
+        unpivoted[jpiv] = False
+        singular = mag == 0.0
+        if singular and info == 0:
+            info = k + 1
+        # -- scale the remainder of row k
+        if not singular:
+            inv_d = warp.div(np.ones(warp.width), d)
+            reg[:, k] = warp.mul(reg[:, k], inv_d, mask=unpivoted)
+        # -- eager upward elimination: A[i, c] -= A[i, p_k] * A[k, c]
+        for i in range(k):
+            u_i = warp.shfl(reg[:, i], jpiv)
+            reg[:, i] = warp.fma(-u_i, reg[:, k], reg[:, i], mask=unpivoted)
+
+    # -- fused off-load + column permutation.
+    out_flat = np.zeros(m * m, dtype=dtype)
+    gout = GlobalMemory(out_flat, stats)
+    pos = cstep.copy()
+    for i in range(m):
+        if not transposed:
+            # natural GH layout: row-major, coalesced across lanes
+            gout.store(i * m + pos, reg[:, i], mask=active)
+        else:
+            # GH-T: transposed (column-major) - strided, non-coalesced
+            gout.store(pos * m + i, reg[:, i], mask=active)
+    colperm_store = np.zeros(warp.width, dtype=np.int64)
+    gcp = GlobalMemory(colperm_store, stats)
+    gcp.store(cstep, lanes, mask=warp.full_mask())
+
+    if transposed:
+        logical = out_flat.reshape(m, m).T.copy()
+    else:
+        logical = out_flat.reshape(m, m)
+    return logical, colperm_store, info, stats
+
+
+def warp_gh_solve(
+    factors: np.ndarray,
+    colperm: np.ndarray,
+    b: np.ndarray,
+    transposed: bool = False,
+    stats: KernelStats | None = None,
+    dtype=np.float64,
+):
+    """Apply a Gauss-Huard factorization to one right-hand side.
+
+    ``factors`` is the logical GH matrix; ``transposed`` selects which
+    physical layout the loads are accounted against (GH row-major =
+    strided row loads, GH-T column-major = coalesced row loads).
+
+    Returns ``(x, stats)``.
+    """
+    factors = np.asarray(factors, dtype=dtype)
+    m = factors.shape[0]
+    stats = stats if stats is not None else KernelStats()
+    warp = Warp(stats)
+    lanes = warp.lanes
+    active = lanes < m
+
+    if transposed:
+        flat = np.ascontiguousarray(factors.T).ravel()
+        # physical[j, i] = F[i, j]; register j of lane i is F[i, j] at
+        # physical offset j*m + i: consecutive across lanes -> coalesced
+        addr_of = lambda j_reg, lane: j_reg * m + lane  # noqa: E731
+    else:
+        flat = np.ascontiguousarray(factors).ravel()
+        # physical[i, j] = F[i, j]; register j of lane i at offset
+        # i*m + j: strided by m across lanes -> non-coalesced
+        addr_of = lambda j_reg, lane: lane * m + j_reg  # noqa: E731
+
+    gfac = GlobalMemory(flat, stats)
+    gb = GlobalMemory(np.asarray(b, dtype=dtype).copy(), stats)
+    gcp = GlobalMemory(np.asarray(colperm, dtype=np.int64).copy(), stats)
+
+    # lane i loads logical row i of the factor into registers, once -
+    # this is THE load whose coalescing GH-T exists to fix
+    reg = np.zeros((warp.width, m), dtype=dtype)
+    for j in range(m):
+        reg[:, j] = gfac.load(addr_of(j, lanes), mask=active)
+    # in-register diagonal-exchange transpose: lane j additionally gets
+    # column j (creg[j, k] = F[k, j]), so the per-step dot can run
+    # lane-parallel instead of serially on lane k
+    creg = warp.transpose_registers(reg, m)
+    x = gb.load(lanes, mask=active)
+
+    for k in range(m):
+        # parallel lazy dot: lane j < k contributes F[k, j] * b_j
+        # (b values are current: they already include all upward
+        # eliminations of steps < k, which is what makes the GH apply
+        # inherently interleaved)
+        part = warp.mul(creg[:, k], x)
+        part = np.where(lanes < k, part, 0.0)  # predication (free)
+        t = warp.reduce_sum(part)
+        # lane k finalises its component
+        x = warp.sub(x, t.astype(x.dtype), mask=lanes == k)
+        x = warp.div(x, reg[:, k], mask=lanes == k)
+        # upward elimination: each lane i < k applies its own F[i, k]
+        bk = warp.shfl(x, k)
+        x = warp.fma(-reg[:, k], bk, x, mask=active & (lanes < k))
+
+    # scatter the solution through the column permutation
+    p = gcp.load(lanes, mask=warp.full_mask())
+    out = np.zeros(m, dtype=dtype)
+    gout = GlobalMemory(out, stats)
+    gout.store(np.where(active, p[: warp.width], 0), x, mask=active)
+    return out, stats

@@ -1,0 +1,190 @@
+"""Register-resident warp kernels: LU factorization and triangular solves.
+
+These are the paper's CUDA kernels (Section III-A/B) written against
+the SIMT machine of :mod:`repro.gpu.simt`:
+
+* one warp per problem; lane ``r`` keeps matrix row ``r`` in registers;
+* the input block is read **once**, with coalesced accesses (the block
+  is stored column-major, so "load register ``j`` of every lane" maps
+  to consecutive addresses);
+* pivot selection is a 5-round shuffle butterfly
+  (:meth:`repro.gpu.simt.Warp.reduce_argmax_abs`);
+* *implicit pivoting*: the pivot row is marked, never moved; every step
+  the pivot row's trailing entries are broadcast via shuffles and all
+  still-unpivoted lanes perform the same SCAL/GER work;
+* the GER runs over the full register tile (columns ``k+1 .. tile-1``)
+  because the register file is compile-time sized - this is the padding
+  waste that makes the eager LU slower than the lazy Gauss-Huard for
+  block sizes below the tile (Section IV-B);
+* the combined row permutation is fused with the off-load: lane ``r``
+  simply stores its row at position ``steps[r]``, which still produces
+  coalesced stores because a permutation within a 32-row block touches
+  the same memory sectors.
+
+The kernels are bit-for-bit identical to the NumPy batched reference
+(:mod:`repro.core.batched_lu` / :mod:`repro.core.batched_trsv`); the
+test-suite asserts exact equality.  Their :class:`repro.gpu.simt.KernelStats`
+counters feed the analytic performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simt import GlobalMemory, KernelStats, Warp, WARP_WIDTH
+
+__all__ = ["warp_lu_factor", "warp_lu_solve"]
+
+
+def _load_rows_colmajor(
+    warp: Warp, gmem: GlobalMemory, m: int, tile: int
+) -> np.ndarray:
+    """Read the m x m column-major block, one row per lane, coalesced.
+
+    Registers beyond the active block are initialised to the identity
+    pattern (a register write, not a memory access), mirroring the
+    padding trick the CUDA kernel uses for variable sizes.
+    """
+    lanes = warp.lanes
+    active = lanes < m
+    reg = np.zeros((warp.width, tile), dtype=gmem.array.dtype)
+    for j in range(m):
+        reg[:, j] = gmem.load(j * m + lanes, mask=active)
+    for j in range(m, tile):
+        # identity padding: a register write, not a memory access
+        reg[:, j] = (lanes == j).astype(reg.dtype)
+    return reg
+
+
+def warp_lu_factor(
+    matrix: np.ndarray,
+    tile: int = WARP_WIDTH,
+    stats: KernelStats | None = None,
+    dtype=np.float64,
+):
+    """Factorize one small matrix on a simulated warp (implicit pivoting).
+
+    Parameters
+    ----------
+    matrix:
+        Dense ``(m, m)`` array, ``m <= tile <= 32``.
+    tile:
+        Register tile width (the GER always spans the full tile).
+    stats:
+        Optional counter record to accumulate into.
+
+    Returns
+    -------
+    (factors, perm, info, stats):
+        ``factors`` is the ``(m, m)`` LU output in pivoted (LAPACK)
+        order; ``perm`` the gather permutation over the *tile*;
+        ``info`` the LAPACK-style status; ``stats`` the instruction and
+        transaction counters of this run.
+    """
+    matrix = np.asarray(matrix, dtype=dtype)
+    m = matrix.shape[0]
+    if matrix.shape != (m, m) or m > tile or tile > WARP_WIDTH:
+        raise ValueError(f"bad kernel shapes: matrix {matrix.shape}, tile {tile}")
+    stats = stats if stats is not None else KernelStats()
+    warp = Warp(stats)
+    lanes = warp.lanes
+
+    # input/output in column-major order, as the extraction step stores it
+    gin = GlobalMemory(np.asfortranarray(matrix).ravel(order="F"), stats)
+    reg = _load_rows_colmajor(warp, gin, m, tile)
+
+    unpivoted = np.ones(warp.width, dtype=bool)
+    steps = np.full(warp.width, -1, dtype=np.int64)
+    # padding rows self-pivot at their own (never-executed) steps
+    steps[m:] = np.arange(m, warp.width)
+    unpivoted[m:] = True  # they still mask GER updates like the NumPy path
+    info = 0
+
+    for k in range(m):
+        # -- pivot selection: butterfly argmax over unpivoted lanes
+        ipiv, mag = warp.reduce_argmax_abs(reg[:, k], active=unpivoted)
+        d = warp.shfl(reg[:, k], ipiv)
+        steps[ipiv] = k
+        unpivoted[ipiv] = False
+        singular = mag == 0.0
+        if singular and info == 0:
+            info = k + 1
+        # -- SCAL: multiply the multiplier column by 1/d (skip if singular)
+        if not singular:
+            inv_d = warp.div(np.ones(warp.width), d)
+            reg[:, k] = warp.mul(reg[:, k], inv_d, mask=unpivoted)
+        # -- GER over the *full* register tile (padding waste included)
+        for j in range(k + 1, tile):
+            piv_j = warp.shfl(reg[:, j], ipiv)
+            reg[:, j] = warp.fma(-reg[:, k], piv_j, reg[:, j], mask=unpivoted)
+
+    # -- fused off-load + combined row swap: lane r stores its row at
+    # position steps[r]; a permutation within the block keeps the store
+    # coalesced (same sectors touched).
+    out_flat = np.zeros(m * m, dtype=dtype)
+    gout = GlobalMemory(out_flat, stats)
+    active = lanes < m
+    for j in range(m):
+        gout.store(j * m + steps, reg[:, j], mask=active)
+    # -- pivot information off-load (scatter produces the gather form)
+    perm_store = np.zeros(warp.width, dtype=np.int64)
+    gperm = GlobalMemory(perm_store, stats)
+    gperm.store(steps, lanes, mask=warp.full_mask())
+
+    factors = out_flat.reshape(m, m, order="F")
+    return factors, perm_store, info, stats
+
+
+def warp_lu_solve(
+    factors: np.ndarray,
+    perm: np.ndarray,
+    b: np.ndarray,
+    stats: KernelStats | None = None,
+    dtype=np.float64,
+):
+    """Solve ``A x = b`` on a simulated warp given the warp LU factors.
+
+    Implements the batched-TRSV design of Section III-B: the right-hand
+    side is distributed one element per lane, the pivoting permutation
+    is fused with its (gather) load, and both solves use the "eager"
+    AXPY form, reading one factor *column* per step with coalesced
+    accesses.
+
+    Returns ``(x, stats)``.
+    """
+    factors = np.asarray(factors, dtype=dtype)
+    m = factors.shape[0]
+    stats = stats if stats is not None else KernelStats()
+    warp = Warp(stats)
+    lanes = warp.lanes
+    active = lanes < m
+
+    gfac = GlobalMemory(np.asfortranarray(factors).ravel(order="F"), stats)
+    gb = GlobalMemory(np.asarray(b, dtype=dtype).copy(), stats)
+    gperm = GlobalMemory(np.asarray(perm, dtype=np.int64).copy(), stats)
+
+    # load permutation, then b fused with the permutation gather
+    p = gperm.load(lanes, mask=warp.full_mask())
+    addr = np.where(active, p[: warp.width], 0)
+    x = gb.load(addr, mask=active)
+
+    # unit lower triangular solve, eager (Figure 2, bottom)
+    for k in range(m - 1):
+        below = active & (lanes > k)
+        col = gfac.load(k * m + lanes, mask=below)
+        bk = warp.shfl(x, k)
+        x = warp.fma(-col, bk, x, mask=below)
+
+    # upper triangular solve, eager
+    for k in range(m - 1, -1, -1):
+        upto = active & (lanes <= k)
+        col = gfac.load(k * m + lanes, mask=upto)
+        dkk = warp.shfl(col, k)
+        x = warp.div(x, dkk, mask=lanes == k)
+        bk = warp.shfl(x, k)
+        x = warp.fma(-col, bk, x, mask=active & (lanes < k))
+
+    out = np.zeros(m, dtype=dtype)
+    gout = GlobalMemory(out, stats)
+    gout.store(lanes, x, mask=active)
+    return out, stats

@@ -1,0 +1,182 @@
+"""Analytic kernel-timing model (latency/roofline hybrid).
+
+Converts the instruction/transaction counters measured by the SIMT
+simulator into projected execution times and GFLOPS on a
+:class:`repro.gpu.device.DeviceSpec`.  The model is the standard
+three-bound form used for GPU kernel analysis:
+
+``compute bound``
+    Warp-instruction issues divided by the device's aggregate issue
+    bandwidth.  fp64 arithmetic is charged ``fp64_cpi`` cycles.
+
+``memory bound``
+    DRAM traffic divided by sustained bandwidth.  Reads are charged
+    ``max(footprint, 0.4 x transactions x 32B)``: a strided access
+    pattern re-touches sectors across instructions, and with thousands
+    of warps streaming, the L2 only absorbs part of the re-touches
+    (the 0.4 factor) - this is where the GH solve's size-16 cliff
+    comes from (Figure 7).  Writes are charged their footprint only:
+    the write-back L2 combines strided stores to the same small block,
+    so GH-T's non-coalesced off-load costs issue replays (below) and a
+    mild bandwidth tax rather than a full transaction storm, matching
+    the paper's ~5% observation (Figure 4).
+
+``issue replays``
+    Every transaction beyond the first per memory instruction costs a
+    fraction of an issue slot in the load/store pipeline
+    (``_REPLAY_CPI``), charged into the compute bound.
+
+``latency bound``
+    When fewer warps are resident than needed to cover instruction and
+    memory latency, time is waves x per-warp serial time.  This bound
+    produces the ramp-up of the GFLOPS curves at small batch sizes
+    (Figures 4 and 6); the other two produce the saturation plateaus.
+
+The projected time is the max of the three bounds plus the kernel
+launch overhead.  Absolute levels are anchored by the two calibrated
+efficiencies on the :class:`~repro.gpu.device.DeviceSpec`; every shape
+feature is derived from counted work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceSpec
+from .simt import KernelStats
+
+__all__ = ["KernelTiming", "time_batched_kernel", "gflops_series"]
+
+
+@dataclass
+class KernelTiming:
+    """Projected timing of one batched kernel launch."""
+
+    #: total projected wall time in seconds (includes launch overhead)
+    seconds: float
+    #: useful flops per second / 1e9 (the quantity Figures 4-7 plot)
+    gflops: float
+    #: which bound dominated: "compute", "memory" or "latency"
+    bound: str
+    compute_s: float
+    memory_s: float
+    latency_s: float
+    overhead_s: float
+    useful_flops: float
+
+
+#: fraction of peak L2 bandwidth surviving strided-read re-touches
+_READ_THRASH_FACTOR = 0.4
+#: issue-pipeline cost of one replayed memory transaction (cycles)
+_REPLAY_CPI = 0.125
+
+
+def _issue_cycles(stats: KernelStats, dtype_bytes: int, device: DeviceSpec) -> float:
+    """Warp-issue cycles of one problem's instruction stream."""
+    arith_cpi = device.fp64_cpi if dtype_bytes == 8 else 1.0
+    replays = max(
+        0,
+        stats.global_load_transactions - stats.global_load_instructions,
+    ) + max(
+        0,
+        stats.global_store_transactions - stats.global_store_instructions,
+    )
+    return (
+        stats.arith_instructions * arith_cpi
+        + stats.shuffles
+        + stats.ballots
+        + stats.global_load_instructions
+        + stats.global_store_instructions
+        + stats.shared_conflict_phases
+        + replays * _REPLAY_CPI
+    )
+
+
+def _dram_bytes(stats: KernelStats) -> float:
+    """DRAM traffic of one problem (see the module docstring)."""
+    read = max(
+        float(stats.bytes_loaded),
+        _READ_THRASH_FACTOR * stats.global_load_transactions * 32.0,
+    )
+    write = float(stats.bytes_stored)
+    return read + write
+
+
+def time_batched_kernel(
+    stats: KernelStats,
+    nb: int,
+    useful_flops_per_problem: float,
+    regs_per_thread: int,
+    device: DeviceSpec,
+    dtype=np.float64,
+    shared_per_warp: int = 0,
+    launches: int = 1,
+) -> KernelTiming:
+    """Project the execution time of ``nb`` problems with one warp each.
+
+    Parameters
+    ----------
+    stats:
+        Per-problem counters (from one SIMT kernel run).
+    nb:
+        Batch size - the number of independent problems/warps.
+    useful_flops_per_problem:
+        Algorithmic flop count used for the GFLOPS normalisation (the
+        paper uses ``2/3 m^3`` for GETRF and ``2 m^2`` for the solves,
+        identically for every kernel, so the comparison is fair).
+    regs_per_thread:
+        Register footprint, which bounds occupancy.
+    device, dtype, shared_per_warp, launches:
+        Architecture, precision, shared-memory footprint, and the
+        number of kernel launches the operation needs.
+    """
+    if nb < 1:
+        raise ValueError("batch size must be positive")
+    es = np.dtype(dtype).itemsize
+    cycles = _issue_cycles(stats, es, device)
+
+    issue_rate = (
+        device.sm_count
+        * device.schedulers_per_sm
+        * device.clock_ghz
+        * 1e9
+        * device.issue_efficiency
+    )
+    compute_s = nb * cycles / issue_rate
+
+    bytes_moved = _dram_bytes(stats)
+    mem_rate = device.mem_bandwidth_gbs * 1e9 * device.memory_efficiency
+    memory_s = nb * bytes_moved / mem_rate
+
+    conc = device.concurrent_warps(regs_per_thread, shared_per_warp)
+    waves = math.ceil(nb / conc)
+    serial_cycles = cycles + device.mem_latency_cycles
+    latency_s = waves * serial_cycles / (device.clock_ghz * 1e9)
+
+    overhead_s = launches * device.launch_overhead_s
+    bounds = {"compute": compute_s, "memory": memory_s, "latency": latency_s}
+    bound = max(bounds, key=bounds.get)
+    seconds = bounds[bound] + overhead_s
+    useful = float(useful_flops_per_problem) * nb
+    return KernelTiming(
+        seconds=seconds,
+        gflops=useful / seconds / 1e9,
+        bound=bound,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        latency_s=latency_s,
+        overhead_s=overhead_s,
+        useful_flops=useful,
+    )
+
+
+def gflops_series(timing_fn, xs) -> list[float]:
+    """Map a timing function over a sweep, extracting GFLOPS.
+
+    Tiny convenience for the figure harnesses:
+    ``gflops_series(lambda nb: model(nb), batch_sizes)``.
+    """
+    return [timing_fn(x).gflops for x in xs]

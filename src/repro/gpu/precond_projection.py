@@ -1,0 +1,117 @@
+"""P100 cost projection of the block-Jacobi setup and application.
+
+The solver experiments (Table I, Figure 9) run the NumPy pipeline on
+the CPU, so their wall-clock is not the paper's.  This module closes
+the loop: given a sparse matrix and a block partition, it projects what
+the *GPU* preconditioner phases would cost on the modelled device -
+
+* **setup** = shared-memory extraction (transactions and warp
+  iterations from :func:`repro.blocking.extraction.extraction_stats`)
+  + one variable-size batched factorization launch;
+* **apply** = one variable-size batched solve launch (per solver
+  iteration).
+
+This is the quantity the paper's Figure 9 actually measures on its
+P100, and the projected numbers satisfy the same qualitative claim:
+the LU-, GH- and GH-T-based preconditioners cost nearly the same, with
+the differences concentrated in the apply phase for GH.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blocking.extraction import extraction_stats
+from ..blocking.supervariable import supervariable_blocking
+from .device import DeviceSpec
+from .projection import project_variable_batch
+
+__all__ = ["BlockJacobiProjection", "project_block_jacobi"]
+
+_FACTOR_KIND = {"lu": "lu_factor", "gh": "gh_factor", "ght": "ght_factor"}
+_SOLVE_KIND = {"lu": "lu_solve", "gh": "gh_solve", "ght": "ght_solve"}
+
+
+@dataclass
+class BlockJacobiProjection:
+    """Projected GPU costs of one block-Jacobi configuration."""
+
+    method: str
+    n_blocks: int
+    #: seconds of the extraction kernel (setup, once)
+    extraction_s: float
+    #: seconds of the batched factorization launch (setup, once)
+    factorization_s: float
+    #: seconds of one batched-solve launch (per solver iteration)
+    apply_s: float
+
+    @property
+    def setup_s(self) -> float:
+        return self.extraction_s + self.factorization_s
+
+    def total_s(self, iterations: int) -> float:
+        """Setup plus ``iterations`` preconditioner applications."""
+        return self.setup_s + iterations * self.apply_s
+
+
+def _extraction_time(matrix, block_sizes, device: DeviceSpec) -> float:
+    """Time the Figure 3 extraction from its transaction/iteration model."""
+    st = extraction_stats(matrix, block_sizes, strategy="shared-memory")
+    bytes_moved = 32.0 * (st.index_transactions + st.value_transactions)
+    mem_s = bytes_moved / (
+        device.mem_bandwidth_gbs * 1e9 * device.memory_efficiency
+    )
+    # ~4 issue slots per warp iteration (load, compare, ballot, store)
+    issue = 4.0 * st.warp_iterations
+    compute_s = issue / (
+        device.sm_count
+        * device.schedulers_per_sm
+        * device.clock_ghz
+        * 1e9
+        * device.issue_efficiency
+    )
+    return max(mem_s, compute_s) + device.launch_overhead_s
+
+
+def project_block_jacobi(
+    matrix,
+    max_block_size: int = 32,
+    method: str = "lu",
+    device: DeviceSpec | None = None,
+    dtype=np.float64,
+    block_sizes: np.ndarray | None = None,
+) -> BlockJacobiProjection:
+    """Project the GPU cost of a block-Jacobi configuration.
+
+    Parameters mirror
+    :class:`repro.precond.block_jacobi.BlockJacobiPreconditioner`; the
+    cuBLAS backend is unavailable here for the same reason the paper
+    excludes it from Section IV-D (no variable-size support).
+    """
+    if method not in _FACTOR_KIND:
+        raise ValueError(
+            f"unknown method {method!r}; GPU projection supports "
+            f"{sorted(_FACTOR_KIND)}"
+        )
+    device = device or DeviceSpec.p100()
+    if block_sizes is None:
+        block_sizes = supervariable_blocking(matrix, max_block_size)
+    block_sizes = np.asarray(block_sizes, dtype=np.int64)
+
+    extraction_s = _extraction_time(matrix, block_sizes, device)
+    fac = project_variable_batch(
+        _FACTOR_KIND[method], block_sizes, device=device, dtype=dtype
+    )
+    app = project_variable_batch(
+        _SOLVE_KIND[method], block_sizes, device=device, dtype=dtype
+    )
+    return BlockJacobiProjection(
+        method=method,
+        n_blocks=int(block_sizes.size),
+        extraction_s=extraction_s,
+        factorization_s=fac.seconds,
+        apply_s=app.seconds,
+    )

@@ -1,0 +1,118 @@
+"""Cached per-problem kernel profiles for the performance model.
+
+Rather than re-deriving closed-form instruction counts (and risking a
+drift between the model and the kernels), the performance model simply
+*runs* each warp kernel once per ``(size, precision, variant)`` on a
+representative block and reuses the measured
+:class:`~repro.gpu.simt.KernelStats`.  Counts depend only on the block
+size (never on the matrix values, because implicit pivoting executes
+the same instruction stream for every pivot order), so one run per
+configuration characterises the whole batch; a test asserts this
+value-independence.
+
+Register footprints are estimated from what the kernel keeps live:
+each fp64 value occupies two 32-bit registers, plus a fixed overhead
+for indices, masks and addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .kernels.gauss_huard import warp_gh_factor, warp_gh_solve
+from .kernels.lu import warp_lu_factor, warp_lu_solve
+from .simt import KernelStats, WARP_WIDTH
+
+__all__ = ["KernelProfile", "kernel_profile"]
+
+#: fixed register overhead (pointers, loop indices, pivot bookkeeping)
+_REG_OVERHEAD = 18
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Per-problem cost profile of one kernel configuration."""
+
+    kind: str
+    m: int
+    dtype_bytes: int
+    stats: KernelStats
+    useful_flops: float
+    regs_per_thread: int
+
+
+def _sample_matrix(m: int, rng_seed: int = 1234) -> np.ndarray:
+    rng = np.random.default_rng(rng_seed)
+    M = rng.uniform(-1.0, 1.0, (m, m))
+    M[np.arange(m), np.arange(m)] += m
+    return M
+
+
+def _value_regs(values: int, es: int) -> int:
+    return values * (2 if es == 8 else 1) + _REG_OVERHEAD
+
+
+@lru_cache(maxsize=None)
+def kernel_profile(
+    kind: str, m: int, dtype_bytes: int, tile: int = WARP_WIDTH
+) -> KernelProfile:
+    """Profile one kernel configuration.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"lu_factor"``, ``"lu_solve"``, ``"gh_factor"``,
+        ``"ght_factor"``, ``"gh_solve"``, ``"ght_solve"``.
+    m:
+        Problem size (1..32).
+    dtype_bytes:
+        4 (single precision) or 8 (double precision).
+    tile:
+        Register tile; the LU GER spans this full width.
+    """
+    if dtype_bytes not in (4, 8):
+        raise ValueError("dtype_bytes must be 4 or 8")
+    dtype = np.float32 if dtype_bytes == 4 else np.float64
+    M = _sample_matrix(m)
+    b = np.linspace(1.0, 2.0, m)
+
+    if kind == "lu_factor":
+        _, _, _, stats = warp_lu_factor(M, tile=tile, dtype=dtype)
+        useful = 2.0 * m**3 / 3.0
+        regs = _value_regs(tile, dtype_bytes)
+    elif kind == "lu_solve":
+        f, p, _, _ = warp_lu_factor(M, tile=tile, dtype=dtype)
+        stats = KernelStats()
+        warp_lu_solve(f, p, b, stats=stats, dtype=dtype)
+        useful = 2.0 * m**2
+        regs = _value_regs(4, dtype_bytes)  # rhs element + column staging
+    elif kind in ("gh_factor", "ght_factor"):
+        transposed = kind == "ght_factor"
+        _, _, _, stats = warp_gh_factor(
+            M, transposed=transposed, tile=tile, dtype=dtype
+        )
+        useful = 2.0 * m**3 / 3.0
+        regs = _value_regs(tile, dtype_bytes)
+    elif kind in ("gh_solve", "ght_solve"):
+        transposed = kind == "ght_solve"
+        f, cp, _, _ = warp_gh_factor(
+            M, transposed=transposed, tile=tile, dtype=dtype
+        )
+        stats = KernelStats()
+        warp_gh_solve(f, cp, b, transposed=transposed, stats=stats, dtype=dtype)
+        useful = 2.0 * m**2
+        # the GH apply keeps a whole factor row per lane resident
+        regs = _value_regs(m + 2, dtype_bytes)
+    else:
+        raise ValueError(f"unknown kernel kind {kind!r}")
+    return KernelProfile(
+        kind=kind,
+        m=m,
+        dtype_bytes=dtype_bytes,
+        stats=stats,
+        useful_flops=useful,
+        regs_per_thread=regs,
+    )

@@ -1,0 +1,368 @@
+"""A SIMT warp-level execution model (software CUDA-warp simulator).
+
+The paper's kernels live entirely inside one CUDA warp: each of the 32
+threads keeps one matrix row (or one right-hand-side element) in its
+*registers*, and rows communicate through *warp shuffle* instructions
+rather than shared or global memory.  A CuPy/Numba port would lose this
+register-level control, so the reproduction instead provides this small
+SIMT machine on which the warp kernels are written verbatim:
+
+* a :class:`Warp` with lane-resident register values (NumPy arrays of
+  shape ``(width,)``), warp shuffles (``shfl``, ``shfl_xor``), ballots,
+  predicated arithmetic, and a shuffle-based argmax reduction built from
+  the same primitives the CUDA kernel would use;
+* a :class:`GlobalMemory` that services per-lane addressed loads/stores
+  and counts *memory transactions* the way an NVIDIA coalescer does
+  (unique 32-byte sectors touched per warp access);
+* a :class:`SharedMemory` with bank-conflict accounting (32 banks of
+  4 bytes);
+* a :class:`KernelStats` record accumulating instruction and transaction
+  counts, which the analytic performance model consumes and which the
+  test-suite cross-checks against closed-form counts.
+
+The machine executes *lane-vectorised* Python: a "register" is an array
+holding the value of that register in every lane, so kernels are both
+faithful (per-lane semantics, explicit shuffles, predication) and fast
+enough to run in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KernelStats", "GlobalMemory", "SharedMemory", "Warp", "WARP_WIDTH"]
+
+#: CUDA warp width; also the maximum problem size of the paper's kernels.
+WARP_WIDTH = 32
+
+#: Size of a memory transaction sector in bytes (NVIDIA L2 sector).
+SECTOR_BYTES = 32
+
+#: Number of shared memory banks and bank width in bytes (Pascal).
+SM_BANKS = 32
+BANK_BYTES = 4
+
+
+@dataclass
+class KernelStats:
+    """Instruction- and transaction-level counters for one kernel run.
+
+    All counts are per *warp-instruction* (one issue for all 32 lanes),
+    matching how a GPU front-end sees the instruction stream; ``flops``
+    additionally counts per-lane floating point operations (the quantity
+    GFLOPS plots divide by time).
+    """
+
+    #: warp-level arithmetic instruction issues (FMA counts as one)
+    arith_instructions: int = 0
+    #: per-lane floating point operations actually executed (an FMA on a
+    #: fully active warp contributes 64: 2 flops x 32 lanes)
+    flops: int = 0
+    #: warp shuffle instructions
+    shuffles: int = 0
+    #: ballots / votes
+    ballots: int = 0
+    #: global memory load/store *instructions*
+    global_load_instructions: int = 0
+    global_store_instructions: int = 0
+    #: global memory transactions (unique 32-byte sectors touched)
+    global_load_transactions: int = 0
+    global_store_transactions: int = 0
+    #: bytes moved to/from global memory (active lanes only)
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    #: shared memory accesses and serialisation phases due to conflicts
+    shared_accesses: int = 0
+    shared_conflict_phases: int = 0
+
+    def total_instructions(self) -> int:
+        """All warp instruction issues (arithmetic + data movement)."""
+        return (
+            self.arith_instructions
+            + self.shuffles
+            + self.ballots
+            + self.global_load_instructions
+            + self.global_store_instructions
+            + self.shared_accesses
+        )
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another run's counters into this record."""
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+    def coalescing_efficiency(self, element_bytes: int) -> float:
+        """Fraction of loaded sectors that carried useful data.
+
+        1.0 means perfectly coalesced (every 32-byte sector fully used);
+        lower values quantify scatter.  Returns 1.0 when nothing was
+        loaded.
+        """
+        if self.global_load_transactions == 0:
+            return 1.0
+        used = self.bytes_loaded
+        moved = self.global_load_transactions * SECTOR_BYTES
+        return min(1.0, used / moved)
+
+
+class GlobalMemory:
+    """Flat global memory with NVIDIA-style coalescing accounting.
+
+    Wraps a 1-D NumPy array; addresses are element indices.  Every
+    :meth:`load`/:meth:`store` is one warp instruction; the number of
+    transactions it generates equals the number of unique 32-byte
+    sectors covered by the active lanes' addresses, exactly the metric
+    ``nvprof``'s ``gld_transactions`` reports.
+    """
+
+    def __init__(self, array: np.ndarray, stats: KernelStats):
+        array = np.asarray(array)
+        if array.ndim != 1:
+            raise ValueError("GlobalMemory expects a flat (1-D) array")
+        self.array = array
+        self.stats = stats
+        self.element_bytes = array.dtype.itemsize
+
+    def _sectors(self, addrs: np.ndarray, mask: np.ndarray) -> int:
+        if not mask.any():
+            return 0
+        byte_addrs = addrs[mask] * self.element_bytes
+        sectors = np.unique(byte_addrs // SECTOR_BYTES)
+        return int(sectors.size)
+
+    def load(self, addrs: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Per-lane gather; returns one value per lane (0 where masked)."""
+        addrs = np.asarray(addrs)
+        if mask is None:
+            mask = np.ones(addrs.shape, dtype=bool)
+        self.stats.global_load_instructions += 1
+        self.stats.global_load_transactions += self._sectors(addrs, mask)
+        self.stats.bytes_loaded += int(mask.sum()) * self.element_bytes
+        out = np.zeros(addrs.shape, dtype=self.array.dtype)
+        out[mask] = self.array[addrs[mask]]
+        return out
+
+    def store(
+        self,
+        addrs: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Per-lane scatter of ``values`` to ``addrs``."""
+        addrs = np.asarray(addrs)
+        if mask is None:
+            mask = np.ones(addrs.shape, dtype=bool)
+        self.stats.global_store_instructions += 1
+        self.stats.global_store_transactions += self._sectors(addrs, mask)
+        self.stats.bytes_stored += int(mask.sum()) * self.element_bytes
+        self.array[addrs[mask]] = np.asarray(values)[mask]
+
+
+class SharedMemory:
+    """Per-block shared memory with bank-conflict accounting.
+
+    32 banks, 4 bytes wide (Pascal's default mode).  Each access counts
+    the number of serialisation phases: the maximum, over banks, of
+    distinct 4-byte words requested from that bank by active lanes.
+    Conflict-free accesses take 1 phase.
+    """
+
+    def __init__(self, size: int, dtype, stats: KernelStats):
+        self.array = np.zeros(size, dtype=dtype)
+        self.stats = stats
+        self.element_bytes = self.array.dtype.itemsize
+
+    def _phases(self, addrs: np.ndarray, mask: np.ndarray) -> int:
+        if not mask.any():
+            return 1
+        # each element may span several 4-byte words (fp64 spans 2)
+        words_per_el = max(1, self.element_bytes // BANK_BYTES)
+        base_words = addrs[mask] * words_per_el
+        words = (base_words[:, None] + np.arange(words_per_el)[None, :]).ravel()
+        banks = words % SM_BANKS
+        phases = 1
+        for b in np.unique(banks):
+            distinct = np.unique(words[banks == b]).size
+            phases = max(phases, distinct)
+        return int(phases)
+
+    def load(self, addrs: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        addrs = np.asarray(addrs)
+        if mask is None:
+            mask = np.ones(addrs.shape, dtype=bool)
+        self.stats.shared_accesses += 1
+        self.stats.shared_conflict_phases += self._phases(addrs, mask)
+        out = np.zeros(addrs.shape, dtype=self.array.dtype)
+        out[mask] = self.array[addrs[mask]]
+        return out
+
+    def store(
+        self,
+        addrs: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        addrs = np.asarray(addrs)
+        if mask is None:
+            mask = np.ones(addrs.shape, dtype=bool)
+        self.stats.shared_accesses += 1
+        self.stats.shared_conflict_phases += self._phases(addrs, mask)
+        self.array[addrs[mask]] = np.asarray(values)[mask]
+
+
+class Warp:
+    """One CUDA warp: 32 lanes with registers and shuffle communication.
+
+    Register values are NumPy arrays of shape ``(width,)`` - element
+    ``i`` is the value held by lane ``i``.  Arithmetic on registers is
+    done through :meth:`fma`, :meth:`mul`, :meth:`div`, ... so that the
+    instruction stream is counted; ad-hoc NumPy expressions on register
+    arrays would compute correctly but escape the profile, so kernels in
+    :mod:`repro.gpu.kernels` only use these methods.
+    """
+
+    def __init__(self, stats: KernelStats | None = None, width: int = WARP_WIDTH):
+        self.width = width
+        self.stats = stats if stats is not None else KernelStats()
+        self._lanes = np.arange(width)
+
+    @property
+    def lanes(self) -> np.ndarray:
+        """Lane indices 0..width-1 (read-only convention)."""
+        return self._lanes
+
+    def full_mask(self) -> np.ndarray:
+        return np.ones(self.width, dtype=bool)
+
+    # -- communication ----------------------------------------------------
+
+    def shfl(self, value: np.ndarray, src_lane) -> np.ndarray:
+        """``__shfl_sync``: every lane reads ``value`` from ``src_lane``.
+
+        ``src_lane`` may be a scalar (broadcast) or a per-lane index
+        array (gather).
+        """
+        self.stats.shuffles += 1
+        src = np.broadcast_to(np.asarray(src_lane), (self.width,))
+        return np.asarray(value)[src]
+
+    def shfl_xor(self, value: np.ndarray, lane_mask: int) -> np.ndarray:
+        """``__shfl_xor_sync``: butterfly exchange with lane ^ mask."""
+        self.stats.shuffles += 1
+        partner = self._lanes ^ lane_mask
+        return np.asarray(value)[partner]
+
+    def ballot(self, pred: np.ndarray) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate is true."""
+        self.stats.ballots += 1
+        bits = np.nonzero(np.asarray(pred))[0]
+        out = 0
+        for b in bits:
+            out |= 1 << int(b)
+        return out
+
+    # -- arithmetic (counted) ----------------------------------------------
+
+    def _count(self, flops_per_lane: int, mask: np.ndarray | None) -> None:
+        self.stats.arith_instructions += 1
+        active = self.width if mask is None else int(np.sum(mask))
+        self.stats.flops += flops_per_lane * active
+
+    def fma(self, a, b, c, mask: np.ndarray | None = None) -> np.ndarray:
+        """Predicated fused multiply-add: ``a*b + c`` on active lanes.
+
+        Masked lanes return their ``c`` value unchanged (the typical
+        "accumulate in place" idiom).
+        """
+        self._count(2, mask)
+        out = np.asarray(a) * np.asarray(b) + np.asarray(c)
+        if mask is not None:
+            out = np.where(mask, out, c)
+        return out
+
+    def mul(self, a, b, mask: np.ndarray | None = None) -> np.ndarray:
+        self._count(1, mask)
+        out = np.asarray(a) * np.asarray(b)
+        if mask is not None:
+            out = np.where(mask, out, a)
+        return out
+
+    def sub(self, a, b, mask: np.ndarray | None = None) -> np.ndarray:
+        self._count(1, mask)
+        out = np.asarray(a) - np.asarray(b)
+        if mask is not None:
+            out = np.where(mask, out, a)
+        return out
+
+    def div(self, a, b, mask: np.ndarray | None = None) -> np.ndarray:
+        """Predicated divide (counts as one instruction, one flop)."""
+        self._count(1, mask)
+        b = np.asarray(b)
+        safe = np.where(b == 0, 1.0, b)
+        out = np.asarray(a) / safe
+        out = np.where(b == 0, np.asarray(a), out)
+        if mask is not None:
+            out = np.where(mask, out, a)
+        return out
+
+    # -- derived collectives -------------------------------------------------
+
+    def reduce_sum(self, value: np.ndarray) -> np.ndarray:
+        """Warp-wide sum via a ``log2(width)``-round butterfly.
+
+        Every lane ends up holding the total (the usual
+        ``shfl_xor``-based allreduce).  Lanes that should not
+        contribute must hold zero before the call.
+        """
+        acc = np.asarray(value, dtype=np.float64).copy()
+        rounds = int(np.log2(self.width))
+        for r in range(rounds):
+            other = self.shfl_xor(acc, 1 << r)
+            self._count(1, None)
+            acc = acc + other
+        return acc
+
+    def transpose_registers(self, reg: np.ndarray, m: int) -> np.ndarray:
+        """In-register transpose of an ``m x m`` lane-resident tile.
+
+        ``reg[lane, j]`` holds element ``(lane, j)``; the result holds
+        element ``(j, lane)`` in the same slot.  Counted as one shuffle
+        plus one select per register column - the cost of the standard
+        diagonal-exchange warp transpose (the exact shuffle schedule is
+        abstracted; only its instruction count matters to the model).
+        """
+        out = np.zeros_like(reg)
+        for _ in range(m):
+            # one exchanged register per round: shuffle + select
+            self.stats.shuffles += 1
+            self._count(0, None)
+        out[:m, :m] = reg[:m, :m].T
+        return out
+
+    def reduce_argmax_abs(
+        self, value: np.ndarray, active: np.ndarray
+    ) -> tuple[int, float]:
+        """Warp-wide argmax of ``|value|`` over ``active`` lanes.
+
+        Implemented as a 5-round ``shfl_xor`` butterfly on (magnitude,
+        index) pairs - the parallel reduction the paper uses for pivot
+        selection (Section III-A).  Ties break to the **lowest** lane
+        index so the result matches ``numpy.argmax`` exactly, which is
+        what lets the warp kernel reproduce the NumPy reference
+        bit-for-bit.  Inactive lanes contribute magnitude -1 (they can
+        never win, matching the implicit-pivoting exclusion of already
+        pivoted rows).
+        """
+        mag = np.where(active, np.abs(np.asarray(value, dtype=np.float64)), -1.0)
+        idx = self._lanes.copy()
+        rounds = int(np.log2(self.width))
+        for r in range(rounds):
+            other_mag = self.shfl_xor(mag, 1 << r)
+            other_idx = self.shfl_xor(idx, 1 << r)
+            take = (other_mag > mag) | ((other_mag == mag) & (other_idx < idx))
+            mag = np.where(take, other_mag, mag)
+            idx = np.where(take, other_idx, idx)
+        # after log2(width) rounds every lane holds the winner
+        return int(idx[0]), float(mag[0])

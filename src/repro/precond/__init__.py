@@ -1,0 +1,12 @@
+"""Preconditioners: identity, scalar Jacobi, batched block-Jacobi."""
+
+from .base import IdentityPreconditioner, Preconditioner
+from .block_jacobi import BlockJacobiPreconditioner
+from .scalar_jacobi import ScalarJacobiPreconditioner
+
+__all__ = [
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "ScalarJacobiPreconditioner",
+    "BlockJacobiPreconditioner",
+]

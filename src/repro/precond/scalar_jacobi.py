@@ -1,0 +1,42 @@
+"""Scalar Jacobi (diagonal) preconditioning - Table I's first column."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+from .base import Preconditioner
+
+__all__ = ["ScalarJacobiPreconditioner"]
+
+
+class ScalarJacobiPreconditioner(Preconditioner):
+    """``M = diag(A)``: the degenerate block-Jacobi with 1x1 blocks.
+
+    Zero diagonal entries are replaced by 1 (the unknown is left
+    unscaled), matching the usual robust implementation.
+    """
+
+    def __init__(self) -> None:
+        self._inv_diag: np.ndarray | None = None
+
+    def setup(self, matrix: CsrMatrix) -> "ScalarJacobiPreconditioner":
+        t0 = time.perf_counter()
+        d = matrix.diagonal()
+        d = np.where(d == 0.0, 1.0, d)
+        self._inv_diag = 1.0 / d
+        self.setup_seconds = time.perf_counter() - t0
+        return self
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        if self._inv_diag is None:
+            raise RuntimeError("setup() must be called before apply()")
+        x = np.asarray(x)
+        if x.shape != self._inv_diag.shape:
+            raise ValueError(
+                f"vector of length {x.shape} does not match matrix "
+                f"dimension {self._inv_diag.shape}"
+            )
+        return x * self._inv_diag

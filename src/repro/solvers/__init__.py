@@ -1,0 +1,19 @@
+"""Solvers: IDR(s) (the paper's), BiCGSTAB, CG, GMRES, and the
+stationary (block-)Jacobi relaxation the preconditioner is named
+after."""
+
+from .base import SolveResult
+from .bicgstab import bicgstab
+from .cg import cg
+from .gmres import gmres
+from .idr import idrs
+from .stationary import stationary_richardson
+
+__all__ = [
+    "SolveResult",
+    "idrs",
+    "bicgstab",
+    "cg",
+    "gmres",
+    "stationary_richardson",
+]

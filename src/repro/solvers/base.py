@@ -1,0 +1,70 @@
+"""Common solver infrastructure: results, stopping, operator glue."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..precond.base import IdentityPreconditioner, Preconditioner
+from ..sparse.csr import CsrMatrix
+
+__all__ = ["SolveResult", "as_operator", "resolve_preconditioner"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one iterative solve.
+
+    ``iterations`` counts matrix-vector products, the convention under
+    which IDR(s) costs ``s+1`` per cycle and which matches how
+    MAGMA-sparse reports IDR iteration counts in the paper's Table I.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    target_norm: float
+    solve_seconds: float
+    setup_seconds: float = 0.0
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Preconditioner setup + iterative solve (Figure 9's metric)."""
+        return self.setup_seconds + self.solve_seconds
+
+    @property
+    def relative_residual(self) -> float:
+        if self.target_norm == 0:
+            return self.residual_norm
+        return self.residual_norm / self.target_norm
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "converged" if self.converged else "NOT converged"
+        return (
+            f"SolveResult({tag} in {self.iterations} its, "
+            f"rel.res={self.relative_residual:.2e}, "
+            f"time={self.total_seconds:.3f}s)"
+        )
+
+
+def as_operator(A):
+    """Accept a CsrMatrix, a dense array or a callable as the operator."""
+    if isinstance(A, CsrMatrix):
+        return A.matvec, A.n_rows
+    if callable(A):
+        raise TypeError(
+            "bare callables need an explicit dimension; pass a CsrMatrix "
+            "or a dense array"
+        )
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("operator must be square")
+    return (lambda v: A @ v), A.shape[0]
+
+
+def resolve_preconditioner(M: Preconditioner | None) -> Preconditioner:
+    return M if M is not None else IdentityPreconditioner()

@@ -1,0 +1,111 @@
+"""Restarted GMRES(m) with right preconditioning (Saad & Schultz).
+
+Completes the nonsymmetric solver trio.  Right preconditioning keeps
+the monitored residual equal to the true residual, consistent with the
+other solvers in this package.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..precond.base import Preconditioner
+from .base import SolveResult, as_operator, resolve_preconditioner
+
+__all__ = ["gmres"]
+
+
+def gmres(
+    A,
+    b: np.ndarray,
+    M: Preconditioner | None = None,
+    restart: int = 30,
+    tol: float = 1e-6,
+    maxiter: int = 10000,
+    x0: np.ndarray | None = None,
+    record_history: bool = False,
+) -> SolveResult:
+    """Solve ``A x = b`` with GMRES(restart), right-preconditioned.
+
+    ``maxiter`` caps matrix-vector products across all restart cycles.
+    """
+    matvec, n = as_operator(A)
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError(f"b must have shape ({n},), got {b.shape}")
+    if restart < 1:
+        raise ValueError("restart must be positive")
+    M = resolve_preconditioner(M)
+    t_start = time.perf_counter()
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    normb = np.linalg.norm(b)
+    target = tol * (normb if normb > 0 else 1.0)
+    r = b - matvec(x) if x.any() else b.copy()
+    resnorm = float(np.linalg.norm(r))
+    history = [resnorm] if record_history else []
+    iters = 0
+
+    while resnorm > target and iters < maxiter:
+        m = min(restart, maxiter - iters)
+        V = np.zeros((n, m + 1))
+        H = np.zeros((m + 1, m))
+        Z = np.zeros((n, m))  # preconditioned directions
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = resnorm
+        V[:, 0] = r / resnorm
+        j_used = 0
+        for j in range(m):
+            Z[:, j] = M.apply(V[:, j])
+            w = matvec(Z[:, j])
+            iters += 1
+            # modified Gram-Schmidt
+            for i in range(j + 1):
+                H[i, j] = float(V[:, i] @ w)
+                w -= H[i, j] * V[:, i]
+            H[j + 1, j] = np.linalg.norm(w)
+            if H[j + 1, j] > 0:
+                V[:, j + 1] = w / H[j + 1, j]
+            # apply previous Givens rotations to the new column
+            for i in range(j):
+                t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                H[i, j] = t
+            # new rotation to annihilate H[j+1, j]
+            denom = np.hypot(H[j, j], H[j + 1, j])
+            if denom == 0.0:
+                j_used = j + 1
+                break
+            cs[j] = H[j, j] / denom
+            sn[j] = H[j + 1, j] / denom
+            H[j, j] = denom
+            H[j + 1, j] = 0.0
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+            resnorm = abs(g[j + 1])
+            j_used = j + 1
+            if record_history:
+                history.append(float(resnorm))
+            if resnorm <= target or iters >= maxiter:
+                break
+        # solve the small triangular system and update x
+        if j_used:
+            y = np.linalg.solve(H[:j_used, :j_used], g[:j_used])
+            x = x + Z[:, :j_used] @ y
+        r = b - matvec(x)
+        resnorm = float(np.linalg.norm(r))
+
+    return SolveResult(
+        x=x,
+        converged=resnorm <= target,
+        iterations=iters,
+        residual_norm=resnorm,
+        target_norm=normb if normb > 0 else 1.0,
+        solve_seconds=time.perf_counter() - t_start,
+        setup_seconds=getattr(M, "setup_seconds", 0.0),
+        history=history,
+    )

@@ -1,0 +1,168 @@
+"""IDR(s) - Induced Dimension Reduction with bi-orthogonalisation.
+
+The paper's solver: "the iterative IDR(4) solver for sparse linear
+systems ... taken from the MAGMA-sparse open source software package".
+This implementation follows the bi-orthogonalised IDR(s) prototype of
+van Gijzen & Sonneveld (ACM TOMS 2011) - the same algorithm MAGMA's
+IDR implements - with the preconditioner applied inside the induction
+steps (``v := M^{-1} v``), so the recurrences operate on the true
+residual and the stopping test needs no back-transformation.
+
+Iterations are counted in matrix-vector products: each IDR cycle costs
+``s + 1`` of them (``s`` dimension-reduction steps plus the polynomial
+step).  ``s = 4`` reproduces the paper's IDR(4).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..precond.base import Preconditioner
+from .base import SolveResult, as_operator, resolve_preconditioner
+
+__all__ = ["idrs"]
+
+#: threshold of the "maintaining the convergence" omega strategy
+_OMEGA_ANGLE = 0.7
+
+
+def _omega(t: np.ndarray, r: np.ndarray) -> float:
+    """Minimal-residual omega, stabilised (van Gijzen's strategy)."""
+    nt = np.linalg.norm(t)
+    nr = np.linalg.norm(r)
+    if nt == 0.0:
+        return 0.0
+    ts = float(t @ r)
+    rho = abs(ts / (nt * nr)) if nr else 1.0
+    om = ts / (nt * nt)
+    if rho < _OMEGA_ANGLE and rho > 0.0:
+        om *= _OMEGA_ANGLE / rho
+    return om
+
+
+def idrs(
+    A,
+    b: np.ndarray,
+    s: int = 4,
+    M: Preconditioner | None = None,
+    tol: float = 1e-6,
+    maxiter: int = 10000,
+    x0: np.ndarray | None = None,
+    seed: int = 271828,
+    record_history: bool = False,
+) -> SolveResult:
+    """Solve ``A x = b`` with preconditioned IDR(s).
+
+    Parameters
+    ----------
+    A:
+        :class:`~repro.sparse.csr.CsrMatrix` or dense square array.
+    b:
+        Right-hand side.
+    s:
+        Shadow-space dimension; the paper uses 4.
+    M:
+        Preconditioner (already set up); identity if None.
+    tol:
+        Relative residual reduction target (the paper stops after six
+        orders of magnitude: ``tol = 1e-6``).
+    maxiter:
+        Cap on matrix-vector products (the paper allows 10,000).
+    x0, seed, record_history:
+        Initial guess (zero by default), shadow-space seed, and whether
+        to record the residual-norm history.
+
+    Returns
+    -------
+    SolveResult
+        With ``setup_seconds`` copied from the preconditioner.
+    """
+    matvec, n = as_operator(A)
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError(f"b must have shape ({n},), got {b.shape}")
+    if s < 1:
+        raise ValueError("s must be at least 1")
+    M = resolve_preconditioner(M)
+    t_start = time.perf_counter()
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - matvec(x) if x.any() else b.copy()
+    normb = np.linalg.norm(b)
+    target = tol * (normb if normb > 0 else 1.0)
+    history = [float(np.linalg.norm(r))] if record_history else []
+
+    # shadow space: orthonormalised Gaussian block (rows of P)
+    rng = np.random.default_rng(seed)
+    P = rng.standard_normal((n, s))
+    P, _ = np.linalg.qr(P)
+    P = P.T  # (s, n)
+
+    G = np.zeros((n, s))
+    U = np.zeros((n, s))
+    Ms = np.eye(s)
+    om = 1.0
+    iters = 0
+    resnorm = float(np.linalg.norm(r))
+
+    def done() -> bool:
+        return resnorm <= target or iters >= maxiter
+
+    while not done():
+        f = P @ r  # (s,)
+        for k in range(s):
+            # solve the small lower-triangular system and form v _|_ P[:k]
+            c = np.linalg.solve(Ms[k:, k:], f[k:])
+            v = r - G[:, k:] @ c
+            v = M.apply(v)
+            U[:, k] = U[:, k:] @ c + om * v
+            G[:, k] = matvec(U[:, k])
+            iters += 1
+            # bi-orthogonalise the new direction against p_0..p_{k-1}
+            for i in range(k):
+                alpha = float(P[i] @ G[:, k]) / Ms[i, i]
+                G[:, k] -= alpha * G[:, i]
+                U[:, k] -= alpha * U[:, i]
+            Ms[k:, k] = P[k:] @ G[:, k]
+            if Ms[k, k] == 0.0:
+                # breakdown: the new direction is orthogonal to p_k
+                resnorm = float(np.linalg.norm(r))
+                break
+            # make r orthogonal to p_0..p_k
+            beta = f[k] / Ms[k, k]
+            r = r - beta * G[:, k]
+            x = x + beta * U[:, k]
+            resnorm = float(np.linalg.norm(r))
+            if record_history:
+                history.append(resnorm)
+            if done():
+                break
+            if k + 1 < s:
+                f[k + 1 :] = f[k + 1 :] - beta * Ms[k + 1 :, k]
+        if done():
+            break
+        # polynomial step: enter the next Sonneveld space G_{j+1}
+        v = M.apply(r)
+        t = matvec(v)
+        iters += 1
+        om = _omega(t, r)
+        if om == 0.0:
+            break  # stagnation
+        x = x + om * v
+        r = r - om * t
+        resnorm = float(np.linalg.norm(r))
+        if record_history:
+            history.append(resnorm)
+
+    return SolveResult(
+        x=x,
+        converged=resnorm <= target,
+        iterations=iters,
+        residual_norm=resnorm,
+        target_norm=normb if normb > 0 else 1.0,
+        solve_seconds=time.perf_counter() - t_start,
+        setup_seconds=getattr(M, "setup_seconds", 0.0),
+        history=history,
+    )

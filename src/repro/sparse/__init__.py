@@ -1,0 +1,36 @@
+"""Sparse-matrix substrate: formats, generators, the 48-matrix suite, I/O."""
+
+from .coo import CooMatrix
+from .csr import CsrMatrix
+from .generators import (
+    banded_waveguide,
+    block_structured,
+    circuit_like,
+    convection_diffusion_2d,
+    fem_block_2d,
+    grid_graph,
+    laplacian_2d,
+    laplacian_3d,
+)
+from .io import read_matrix_market, write_matrix_market
+from .suite import SUITE, SuiteEntry, iter_suite, load_matrix, suite_names
+
+__all__ = [
+    "CooMatrix",
+    "CsrMatrix",
+    "laplacian_2d",
+    "laplacian_3d",
+    "convection_diffusion_2d",
+    "grid_graph",
+    "block_structured",
+    "fem_block_2d",
+    "circuit_like",
+    "banded_waveguide",
+    "read_matrix_market",
+    "write_matrix_market",
+    "SUITE",
+    "SuiteEntry",
+    "suite_names",
+    "load_matrix",
+    "iter_suite",
+]

@@ -1,0 +1,81 @@
+"""Coordinate (COO) sparse format - the assembly format.
+
+The generators in :mod:`repro.sparse.generators` assemble matrices as
+triplet lists and convert to CSR for computation, mirroring how finite
+element codes assemble their systems.  Only the operations the package
+needs are implemented (this is a from-scratch substrate, not a SciPy
+wrapper): duplicate summation, sorting, and CSR conversion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CooMatrix"]
+
+
+class CooMatrix:
+    """Sparse matrix in coordinate format.
+
+    Duplicate entries are allowed on construction and are summed by
+    :meth:`sum_duplicates` (or implicitly by :meth:`to_csr`), matching
+    the usual FEM assembly semantics.
+    """
+
+    def __init__(self, n_rows: int, n_cols: int, rows, cols, values):
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.rows = np.asarray(rows, dtype=np.int64).ravel()
+        self.cols = np.asarray(cols, dtype=np.int64).ravel()
+        self.values = np.asarray(values, dtype=np.float64).ravel()
+        if not (self.rows.shape == self.cols.shape == self.values.shape):
+            raise ValueError("rows/cols/values must have identical length")
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= self.n_rows:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.n_cols:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return self.values.size
+
+    def sum_duplicates(self) -> "CooMatrix":
+        """Return a copy with duplicate (row, col) entries summed."""
+        if self.nnz == 0:
+            return CooMatrix(self.n_rows, self.n_cols, [], [], [])
+        key = self.rows * self.n_cols + self.cols
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        vals = self.values[order]
+        uniq, start = np.unique(key, return_index=True)
+        summed = np.add.reduceat(vals, start)
+        return CooMatrix(
+            self.n_rows,
+            self.n_cols,
+            uniq // self.n_cols,
+            uniq % self.n_cols,
+            summed,
+        )
+
+    def to_csr(self):
+        """Convert to :class:`repro.sparse.csr.CsrMatrix` (sums duplicates)."""
+        from .csr import CsrMatrix
+
+        dedup = self.sum_duplicates()
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, dedup.rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CsrMatrix(
+            dedup.n_rows, dedup.n_cols, indptr, dedup.cols, dedup.values
+        )
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.n_rows, self.n_cols))
+        np.add.at(out, (self.rows, self.cols), self.values)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CooMatrix({self.n_rows}x{self.n_cols}, nnz={self.nnz})"
+        )

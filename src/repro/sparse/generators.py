@@ -1,0 +1,304 @@
+"""Synthetic sparse-matrix generators (SuiteSparse stand-ins).
+
+The paper evaluates block-Jacobi preconditioning on 48 SuiteSparse
+matrices "that all carry some inherent block structure" (Table I):
+structural/FEM problems (bcsstk*, s*rmt3m*, nd3k...), fluid dynamics
+(ns3Da, raefsky*), circuit and device simulation (rajat, dc3, dw*),
+thermal and semiconductor problems, etc.  SuiteSparse is not available
+offline, so this module generates matrices with the same *structural
+properties* those families contribute to the experiments:
+
+* **FEM/block matrices** - multiple degrees of freedom per mesh node,
+  giving the dense diagonal blocks supervariable blocking discovers;
+* **convection-diffusion** - nonsymmetric (the reason the paper uses
+  IDR(4) rather than CG);
+* **circuit-like** - power-law row densities (the unbalanced nonzero
+  distributions that motivate the shared-memory extraction,
+  Section III-C);
+* **banded/waveguide-like** - narrow banded structure (dw*);
+* **Laplacians** (2-D five-point, 3-D seven-point) - the scalar PDE
+  baselines where block-Jacobi degenerates gracefully.
+
+All generators are deterministic in their ``seed`` and return
+:class:`repro.sparse.csr.CsrMatrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import CooMatrix
+from .csr import CsrMatrix
+
+__all__ = [
+    "laplacian_2d",
+    "laplacian_3d",
+    "convection_diffusion_2d",
+    "grid_graph",
+    "block_structured",
+    "fem_block_2d",
+    "circuit_like",
+    "banded_waveguide",
+]
+
+
+def laplacian_2d(nx: int, ny: int) -> CsrMatrix:
+    """Five-point Laplacian on an ``nx x ny`` grid (SPD, M-matrix)."""
+    n = nx * ny
+    idx = np.arange(n).reshape(nx, ny)
+    rows, cols, vals = [idx.ravel()], [idx.ravel()], [np.full(n, 4.0)]
+    for a, b in (
+        (idx[:-1, :], idx[1:, :]),
+        (idx[:, :-1], idx[:, 1:]),
+    ):
+        rows += [a.ravel(), b.ravel()]
+        cols += [b.ravel(), a.ravel()]
+        vals += [np.full(a.size, -1.0)] * 2
+    coo = CooMatrix(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+    return coo.to_csr()
+
+
+def laplacian_3d(nx: int, ny: int, nz: int) -> CsrMatrix:
+    """Seven-point Laplacian on an ``nx x ny x nz`` grid."""
+    n = nx * ny * nz
+    idx = np.arange(n).reshape(nx, ny, nz)
+    rows, cols, vals = [idx.ravel()], [idx.ravel()], [np.full(n, 6.0)]
+    for a, b in (
+        (idx[:-1], idx[1:]),
+        (idx[:, :-1], idx[:, 1:]),
+        (idx[:, :, :-1], idx[:, :, 1:]),
+    ):
+        rows += [a.ravel(), b.ravel()]
+        cols += [b.ravel(), a.ravel()]
+        vals += [np.full(a.size, -1.0)] * 2
+    coo = CooMatrix(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+    return coo.to_csr()
+
+
+def convection_diffusion_2d(
+    nx: int, ny: int, peclet: float = 20.0
+) -> CsrMatrix:
+    """Upwinded convection-diffusion on a 2-D grid (nonsymmetric).
+
+    ``peclet`` controls the strength of the (skew) convection term;
+    larger values make the matrix more nonsymmetric and harder for
+    unpreconditioned Krylov methods.
+    """
+    n = nx * ny
+    idx = np.arange(n).reshape(nx, ny)
+    h = 1.0 / (nx + 1)
+    c = peclet * h / 2.0
+    rows, cols, vals = [idx.ravel()], [idx.ravel()], [np.full(n, 4.0 + 2 * c)]
+    # x-direction: upwind convection only downstream
+    a, b = idx[:-1, :], idx[1:, :]
+    rows += [a.ravel(), b.ravel()]
+    cols += [b.ravel(), a.ravel()]
+    vals += [np.full(a.size, -1.0 + c), np.full(a.size, -1.0 - c)]
+    # y-direction: pure diffusion
+    a, b = idx[:, :-1], idx[:, 1:]
+    rows += [a.ravel(), b.ravel()]
+    cols += [b.ravel(), a.ravel()]
+    vals += [np.full(a.size, -1.0)] * 2
+    coo = CooMatrix(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+    return coo.to_csr()
+
+
+def grid_graph(nx: int, ny: int) -> CsrMatrix:
+    """Adjacency-plus-identity pattern of an ``nx x ny`` grid graph."""
+    n = nx * ny
+    idx = np.arange(n).reshape(nx, ny)
+    rows, cols = [idx.ravel()], [idx.ravel()]
+    for a, b in ((idx[:-1, :], idx[1:, :]), (idx[:, :-1], idx[:, 1:])):
+        rows += [a.ravel(), b.ravel()]
+        cols += [b.ravel(), a.ravel()]
+    vals = [np.ones(r.size) for r in rows]
+    coo = CooMatrix(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+    return coo.to_csr()
+
+
+def block_structured(
+    graph: CsrMatrix,
+    block_size: int,
+    seed: int = 0,
+    coupling: float = 0.25,
+    nonsymmetric: float = 0.1,
+    dominance: float = 0.45,
+) -> CsrMatrix:
+    """Expand a connectivity graph into a block matrix.
+
+    Every node of ``graph`` becomes ``block_size`` consecutive unknowns
+    (a *supervariable*: rows sharing one column pattern).  Diagonal
+    node blocks are dense, diagonally dominant and slightly
+    nonsymmetric; off-diagonal blocks are scaled random couplings.
+    Dominance is arranged so the matrix is nonsingular and block-Jacobi
+    is effective - exactly the profile of the paper's FEM test set.
+
+    Parameters
+    ----------
+    graph:
+        Node connectivity (diagonal entries mark the nodes).
+    block_size:
+        Degrees of freedom per node (the paper's blocks are 4..32).
+    coupling:
+        Magnitude of inter-node blocks relative to dominance.
+    nonsymmetric:
+        Skew perturbation magnitude on the diagonal blocks.
+    dominance:
+        Diagonal boost as a fraction of each row's absolute off-mass.
+        Values around 1 make the problems trivial for any Jacobi-type
+        preconditioner; the suite uses 0.3..0.6, which yields the
+        realistic iteration counts (tens to thousands) of Table I
+        while keeping the diagonal blocks safely nonsingular.
+    """
+    rng = np.random.default_rng(seed)
+    k = block_size
+    n = graph.n_rows * k
+    deg = graph.row_nnz().astype(float)
+    rows_g = np.repeat(np.arange(graph.n_rows), graph.row_nnz())
+    cols_g = graph.indices
+    off_diag = rows_g != cols_g
+
+    # vectorised block expansion: every graph nonzero emits a k x k block
+    bi, bj = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+    bi, bj = bi.ravel(), bj.ravel()
+    R = (rows_g[:, None] * k + bi[None, :]).ravel()
+    C = (cols_g[:, None] * k + bj[None, :]).ravel()
+    V = rng.uniform(-1.0, 1.0, R.size)
+    # scale off-diagonal node couplings down
+    V *= np.where(np.repeat(off_diag, k * k), coupling, 1.0)
+    # skew-perturb diagonal blocks
+    V += np.where(
+        np.repeat(~off_diag, k * k),
+        nonsymmetric * rng.standard_normal(R.size),
+        0.0,
+    )
+    coo = CooMatrix(n, n, R, C, V)
+    csr = coo.to_csr()
+    # enforce block-diagonal dominance: every unknown's diagonal exceeds
+    # its total off-diagonal mass (row sums of |A|), keeping the matrix
+    # nonsingular and the Jacobi-type iterations well posed.
+    abs_csr = CsrMatrix(
+        csr.n_rows, csr.n_cols, csr.indptr, csr.indices,
+        np.abs(csr.values), sort=False,
+    )
+    rowmass = abs_csr.matvec(np.ones(n))
+    diag_boost = rowmass * dominance * rng.uniform(0.9, 1.1, n) + 0.05
+    merged = CooMatrix(
+        n,
+        n,
+        np.concatenate([np.repeat(np.arange(n), csr.row_nnz()), np.arange(n)]),
+        np.concatenate([csr.indices, np.arange(n)]),
+        np.concatenate([csr.values, diag_boost]),
+    )
+    return merged.to_csr()
+
+
+def fem_block_2d(
+    nx: int,
+    ny: int,
+    dofs_per_node: int,
+    seed: int = 0,
+    coupling: float = 0.25,
+    dominance: float = 0.45,
+) -> CsrMatrix:
+    """FEM-like matrix: 2-D mesh with several unknowns per node."""
+    return block_structured(
+        grid_graph(nx, ny),
+        dofs_per_node,
+        seed=seed,
+        coupling=coupling,
+        dominance=dominance,
+    )
+
+
+def circuit_like(
+    n: int,
+    avg_degree: float = 4.0,
+    hub_fraction: float = 0.002,
+    hub_degree: int = 200,
+    seed: int = 0,
+    dominance: float = 0.6,
+) -> CsrMatrix:
+    """Circuit-simulation-like matrix with an unbalanced nonzero profile.
+
+    Most rows have a handful of entries; a small set of "hub" rows and
+    columns (supply rails, clock nets) touch hundreds of unknowns.
+    This is the profile the paper names as the hard case for the
+    extraction step ("problems with a very unbalanced nonzero
+    distribution, like for example those arising in circuit
+    simulation", Section III-C).
+    """
+    rng = np.random.default_rng(seed)
+    n_edges = int(n * avg_degree / 2)
+    r = rng.integers(0, n, n_edges)
+    c = rng.integers(0, n, n_edges)
+    n_hubs = max(1, int(n * hub_fraction))
+    hubs = rng.choice(n, n_hubs, replace=False)
+    hub_r = np.repeat(hubs, hub_degree)
+    hub_c = rng.integers(0, n, hub_r.size)
+    rows = np.concatenate([r, c, hub_r, hub_c, np.arange(n)])
+    cols = np.concatenate([c, r, hub_c, hub_r, np.arange(n)])
+    vals = np.concatenate(
+        [
+            rng.uniform(-1, 1, 2 * n_edges + 2 * hub_r.size),
+            np.zeros(n),
+        ]
+    )
+    coo = CooMatrix(n, n, rows, cols, vals).sum_duplicates()
+    csr = coo.to_csr()
+    # diagonal dominance (conductance matrices are dominant by physics)
+    abs_mass = CsrMatrix(
+        csr.n_rows, csr.n_cols, csr.indptr, csr.indices,
+        np.abs(csr.values), sort=False,
+    ).matvec(np.ones(n))
+    diag = CooMatrix(
+        n, n, np.arange(n), np.arange(n),
+        abs_mass * dominance * rng.uniform(0.9, 1.1, n) + 0.5,
+    )
+    merged = CooMatrix(
+        n,
+        n,
+        np.concatenate([np.repeat(np.arange(n), csr.row_nnz()), diag.rows]),
+        np.concatenate([csr.indices, diag.cols]),
+        np.concatenate([csr.values, diag.values]),
+    )
+    return merged.to_csr()
+
+
+def banded_waveguide(
+    n: int, bandwidth: int = 5, seed: int = 0, shift: float = 0.55
+) -> CsrMatrix:
+    """Banded matrix with oscillatory off-diagonals (dw*-like).
+
+    Dielectric-waveguide problems produce narrow-banded, indefinite-ish
+    nonsymmetric matrices; ``shift`` (the diagonal boost as a fraction
+    of the band's absolute mass) keeps ours nonsingular while leaving
+    the problems genuinely iterative.
+    """
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    for d in range(1, bandwidth + 1):
+        m = n - d
+        amp = np.cos(0.7 * d) / d
+        v = amp * (1.0 + 0.1 * rng.standard_normal(m))
+        rows += [np.arange(m), np.arange(d, n)]
+        cols += [np.arange(d, n), np.arange(m)]
+        vals += [v, v * (1.0 + 0.2 * rng.standard_normal(m))]
+    band_mass = np.zeros(n)
+    for r, v in zip(rows, vals):
+        np.add.at(band_mass, r, np.abs(v))
+    rows.append(np.arange(n))
+    cols.append(np.arange(n))
+    vals.append(band_mass * shift + 0.3)
+    coo = CooMatrix(
+        n, n, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+    return coo.to_csr()

@@ -1,0 +1,117 @@
+"""Matrix reorderings: reverse Cuthill-McKee and friends.
+
+Supervariable blocking relies on tightly coupled unknowns being
+*adjacent* in the matrix ordering: "some reordering techniques such as
+reverse Cuthill-McKee or natural orderings preserve this locality"
+(Section II-A).  This module provides that machinery so users can
+recover block-Jacobi-friendly orderings for matrices that arrive
+scrambled:
+
+* :func:`rcm_ordering` - classic BFS-based reverse Cuthill-McKee on the
+  symmetrised pattern, with a minimum-degree start per component;
+* :func:`permute_symmetric` - apply ``A -> A[p, p]``;
+* :func:`bandwidth` / :func:`profile` - the locality metrics RCM
+  optimises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+__all__ = ["rcm_ordering", "permute_symmetric", "bandwidth", "profile"]
+
+
+def _symmetrised_adjacency(matrix: CsrMatrix):
+    """Neighbour lists of the pattern of ``A + A^T`` (no self loops)."""
+    n = matrix.n_rows
+    rows = np.repeat(np.arange(n), matrix.row_nnz())
+    cols = matrix.indices
+    off = rows != cols
+    u = np.concatenate([rows[off], cols[off]])
+    v = np.concatenate([cols[off], rows[off]])
+    order = np.argsort(u, kind="stable")
+    u, v = u[order], v[order]
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(ptr, u + 1, 1)
+    np.cumsum(ptr, out=ptr)
+    return ptr, v
+
+
+def rcm_ordering(matrix: CsrMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee permutation (gather form).
+
+    Returns ``perm`` such that ``A[perm][:, perm]`` has (near-)minimal
+    bandwidth: ``perm[k]`` is the original index placed at position
+    ``k``.  Each connected component is started from a minimum-degree
+    vertex (the standard cheap stand-in for a pseudo-peripheral node),
+    and neighbours are visited in increasing-degree order.
+    """
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError("RCM needs a square matrix")
+    n = matrix.n_rows
+    ptr, adj = _symmetrised_adjacency(matrix)
+    degree = np.diff(ptr)
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    # process components in order of their minimum-degree seed
+    seeds = np.argsort(degree, kind="stable")
+    for seed in seeds:
+        if visited[seed]:
+            continue
+        # BFS from the seed, neighbours sorted by degree
+        queue = [int(seed)]
+        visited[seed] = True
+        while queue:
+            v = queue.pop(0)
+            order[pos] = v
+            pos += 1
+            nbrs = adj[ptr[v] : ptr[v + 1]]
+            nbrs = nbrs[~visited[nbrs]]
+            if nbrs.size:
+                nbrs = np.unique(nbrs)
+                nbrs = nbrs[np.argsort(degree[nbrs], kind="stable")]
+                visited[nbrs] = True
+                queue.extend(int(x) for x in nbrs)
+    assert pos == n
+    return order[::-1].copy()  # the "reverse" in RCM
+
+
+def permute_symmetric(matrix: CsrMatrix, perm: np.ndarray) -> CsrMatrix:
+    """Symmetric permutation ``B = A[perm, :][:, perm]``.
+
+    ``B[i, j] = A[perm[i], perm[j]]`` - rows and columns renumbered by
+    the same ordering, preserving the diagonal-block semantics.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = matrix.n_rows
+    if perm.shape != (n,) or np.sort(perm).tolist() != list(range(n)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    inv = np.empty(n, dtype=np.int64)
+    inv[perm] = np.arange(n)
+    rows = np.repeat(np.arange(n), matrix.row_nnz())
+    new_rows = inv[rows]
+    new_cols = inv[matrix.indices]
+    from .coo import CooMatrix
+
+    return CooMatrix(n, n, new_rows, new_cols, matrix.values).to_csr()
+
+
+def bandwidth(matrix: CsrMatrix) -> int:
+    """Maximum distance of a nonzero from the diagonal."""
+    if matrix.nnz == 0:
+        return 0
+    rows = np.repeat(np.arange(matrix.n_rows), matrix.row_nnz())
+    return int(np.abs(rows - matrix.indices).max())
+
+
+def profile(matrix: CsrMatrix) -> int:
+    """Envelope size: sum over rows of the leftmost-nonzero distance."""
+    total = 0
+    for r in range(matrix.n_rows):
+        lo, hi = matrix.indptr[r], matrix.indptr[r + 1]
+        if hi > lo:
+            total += max(0, r - int(matrix.indices[lo]))
+    return total

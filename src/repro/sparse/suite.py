@@ -1,0 +1,231 @@
+"""The 48-matrix synthetic test suite (Table I stand-in).
+
+The paper's block-Jacobi experiments (Table I, Figures 8-9) run over 48
+SuiteSparse matrices.  This module defines 48 deterministic synthetic
+instances spanning the same structural families, scaled so the full
+Table I sweep (48 matrices x 6 preconditioner configurations) runs in
+minutes on a laptop CPU rather than on a P100.  Each entry records the
+family it stands in for; EXPERIMENTS.md carries the mapping discussion.
+
+Use :func:`suite_names` / :func:`load_matrix` for individual problems
+and :func:`iter_suite` for the full sweep.  Matrices are cached per
+process (building them is pure compute, so the cache only trades
+memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .csr import CsrMatrix
+from .generators import (
+    banded_waveguide,
+    block_structured,
+    circuit_like,
+    convection_diffusion_2d,
+    fem_block_2d,
+    grid_graph,
+    laplacian_2d,
+    laplacian_3d,
+)
+
+__all__ = ["SuiteEntry", "SUITE", "suite_names", "load_matrix", "iter_suite"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One test problem: an ID, a name, a family tag, and a builder."""
+
+    id: int
+    name: str
+    family: str
+    analog: str  # the SuiteSparse family this instance stands in for
+    builder: object
+
+    def build(self) -> CsrMatrix:
+        return self.builder()
+
+
+def _fem(nx, ny, k, seed, coupling=0.25, dominance=0.45):
+    return lambda: fem_block_2d(
+        nx, ny, k, seed=seed, coupling=coupling, dominance=dominance
+    )
+
+
+def _fem3(nx, ny, nz, k, seed, dominance=0.45):
+    def build():
+        g = laplacian_3d(nx, ny, nz)
+        pattern = CsrMatrix(
+            g.n_rows, g.n_cols, g.indptr, g.indices,
+            np.ones_like(g.values), sort=False,
+        )
+        return block_structured(pattern, k, seed=seed, dominance=dominance)
+
+    return build
+
+
+def _cd(nx, ny, pe):
+    return lambda: convection_diffusion_2d(nx, ny, peclet=pe)
+
+
+def _lap2(nx, ny):
+    return lambda: laplacian_2d(nx, ny)
+
+
+def _lap3(nx, ny, nz):
+    return lambda: laplacian_3d(nx, ny, nz)
+
+
+def _circ(n, seed, hub_degree=150, dominance=0.6):
+    return lambda: circuit_like(
+        n, seed=seed, hub_degree=hub_degree, dominance=dominance
+    )
+
+
+def _wave(n, bw, seed, shift=0.55):
+    return lambda: banded_waveguide(n, bandwidth=bw, seed=seed, shift=shift)
+
+
+def _varblock(nx, ny, seed):
+    """Mesh whose supervariables have mixed sizes (2..8 dofs per node).
+
+    Built by expanding a grid graph with per-node block sizes drawn from
+    a seeded distribution - produces genuinely variable-size diagonal
+    blocks even before agglomeration.
+    """
+
+    def build():
+        rng = np.random.default_rng(seed)
+        g = grid_graph(nx, ny)
+        sizes = rng.choice([2, 3, 4, 6, 8], size=g.n_rows)
+        starts = np.concatenate([[0], np.cumsum(sizes)])
+        n = int(starts[-1])
+        rows_g = np.repeat(np.arange(g.n_rows), g.row_nnz())
+        cols_g = g.indices
+        R, C, V = [], [], []
+        for r, c in zip(rows_g, cols_g):
+            kr, kc = sizes[r], sizes[c]
+            bi, bj = np.meshgrid(np.arange(kr), np.arange(kc), indexing="ij")
+            R.append((starts[r] + bi).ravel())
+            C.append((starts[c] + bj).ravel())
+            scale = 1.0 if r == c else 0.2
+            V.append(scale * rng.uniform(-1, 1, kr * kc))
+        from .coo import CooMatrix
+
+        R, C, V = map(np.concatenate, (R, C, V))
+        csr = CooMatrix(n, n, R, C, V).to_csr()
+        mass = CsrMatrix(
+            n, n, csr.indptr, csr.indices, np.abs(csr.values), sort=False
+        ).matvec(np.ones(n))
+        merged = CooMatrix(
+            n,
+            n,
+            np.concatenate([np.repeat(np.arange(n), csr.row_nnz()), np.arange(n)]),
+            np.concatenate([csr.indices, np.arange(n)]),
+            np.concatenate(
+                [csr.values, mass * 0.45 * rng.uniform(0.9, 1.1, n) + 0.05]
+            ),
+        )
+        return merged.to_csr()
+
+    return build
+
+
+def _make_suite() -> tuple[SuiteEntry, ...]:
+    entries = []
+    spec = [
+        # -- structural / FEM with fixed supervariable size (bcsstk*,
+        #    s*rmt3m*, af_shell-like): 20 instances
+        ("fem_b2_s0", "fem", "bcsstk-like", _fem(38, 38, 2, 10, dominance=0.40)),
+        ("fem_b2_s1", "fem", "bcsstk-like", _fem(46, 30, 2, 11, dominance=0.50)),
+        ("fem_b3_s0", "fem", "bcsstk-like", _fem(30, 30, 3, 12, dominance=0.35)),
+        ("fem_b3_s1", "fem", "bcsstk-like", _fem(40, 26, 3, 13, dominance=0.55)),
+        ("fem_b4_s0", "fem", "s3rmt3m-like", _fem(26, 26, 4, 14, dominance=0.40)),
+        ("fem_b4_s1", "fem", "s3rmt3m-like", _fem(34, 22, 4, 15, dominance=0.32)),
+        ("fem_b4_s2", "fem", "s3rmt3m-like", _fem(22, 22, 4, 16, 0.4, 0.45)),
+        ("fem_b5_s0", "fem", "raefsky-like", _fem(24, 24, 5, 17, dominance=0.38)),
+        ("fem_b5_s1", "fem", "raefsky-like", _fem(30, 20, 5, 18, dominance=0.55)),
+        ("fem_b6_s0", "fem", "nd3k-like", _fem(22, 22, 6, 19, dominance=0.35)),
+        ("fem_b6_s1", "fem", "nd3k-like", _fem(26, 18, 6, 20, dominance=0.45)),
+        ("fem_b8_s0", "fem", "af_shell-like", _fem(18, 18, 8, 21, dominance=0.34)),
+        ("fem_b8_s1", "fem", "af_shell-like", _fem(24, 14, 8, 22, dominance=0.50)),
+        ("fem_b8_s2", "fem", "af_shell-like", _fem(14, 14, 8, 23, 0.4, 0.30)),
+        ("fem3d_b3_s0", "fem3d", "nd-problem-like", _fem3(9, 9, 9, 3, 24, 0.40)),
+        ("fem3d_b3_s1", "fem3d", "nd-problem-like", _fem3(11, 8, 8, 3, 25, 0.50)),
+        ("fem3d_b4_s0", "fem3d", "nd-problem-like", _fem3(8, 8, 8, 4, 26, 0.34)),
+        ("fem3d_b6_s0", "fem3d", "nd-problem-like", _fem3(7, 7, 7, 6, 27, 0.30)),
+        ("fem_b12_s0", "fem", "ship-like", _fem(12, 12, 12, 28, dominance=0.36)),
+        ("fem_b16_s0", "fem", "ship-like", _fem(10, 10, 16, 29, dominance=0.30)),
+        # -- variable supervariable sizes (matrix-new/ibm-like): 6
+        ("varblk_s0", "varblock", "ibm_matrix-like", _varblock(24, 24, 30)),
+        ("varblk_s1", "varblock", "ibm_matrix-like", _varblock(30, 20, 31)),
+        ("varblk_s2", "varblock", "matrix-new-like", _varblock(20, 20, 32)),
+        ("varblk_s3", "varblock", "matrix-new-like", _varblock(34, 16, 33)),
+        ("varblk_s4", "varblock", "matrix_9-like", _varblock(26, 18, 34)),
+        ("varblk_s5", "varblock", "matrix_9-like", _varblock(16, 16, 35)),
+        # -- convection-diffusion (chipcool, ns3Da-like): 8
+        ("convdiff_p5", "convdiff", "chipcool-like", _cd(55, 55, 5.0)),
+        ("convdiff_p20", "convdiff", "chipcool-like", _cd(55, 55, 20.0)),
+        ("convdiff_p50", "convdiff", "ns3Da-like", _cd(48, 48, 50.0)),
+        ("convdiff_p100", "convdiff", "ns3Da-like", _cd(40, 40, 100.0)),
+        ("convdiff_w1", "convdiff", "venkat-like", _cd(70, 40, 30.0)),
+        ("convdiff_w2", "convdiff", "venkat-like", _cd(90, 30, 10.0)),
+        ("convdiff_t1", "convdiff", "kim1-like", _cd(36, 36, 60.0)),
+        ("convdiff_t2", "convdiff", "kim1-like", _cd(64, 25, 40.0)),
+        # -- circuit-like, unbalanced rows (rajat, dc*, G3_circuit): 6
+        ("circuit_s0", "circuit", "rajat-like", _circ(4000, 40, dominance=0.70)),
+        ("circuit_s1", "circuit", "rajat-like", _circ(6000, 41, dominance=0.55)),
+        ("circuit_s2", "circuit", "dc-like", _circ(3000, 42, hub_degree=300)),
+        ("circuit_s3", "circuit", "dc-like", _circ(5000, 43, hub_degree=250, dominance=0.50)),
+        ("circuit_s4", "circuit", "G3_circuit-like", _circ(8000, 44, hub_degree=100)),
+        ("circuit_s5", "circuit", "G2_circuit-like", _circ(2000, 45, hub_degree=400, dominance=0.45)),
+        # -- banded waveguide (dw1024/dw8192-like): 4
+        ("wave_n2048_b4", "waveguide", "dw2048-like", _wave(2048, 4, 50, 0.50)),
+        ("wave_n4096_b5", "waveguide", "dw4096-like", _wave(4096, 5, 51, 0.55)),
+        ("wave_n8192_b6", "waveguide", "dw8192-like", _wave(8192, 6, 52, 0.60)),
+        ("wave_n3000_b8", "waveguide", "dw-like", _wave(3000, 8, 53, 0.45)),
+        # -- scalar Laplacians (thermal/poisson-like): 4
+        ("lap2d_60", "laplacian", "cvxbqp-like", _lap2(60, 60)),
+        ("lap2d_80x40", "laplacian", "cvxbqp-like", _lap2(80, 40)),
+        ("lap3d_14", "laplacian", "thermal-like", _lap3(14, 14, 14)),
+        ("lap3d_18x12x10", "laplacian", "thermal-like", _lap3(18, 12, 10)),
+    ]
+    assert len(spec) == 48, f"suite must have 48 entries, got {len(spec)}"
+    for i, (name, family, analog, builder) in enumerate(spec, start=1):
+        entries.append(
+            SuiteEntry(id=i, name=name, family=family, analog=analog,
+                       builder=builder)
+        )
+    return tuple(entries)
+
+
+SUITE: tuple[SuiteEntry, ...] = _make_suite()
+
+
+def suite_names() -> list[str]:
+    """Names of all 48 suite matrices, in ID order."""
+    return [e.name for e in SUITE]
+
+
+@lru_cache(maxsize=None)
+def load_matrix(name: str) -> CsrMatrix:
+    """Build (and cache) one suite matrix by name."""
+    for e in SUITE:
+        if e.name == name:
+            return e.build()
+    raise KeyError(
+        f"unknown suite matrix {name!r}; see repro.sparse.suite.suite_names()"
+    )
+
+
+def iter_suite(subset: int | None = None):
+    """Yield ``(entry, matrix)`` pairs; ``subset`` limits to the first N.
+
+    The figure benchmarks accept a subset for quick runs; the committed
+    EXPERIMENTS.md numbers use the full 48.
+    """
+    for e in SUITE if subset is None else SUITE[:subset]:
+        yield e, load_matrix(e.name)

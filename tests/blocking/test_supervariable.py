@@ -1,0 +1,96 @@
+"""Tests for supervariable blocking (repro.blocking.supervariable)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocking import agglomerate, find_supervariables, supervariable_blocking
+from repro.sparse import CsrMatrix, fem_block_2d, laplacian_2d
+
+
+class TestFindSupervariables:
+    def test_fem_nodes_recovered(self):
+        A = fem_block_2d(6, 6, 4, seed=0)
+        sv = find_supervariables(A)
+        np.testing.assert_array_equal(sv, np.full(36, 4))
+
+    def test_scalar_matrix_all_singletons(self):
+        A = laplacian_2d(5, 5)
+        sv = find_supervariables(A)
+        # neighbouring Laplacian rows never share a pattern
+        np.testing.assert_array_equal(sv, np.ones(25))
+
+    def test_partition_covers_matrix(self):
+        A = fem_block_2d(7, 5, 3, seed=1)
+        assert find_supervariables(A).sum() == A.n_rows
+
+    def test_identical_value_patterns_grouped(self):
+        D = np.zeros((4, 4))
+        D[:2, :2] = [[1.0, 2.0], [3.0, 4.0]]  # rows 0,1: same pattern
+        D[2, 2] = 1.0
+        D[3, 3] = 1.0
+        sv = find_supervariables(CsrMatrix.from_dense(D))
+        np.testing.assert_array_equal(sv, [2, 1, 1])
+
+    def test_empty_matrix(self):
+        A = CsrMatrix(0, 0, [0], [], [])
+        assert find_supervariables(A).size == 0
+
+
+class TestAgglomerate:
+    def test_packs_up_to_bound(self):
+        sizes = agglomerate(np.array([4, 4, 4, 4]), 8)
+        np.testing.assert_array_equal(sizes, [8, 8])
+
+    def test_never_splits_fitting_supervariable(self):
+        sizes = agglomerate(np.array([5, 5, 5]), 8)
+        np.testing.assert_array_equal(sizes, [5, 5, 5])
+
+    def test_oversized_supervariable_chopped(self):
+        sizes = agglomerate(np.array([70]), 32)
+        np.testing.assert_array_equal(sizes, [32, 32, 6])
+
+    def test_mixed(self):
+        sizes = agglomerate(np.array([3, 3, 40, 2]), 16)
+        assert sizes.sum() == 48
+        assert sizes.max() <= 16
+
+    def test_bound_one_degenerates_to_scalar(self):
+        sizes = agglomerate(np.array([4, 4]), 1)
+        np.testing.assert_array_equal(sizes, np.ones(8))
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            agglomerate(np.array([2]), 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sv=st.lists(st.integers(1, 50), min_size=1, max_size=60),
+    bound=st.integers(1, 32),
+)
+def test_agglomerate_properties(sv, bound):
+    """For any supervariable sequence: the blocks partition the rows,
+    respect the bound, and never waste slots when a merge was legal."""
+    sv = np.asarray(sv)
+    out = agglomerate(sv, bound)
+    assert out.sum() == sv.sum()
+    assert out.min() >= 1
+    assert out.max() <= bound
+
+
+class TestEndToEndBlocking:
+    @pytest.mark.parametrize("bound", [8, 12, 16, 24, 32])
+    def test_paper_bounds(self, bound):
+        A = fem_block_2d(8, 8, 4, seed=2)
+        sizes = supervariable_blocking(A, bound)
+        assert sizes.sum() == A.n_rows
+        assert sizes.max() <= bound
+        # with 4-dof nodes every block is a multiple of 4 here
+        assert (sizes % 4 == 0).all()
+
+    def test_larger_bound_fewer_blocks(self):
+        A = fem_block_2d(8, 8, 4, seed=3)
+        n8 = supervariable_blocking(A, 8).size
+        n32 = supervariable_blocking(A, 32).size
+        assert n32 < n8

@@ -1,0 +1,165 @@
+"""Unit tests for the batched containers (repro.core.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    MAX_TILE,
+    BatchedMatrices,
+    BatchedVectors,
+    round_up_tile,
+)
+
+
+class TestRoundUpTile:
+    def test_powers_of_two(self):
+        assert round_up_tile(1) == 1
+        assert round_up_tile(2) == 2
+        assert round_up_tile(3) == 4
+        assert round_up_tile(5) == 8
+        assert round_up_tile(9) == 16
+        assert round_up_tile(17) == 32
+        assert round_up_tile(32) == 32
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            round_up_tile(0)
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            round_up_tile(MAX_TILE + 1)
+
+
+class TestBatchedMatricesConstruction:
+    def test_zeros_shape_and_sizes(self):
+        b = BatchedMatrices.zeros(7, 16)
+        assert b.nb == 7
+        assert b.tile == 16
+        assert len(b) == 7
+        assert (b.sizes == 16).all()
+        assert b.uniform
+
+    def test_identity_padding_outside_active_block(self):
+        m = np.arange(9, dtype=float).reshape(3, 3) + 1
+        b = BatchedMatrices.identity_padded([m], tile=8)
+        np.testing.assert_array_equal(b.block(0), m)
+        pad = b.data[0, 3:, 3:]
+        np.testing.assert_array_equal(pad, np.eye(5))
+        assert (b.data[0, :3, 3:] == 0).all()
+        assert (b.data[0, 3:, :3] == 0).all()
+
+    def test_identity_padded_variable_sizes(self):
+        mats = [np.eye(2), np.eye(5), np.eye(3)]
+        b = BatchedMatrices.identity_padded(mats)
+        assert b.tile == 8  # rounded up from 5
+        np.testing.assert_array_equal(b.sizes, [2, 5, 3])
+        assert not b.uniform
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="not square"):
+            BatchedMatrices.identity_padded([np.zeros((2, 3))])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BatchedMatrices.identity_padded([])
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(TypeError):
+            BatchedMatrices(np.zeros((2, 4, 4), dtype=np.int32), np.full(2, 4))
+
+    def test_rejects_size_out_of_range(self):
+        with pytest.raises(ValueError):
+            BatchedMatrices(np.zeros((2, 4, 4)), np.array([4, 5]))
+
+    def test_rejects_oversized_block_for_tile(self):
+        with pytest.raises(ValueError, match="exceeds tile"):
+            BatchedMatrices.identity_padded([np.eye(6)], tile=4)
+
+    def test_noncontiguous_input_made_contiguous(self):
+        raw = np.zeros((4, 4, 8))[:, :, ::2]
+        b = BatchedMatrices(raw, np.full(4, 4))
+        assert b.data.flags.c_contiguous
+
+    def test_from_arrays_defaults_full_tile(self):
+        b = BatchedMatrices.from_arrays(np.zeros((3, 8, 8)))
+        assert (b.sizes == 8).all()
+
+
+class TestBatchedMatricesViews:
+    def test_block_is_view(self):
+        b = BatchedMatrices.zeros(2, 4)
+        b.block(1)[0, 0] = 5.0
+        assert b.data[1, 0, 0] == 5.0
+
+    def test_blocks_iterates_all(self):
+        b = BatchedMatrices.identity_padded([np.eye(2) * i for i in range(1, 4)])
+        got = [blk[0, 0] for blk in b.blocks()]
+        assert got == [1.0, 2.0, 3.0]
+
+    def test_row_mask(self):
+        b = BatchedMatrices.identity_padded([np.eye(2), np.eye(4)], tile=4)
+        mask = b.row_mask()
+        np.testing.assert_array_equal(mask[0], [True, True, False, False])
+        np.testing.assert_array_equal(mask[1], [True] * 4)
+
+    def test_active_mask_counts(self):
+        b = BatchedMatrices.identity_padded([np.eye(3)], tile=8)
+        assert b.active_mask()[0].sum() == 9
+
+    def test_copy_is_independent(self):
+        b = BatchedMatrices.zeros(2, 4)
+        c = b.copy()
+        c.data[0, 0, 0] = 1.0
+        assert b.data[0, 0, 0] == 0.0
+
+    def test_astype_roundtrip(self):
+        b = BatchedMatrices.zeros(2, 4, dtype=np.float64)
+        c = b.astype(np.float32)
+        assert c.dtype == np.float32
+        assert b.dtype == np.float64
+
+
+class TestFlopCounts:
+    def test_lu_flops_leading_term(self):
+        b = BatchedMatrices.zeros(10, 32)
+        # 10 blocks of size 32: 10 * 2/3 * 32^3
+        assert b.flops_lu() == int(10 * 2 * 32**3 / 3)
+
+    def test_trsv_flops(self):
+        b = BatchedMatrices.zeros(5, 16)
+        assert b.flops_trsv_pair() == 5 * 2 * 16**2
+
+
+class TestBatchedVectors:
+    def test_from_vectors_padding(self):
+        v = BatchedVectors.from_vectors([np.ones(3), np.ones(5)])
+        assert v.tile == 8
+        assert (v.data[0, 3:] == 0).all()
+        np.testing.assert_array_equal(v.sizes, [3, 5])
+
+    def test_vector_view(self):
+        v = BatchedVectors.from_vectors([np.arange(4.0)])
+        v.vector(0)[0] = 9.0
+        assert v.data[0, 0] == 9.0
+        assert len(list(v.vectors())) == 1
+
+    def test_zeros_with_sizes(self):
+        v = BatchedVectors.zeros(3, 8, sizes=[2, 3, 4])
+        np.testing.assert_array_equal(v.sizes, [2, 3, 4])
+        assert len(v) == 3
+
+    def test_row_mask(self):
+        v = BatchedVectors.zeros(1, 4, sizes=[2])
+        np.testing.assert_array_equal(v.row_mask()[0], [True, True, False, False])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            BatchedVectors(np.zeros((2, 3, 4)), np.full(2, 3))
+        with pytest.raises(ValueError):
+            BatchedVectors(np.zeros((2, 4)), np.array([4, 5]))
+
+    def test_copy_independent(self):
+        v = BatchedVectors.zeros(2, 4)
+        w = v.copy()
+        w.data[0, 0] = 3.0
+        assert v.data[0, 0] == 0.0

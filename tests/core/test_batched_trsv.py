@@ -1,0 +1,115 @@
+"""Unit tests for the batched triangular solves (repro.core.batched_trsv)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedMatrices,
+    BatchedVectors,
+    lower_unit_solve,
+    lu_factor,
+    lu_solve,
+    random_batch,
+    random_rhs,
+    upper_solve,
+)
+from repro.core.validation import max_relative_error, solve_residuals
+
+
+def _lower_batch(nb=16, tile=16, seed=0):
+    """Batch whose strict lower triangle is random, unit diagonal implied."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-1, 1, (nb, tile, tile))
+    data = np.tril(data, k=-1)
+    idx = np.arange(tile)
+    data[:, idx, idx] = rng.uniform(1.0, 2.0, (nb, tile))  # used as U diag
+    return BatchedMatrices.from_arrays(data)
+
+
+class TestLowerUnitSolve:
+    @pytest.mark.parametrize("variant", ["eager", "lazy"])
+    def test_matches_dense_solve(self, variant):
+        b = _lower_batch(seed=1)
+        rhs = random_rhs(b)
+        y = lower_unit_solve(b, rhs, variant=variant)
+        for i in range(b.nb):
+            L = np.tril(b.data[i], k=-1) + np.eye(b.tile)
+            ref = np.linalg.solve(L, rhs.data[i])
+            np.testing.assert_allclose(y.data[i], ref, rtol=1e-10, atol=1e-12)
+
+    def test_eager_equals_lazy(self):
+        b = _lower_batch(seed=2)
+        rhs = random_rhs(b)
+        ye = lower_unit_solve(b, rhs, variant="eager")
+        yl = lower_unit_solve(b, rhs, variant="lazy")
+        assert max_relative_error(ye, yl) < 1e-13
+
+    def test_unknown_variant_rejected(self):
+        b = _lower_batch()
+        with pytest.raises(ValueError):
+            lower_unit_solve(b, random_rhs(b), variant="magic")
+
+    def test_overwrite_flag(self):
+        b = _lower_batch(seed=3)
+        rhs = random_rhs(b)
+        out = lower_unit_solve(b, rhs, overwrite=True)
+        assert out.data is rhs.data
+
+
+class TestUpperSolve:
+    @pytest.mark.parametrize("variant", ["eager", "lazy"])
+    def test_matches_dense_solve(self, variant):
+        rng = np.random.default_rng(4)
+        data = np.triu(rng.uniform(-1, 1, (8, 12, 12)))
+        idx = np.arange(12)
+        data[:, idx, idx] = rng.uniform(1.0, 2.0, (8, 12))
+        b = BatchedMatrices.from_arrays(data)
+        rhs = random_rhs(b)
+        x = upper_solve(b, rhs, variant=variant)
+        for i in range(b.nb):
+            ref = np.linalg.solve(np.triu(b.data[i]), rhs.data[i])
+            np.testing.assert_allclose(x.data[i], ref, rtol=1e-10, atol=1e-12)
+
+    def test_batch_mismatch_rejected(self):
+        b = _lower_batch(nb=4)
+        rhs = BatchedVectors.zeros(5, b.tile)
+        with pytest.raises(ValueError, match="mismatch"):
+            upper_solve(b, rhs)
+
+
+class TestGetrs:
+    @pytest.mark.parametrize("variant", ["eager", "lazy"])
+    def test_full_pipeline_variable_sizes(self, variant):
+        b = random_batch(60, (1, 32), kind="uniform", seed=5)
+        rhs = random_rhs(b)
+        x = lu_solve(lu_factor(b), rhs, variant=variant)
+        assert solve_residuals(b, x, rhs).max() < 1e-10
+
+    def test_padding_entries_stay_zero(self):
+        b = random_batch(20, (2, 10), kind="diag_dominant", seed=6, tile=16)
+        rhs = random_rhs(b)
+        x = lu_solve(lu_factor(b), rhs)
+        mask = x.row_mask()
+        assert (x.data[~mask] == 0).all()
+
+    def test_refuses_singular_factorization(self):
+        b = random_batch(4, 8, kind="singular", seed=7)
+        fac = lu_factor(b)
+        with pytest.raises(ValueError, match="singular"):
+            lu_solve(fac, random_rhs(b))
+
+    def test_permutation_is_fused_not_applied_twice(self):
+        # Build a matrix requiring a known swap and check the solution,
+        # which would be wrong if P were applied to b and to the factors.
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        b = BatchedMatrices.identity_padded([A], tile=2)
+        rhs = BatchedVectors.from_vectors([np.array([3.0, 7.0])], tile=2)
+        x = lu_solve(lu_factor(b), rhs)
+        np.testing.assert_allclose(x.data[0], [7.0, 3.0])
+
+    def test_float32(self):
+        b = random_batch(16, 16, kind="diag_dominant", seed=8, dtype=np.float32)
+        rhs = random_rhs(b)
+        x = lu_solve(lu_factor(b), rhs)
+        assert x.dtype == np.float32
+        assert solve_residuals(b, x, rhs).max() < 1e-4

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.blas and repro.core.validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchedMatrices, BatchedVectors
+from repro.core.blas import (
+    batched_apply_row_perm,
+    batched_axpy_cols,
+    batched_dot_rows,
+    batched_gemv,
+    batched_ger_update,
+    batched_scal_rows,
+    batched_swap_rows,
+)
+from repro.core.validation import (
+    factorization_errors,
+    growth_factors,
+    max_relative_error,
+    solve_residuals,
+)
+
+
+class TestBlasKernels:
+    def test_scal_rows_masked(self):
+        A = np.ones((2, 4, 4))
+        mask = np.zeros((2, 4), dtype=bool)
+        mask[0, 1] = True
+        batched_scal_rows(A, 2, np.array([3.0, 5.0]), mask)
+        assert A[0, 1, 2] == 3.0
+        assert A[0, 0, 2] == 1.0  # unmasked rows untouched
+        assert A[1, 1, 2] == 1.0
+
+    def test_ger_update_trailing_only(self):
+        A = np.ones((1, 4, 4))
+        pivot_row = np.full((1, 4), 2.0)
+        mask = np.ones((1, 4), dtype=bool)
+        batched_ger_update(A, 1, pivot_row, mask)
+        # columns 0..1 untouched, columns 2..3 updated: 1 - 1*2 = -1
+        assert (A[0, :, :2] == 1).all()
+        assert (A[0, :, 2:] == -1).all()
+
+    def test_ger_update_last_column_noop(self):
+        A = np.ones((1, 3, 3))
+        batched_ger_update(A, 2, np.ones((1, 3)), np.ones((1, 3), dtype=bool))
+        assert (A == 1).all()
+
+    def test_axpy_cols(self):
+        b = np.array([[1.0, 2.0, 3.0]])
+        col = np.array([[1.0, 1.0, 1.0]])
+        mask = np.array([[False, True, True]])
+        batched_axpy_cols(b, col, np.array([2.0]), mask)
+        np.testing.assert_array_equal(b, [[1.0, 0.0, 1.0]])
+
+    def test_dot_rows(self):
+        row = np.array([[1.0, 2.0, 3.0]])
+        b = np.array([[4.0, 5.0, 6.0]])
+        assert batched_dot_rows(row, b, 2)[0] == 1 * 4 + 2 * 5
+        assert batched_dot_rows(row, b, 0)[0] == 0.0
+
+    def test_gemv_masks_padding(self):
+        A = np.ones((1, 4, 4))
+        x = np.ones((1, 4))
+        y = batched_gemv(A, x, sizes=np.array([2]))
+        np.testing.assert_array_equal(y, [[4.0, 4.0, 0.0, 0.0]])
+
+    def test_swap_rows(self):
+        A = np.arange(8.0).reshape(1, 4, 2).repeat(2, axis=0).copy()
+        batched_swap_rows(A, 0, np.array([2, 0]))
+        np.testing.assert_array_equal(A[0, 0], [4.0, 5.0])
+        np.testing.assert_array_equal(A[0, 2], [0.0, 1.0])
+        np.testing.assert_array_equal(A[1, 0], [0.0, 1.0])  # self-swap
+
+    def test_apply_row_perm(self):
+        A = np.arange(8.0).reshape(1, 4, 2)
+        perm = np.array([[3, 2, 1, 0]])
+        out = batched_apply_row_perm(A, perm)
+        np.testing.assert_array_equal(out[0, 0], [6.0, 7.0])
+        np.testing.assert_array_equal(out[0, 3], [0.0, 1.0])
+
+
+class TestValidationHelpers:
+    def test_solve_residuals_exact_solution(self):
+        b = BatchedMatrices.identity_padded([np.eye(3) * 2], tile=4)
+        x = BatchedVectors.from_vectors([np.array([1.0, 2.0, 3.0])], tile=4)
+        rhs = BatchedVectors.from_vectors([np.array([2.0, 4.0, 6.0])], tile=4)
+        assert solve_residuals(b, x, rhs)[0] < 1e-15
+
+    def test_solve_residuals_zero_rhs_clamped(self):
+        b = BatchedMatrices.identity_padded([np.eye(2)], tile=2)
+        x = BatchedVectors.from_vectors([np.array([1.0, 0.0])], tile=2)
+        rhs = BatchedVectors.from_vectors([np.array([0.0, 0.0])], tile=2)
+        assert np.isfinite(solve_residuals(b, x, rhs)[0])
+
+    def test_factorization_errors_identical(self):
+        b = BatchedMatrices.identity_padded([np.eye(3)], tile=4)
+        assert factorization_errors(b, b.data.copy())[0] == 0.0
+
+    def test_growth_factor_identity(self):
+        b = BatchedMatrices.identity_padded([np.eye(4)], tile=4)
+        assert growth_factors(b, b)[0] == 1.0
+
+    def test_max_relative_error_scale_invariant_floor(self):
+        a = BatchedVectors.from_vectors([np.array([1e-30, 1.0])], tile=2)
+        c = BatchedVectors.from_vectors([np.array([2e-30, 1.0])], tile=2)
+        # difference of tiny entries is measured against a floor of 1
+        assert max_relative_error(c, a) < 1e-15

@@ -1,0 +1,94 @@
+"""Unit tests for the batched Cholesky variant (repro.core.batched_cholesky)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedMatrices,
+    cholesky_factor,
+    cholesky_solve,
+    random_batch,
+    random_rhs,
+)
+from repro.core.validation import solve_residuals
+
+
+class TestFactor:
+    def test_matches_numpy_cholesky(self):
+        b = random_batch(32, (1, 32), kind="spd", seed=1)
+        fac = cholesky_factor(b)
+        assert fac.ok
+        for i in range(0, b.nb, 3):
+            ref = np.linalg.cholesky(b.block(i))
+            np.testing.assert_allclose(
+                fac.factors.block(i), ref, rtol=1e-10, atol=1e-10
+            )
+
+    def test_upper_triangle_zeroed(self):
+        b = random_batch(8, 8, kind="spd", seed=2)
+        fac = cholesky_factor(b)
+        assert (np.triu(fac.factors.data, k=1) == 0).all()
+
+    def test_reconstruction(self):
+        b = random_batch(16, (2, 16), kind="spd", seed=3)
+        fac = cholesky_factor(b)
+        L = fac.factors.data
+        rec = L @ L.transpose(0, 2, 1)
+        mask = b.active_mask()
+        err = np.abs(np.where(mask, rec - b.data, 0.0)).max()
+        assert err < 1e-10
+
+    def test_non_spd_flagged(self):
+        M = np.array([[1.0, 2.0], [2.0, 1.0]])  # indefinite
+        b = BatchedMatrices.identity_padded([M], tile=4)
+        fac = cholesky_factor(b)
+        assert fac.info[0] == 2
+        with pytest.raises(ValueError, match="non-SPD"):
+            cholesky_solve(fac, random_rhs(b))
+
+    def test_zero_matrix_flagged_at_step_one(self):
+        b = BatchedMatrices.from_arrays(np.zeros((1, 4, 4)))
+        fac = cholesky_factor(b)
+        assert fac.info[0] == 1
+
+    def test_only_lower_triangle_referenced(self):
+        b = random_batch(8, 8, kind="spd", seed=4)
+        poisoned = b.copy()
+        iu = np.triu_indices(8, k=1)
+        poisoned.data[:, iu[0], iu[1]] = 1e30  # garbage above the diagonal
+        fac_ref = cholesky_factor(b)
+        fac_poison = cholesky_factor(poisoned)
+        np.testing.assert_allclose(
+            fac_ref.factors.data, fac_poison.factors.data
+        )
+
+
+class TestSolve:
+    def test_solve_matches_numpy(self):
+        b = random_batch(32, (2, 32), kind="spd", seed=5)
+        rhs = random_rhs(b)
+        x = cholesky_solve(cholesky_factor(b), rhs)
+        for i in range(0, b.nb, 5):
+            ref = np.linalg.solve(b.block(i), rhs.vector(i))
+            np.testing.assert_allclose(x.vector(i), ref, rtol=1e-8, atol=1e-10)
+
+    def test_residuals_variable_size(self):
+        b = random_batch(48, (1, 24), kind="spd", seed=6)
+        rhs = random_rhs(b)
+        x = cholesky_solve(cholesky_factor(b), rhs)
+        assert solve_residuals(b, x, rhs).max() < 1e-11
+
+    def test_float32(self):
+        b = random_batch(8, 8, kind="spd", seed=7, dtype=np.float32)
+        rhs = random_rhs(b)
+        x = cholesky_solve(cholesky_factor(b), rhs)
+        assert x.dtype == np.float32
+        assert solve_residuals(b, x, rhs).max() < 1e-4
+
+    def test_mismatch_rejected(self):
+        from repro.core import BatchedVectors
+
+        b = random_batch(4, 8, kind="spd", seed=8)
+        fac = cholesky_factor(b)
+        with pytest.raises(ValueError, match="mismatch"):
+            cholesky_solve(fac, BatchedVectors.zeros(4, 16))

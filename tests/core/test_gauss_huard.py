@@ -1,0 +1,132 @@
+"""Unit tests for the Gauss-Huard baselines (repro.core.batched_gauss_huard)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedMatrices,
+    BatchedVectors,
+    gh_factor,
+    gh_solve,
+    lu_factor,
+    lu_solve,
+    random_batch,
+    random_rhs,
+)
+from repro.core.validation import max_relative_error, solve_residuals
+
+
+class TestGHFactorization:
+    def test_solve_matches_numpy(self):
+        b = random_batch(64, (1, 32), kind="uniform", seed=1)
+        rhs = random_rhs(b)
+        x = gh_solve(gh_factor(b), rhs)
+        for i in range(0, b.nb, 5):
+            ref = np.linalg.solve(b.block(i), rhs.vector(i))
+            np.testing.assert_allclose(x.vector(i), ref, rtol=1e-9, atol=1e-9)
+
+    def test_2x2_hand_computed(self):
+        # A = [[a, b], [c, d]] with |a| dominant: GH stores
+        # [[a, b/a], [c, d - c*b/a]].
+        A = np.array([[4.0, 2.0], [1.0, 3.0]])
+        b = BatchedMatrices.identity_padded([A], tile=2)
+        fac = gh_factor(b)
+        np.testing.assert_allclose(
+            fac.factors.data[0], [[4.0, 0.5], [1.0, 2.5]]
+        )
+        rhs = BatchedVectors.from_vectors([np.array([10.0, 5.0])], tile=2)
+        x = gh_solve(fac, rhs)
+        np.testing.assert_allclose(x.data[0], np.linalg.solve(A, [10.0, 5.0]))
+
+    def test_column_pivoting_permutes_solution(self):
+        # Row 0 is [0, 1]: GH must pick column 1 as the first pivot and
+        # the solution must come back in original ordering.
+        A = np.array([[0.0, 2.0], [3.0, 1.0]])
+        b = BatchedMatrices.identity_padded([A], tile=2)
+        fac = gh_factor(b)
+        assert not (fac.colperm[0] == np.arange(2)).all()
+        rhs = BatchedVectors.from_vectors([np.array([4.0, 5.0])], tile=2)
+        x = gh_solve(fac, rhs)
+        np.testing.assert_allclose(x.data[0], np.linalg.solve(A, [4.0, 5.0]))
+
+    def test_colperm_valid_permutations(self):
+        b = random_batch(50, (2, 32), kind="uniform", seed=2)
+        fac = gh_factor(b)
+        np.testing.assert_array_equal(
+            np.sort(fac.colperm, axis=1),
+            np.tile(np.arange(fac.tile), (fac.nb, 1)),
+        )
+
+    def test_padding_columns_pivot_in_place(self):
+        b = random_batch(30, (2, 20), kind="uniform", seed=3, tile=32)
+        fac = gh_factor(b)
+        for i in range(b.nb):
+            m = int(b.sizes[i])
+            np.testing.assert_array_equal(
+                fac.colperm[i, m:], np.arange(m, 32)
+            )
+
+    def test_info_flags_singular(self):
+        b = random_batch(8, 8, kind="singular", seed=4)
+        fac = gh_factor(b)
+        assert (fac.info > 0).all()
+        with pytest.raises(ValueError, match="singular"):
+            gh_solve(fac, random_rhs(b))
+
+    def test_overwrite(self):
+        b = random_batch(4, 8, kind="uniform", seed=5)
+        orig = b.data.copy()
+        gh_factor(b, overwrite=True)
+        assert not np.array_equal(b.data, orig)
+
+
+class TestGHT:
+    def test_ght_factors_are_transposed_gh(self):
+        b = random_batch(16, 16, kind="uniform", seed=6)
+        f = gh_factor(b, transposed=False)
+        ft = gh_factor(b, transposed=True)
+        np.testing.assert_array_equal(
+            ft.factors.data, f.factors.data.transpose(0, 2, 1)
+        )
+        np.testing.assert_array_equal(ft.colperm, f.colperm)
+
+    def test_ght_solve_agrees_with_gh(self):
+        b = random_batch(40, (2, 32), kind="uniform", seed=7)
+        rhs = random_rhs(b)
+        xg = gh_solve(gh_factor(b), rhs)
+        xt = gh_solve(gh_factor(b, transposed=True), rhs)
+        # identical math, different traversal order: agreement to a few ulps
+        assert max_relative_error(xt, xg) < 1e-12
+
+    def test_ght_residuals(self):
+        b = random_batch(40, (2, 32), kind="diag_dominant", seed=8)
+        rhs = random_rhs(b)
+        x = gh_solve(gh_factor(b, transposed=True), rhs)
+        assert solve_residuals(b, x, rhs).max() < 1e-11
+
+
+class TestGHVersusLU:
+    """Section IV-D premise: LU and GH are both backward stable; their
+    answers differ only by rounding."""
+
+    def test_solutions_agree_to_rounding(self):
+        b = random_batch(64, (2, 32), kind="uniform", seed=9)
+        rhs = random_rhs(b)
+        x_lu = lu_solve(lu_factor(b), rhs)
+        x_gh = gh_solve(gh_factor(b), rhs)
+        assert max_relative_error(x_gh, x_lu) < 1e-9
+
+    def test_residuals_comparable(self):
+        b = random_batch(64, 24, kind="uniform", seed=10, tile=32)
+        rhs = random_rhs(b)
+        r_lu = solve_residuals(b, lu_solve(lu_factor(b), rhs), rhs)
+        r_gh = solve_residuals(b, gh_solve(gh_factor(b), rhs), rhs)
+        # neither is systematically (10x) worse than the other
+        assert r_gh.max() < 10 * max(r_lu.max(), 1e-15)
+        assert r_lu.max() < 10 * max(r_gh.max(), 1e-15)
+
+    def test_mismatch_rejected(self):
+        b = random_batch(4, 8, seed=11)
+        fac = gh_factor(b)
+        with pytest.raises(ValueError, match="mismatch"):
+            gh_solve(fac, BatchedVectors.zeros(3, 8))

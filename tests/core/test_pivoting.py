@@ -1,0 +1,83 @@
+"""Unit tests for permutation bookkeeping (repro.core.pivoting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pivoting import (
+    compose_perms,
+    identity_perms,
+    invert_perms,
+    permute_vectors,
+    perms_valid,
+    steps_to_perm,
+)
+
+
+class TestStepsToPerm:
+    def test_identity_marks(self):
+        steps = np.tile(np.arange(4), (3, 1))
+        perm = steps_to_perm(steps)
+        np.testing.assert_array_equal(perm, steps)
+
+    def test_reversal_marks(self):
+        steps = np.array([[3, 2, 1, 0]])
+        perm = steps_to_perm(steps)
+        np.testing.assert_array_equal(perm, [[3, 2, 1, 0]])
+
+    def test_matches_matlab_invert_idiom(self):
+        # p(p) = 1:m from Figure 1 is exactly the inverse permutation.
+        rng = np.random.default_rng(0)
+        steps = np.array([rng.permutation(8) for _ in range(5)])
+        perm = steps_to_perm(steps)
+        np.testing.assert_array_equal(perm, invert_perms(steps))
+
+    def test_rejects_nonpermutation_marks(self):
+        with pytest.raises(ValueError):
+            steps_to_perm(np.array([[0, 0, 2, 3]]))
+
+
+class TestInvertCompose:
+    def test_invert_roundtrip(self):
+        rng = np.random.default_rng(1)
+        perm = np.array([rng.permutation(16) for _ in range(10)])
+        np.testing.assert_array_equal(invert_perms(invert_perms(perm)), perm)
+
+    def test_invert_composes_to_identity(self):
+        rng = np.random.default_rng(2)
+        perm = np.array([rng.permutation(8) for _ in range(4)])
+        ident = compose_perms(invert_perms(perm), perm)
+        np.testing.assert_array_equal(ident, identity_perms(4, 8))
+
+    def test_compose_application_order(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((6, 8))
+        p1 = np.array([rng.permutation(8) for _ in range(6)])
+        p2 = np.array([rng.permutation(8) for _ in range(6)])
+        via_compose = permute_vectors(x, compose_perms(p2, p1))
+        via_sequence = permute_vectors(permute_vectors(x, p1), p2)
+        np.testing.assert_array_equal(via_compose, via_sequence)
+
+
+class TestValidity:
+    def test_valid(self):
+        assert perms_valid(identity_perms(3, 5))
+
+    def test_invalid_duplicate(self):
+        assert not perms_valid(np.array([[0, 0, 1]]))
+
+    def test_invalid_ndim(self):
+        assert not perms_valid(np.arange(4))
+
+
+class TestPermuteVectors:
+    def test_gather_semantics(self):
+        b = np.array([[10.0, 20.0, 30.0]])
+        perm = np.array([[2, 0, 1]])
+        np.testing.assert_array_equal(
+            permute_vectors(b, perm), [[30.0, 10.0, 20.0]]
+        )
+
+    def test_returns_new_array(self):
+        b = np.ones((2, 4))
+        out = permute_vectors(b, identity_perms(2, 4))
+        assert out is not b

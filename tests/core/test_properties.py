@@ -1,0 +1,150 @@
+"""Hypothesis property-based tests for the core batched kernels.
+
+These stress the invariants the paper relies on across randomly drawn
+batch shapes, sizes and matrix contents:
+
+* PA = LU holds for every implicit-pivoting factorization;
+* implicit and explicit pivoting are the *same* factorization;
+* LU, GH and GJ all solve the same systems (to rounding);
+* permutations produced by pivoting are always valid;
+* the padding convention never leaks into active results.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BatchedMatrices,
+    BatchedVectors,
+    gh_factor,
+    gh_solve,
+    gj_apply,
+    gj_invert,
+    lu_factor,
+    lu_reconstruct,
+    lu_solve,
+)
+from repro.core.pivoting import perms_valid
+from repro.core.validation import (
+    factorization_errors,
+    max_relative_error,
+    solve_residuals,
+)
+
+# -- strategies ------------------------------------------------------------
+
+batch_shapes = st.tuples(
+    st.integers(min_value=1, max_value=12),  # nb
+    st.integers(min_value=1, max_value=16),  # max size
+)
+
+
+def _make_batch(nb: int, max_size: int, seed: int, dominant: bool):
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1, max_size + 1, size=nb)
+    blocks = []
+    for m in sizes:
+        M = rng.uniform(-1.0, 1.0, (m, m))
+        if dominant:
+            M[np.arange(m), np.arange(m)] += m + 1.0
+        blocks.append(M)
+    return BatchedMatrices.identity_padded(blocks)
+
+
+def _make_rhs(batch, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-1, 1, (batch.nb, batch.tile))
+    data[~batch.row_mask()] = 0.0
+    return BatchedVectors(data, batch.sizes.copy())
+
+
+# -- properties ------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=batch_shapes, seed=st.integers(0, 2**20))
+def test_lu_reconstruction_property(shape, seed):
+    """For any batch, P A = L U within a small backward error."""
+    batch = _make_batch(*shape, seed=seed, dominant=True)
+    fac = lu_factor(batch)
+    assert fac.ok
+    assert factorization_errors(batch, lu_reconstruct(fac)).max() < 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=batch_shapes, seed=st.integers(0, 2**20))
+def test_implicit_explicit_equivalence_property(shape, seed):
+    """Implicit pivoting == explicit pivoting, always."""
+    batch = _make_batch(*shape, seed=seed, dominant=False)
+    fi = lu_factor(batch, pivoting="implicit")
+    fe = lu_factor(batch, pivoting="explicit")
+    np.testing.assert_array_equal(fi.perm, fe.perm)
+    np.testing.assert_allclose(
+        fi.factors.data, fe.factors.data, rtol=0, atol=1e-13
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=batch_shapes, seed=st.integers(0, 2**20))
+def test_perms_always_valid_property(shape, seed):
+    batch = _make_batch(*shape, seed=seed, dominant=False)
+    fac = lu_factor(batch)
+    assert perms_valid(fac.perm)
+    gfac = gh_factor(batch)
+    assert perms_valid(gfac.colperm)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=batch_shapes, seed=st.integers(0, 2**20))
+def test_three_methods_agree_property(shape, seed):
+    """LU-solve, GH-solve and GJ-apply compute the same solutions."""
+    batch = _make_batch(*shape, seed=seed, dominant=True)
+    rhs = _make_rhs(batch, seed + 1)
+    x_lu = lu_solve(lu_factor(batch), rhs)
+    x_gh = gh_solve(gh_factor(batch), rhs)
+    x_gj = gj_apply(gj_invert(batch), rhs)
+    assert max_relative_error(x_gh, x_lu) < 1e-9
+    assert max_relative_error(x_gj, x_lu) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=batch_shapes, seed=st.integers(0, 2**20))
+def test_solve_residual_property(shape, seed):
+    """Backward stability: residuals stay near machine epsilon."""
+    batch = _make_batch(*shape, seed=seed, dominant=True)
+    rhs = _make_rhs(batch, seed + 2)
+    x = lu_solve(lu_factor(batch), rhs)
+    assert solve_residuals(batch, x, rhs).max() < 1e-11
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=batch_shapes, seed=st.integers(0, 2**20))
+def test_padding_never_leaks_property(shape, seed):
+    """Solutions are exactly zero outside the active block."""
+    batch = _make_batch(*shape, seed=seed, dominant=True)
+    rhs = _make_rhs(batch, seed + 3)
+    for x in (
+        lu_solve(lu_factor(batch), rhs),
+        gh_solve(gh_factor(batch), rhs),
+        gj_apply(gj_invert(batch), rhs),
+    ):
+        assert (x.data[~x.row_mask()] == 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=batch_shapes,
+    seed=st.integers(0, 2**20),
+    scale=st.floats(min_value=0.01, max_value=100.0),
+)
+def test_lu_scaling_equivariance_property(shape, seed, scale):
+    """Scaling A scales U but leaves L and the pivot order unchanged
+    (scaling all candidates uniformly cannot change any argmax)."""
+    batch = _make_batch(*shape, seed=seed, dominant=False)
+    scaled = BatchedMatrices(batch.data * scale, batch.sizes.copy())
+    f1 = lu_factor(batch)
+    f2 = lu_factor(scaled)
+    np.testing.assert_array_equal(f1.perm, f2.perm)
+    L1 = np.tril(f1.factors.data, k=-1)
+    L2 = np.tril(f2.factors.data, k=-1)
+    np.testing.assert_allclose(L1, L2, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,131 @@
+"""Tests of the analytic performance model (device, perf, profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    DeviceSpec,
+    KernelStats,
+    kernel_profile,
+    time_batched_kernel,
+)
+
+
+@pytest.fixture
+def device():
+    return DeviceSpec.p100()
+
+
+def _simple_stats(**kw) -> KernelStats:
+    base = dict(
+        arith_instructions=100,
+        flops=3200,
+        shuffles=50,
+        global_load_instructions=10,
+        global_load_transactions=80,
+        bytes_loaded=2560,
+        global_store_instructions=10,
+        global_store_transactions=80,
+        bytes_stored=2560,
+    )
+    base.update(kw)
+    return KernelStats(**base)
+
+
+class TestDeviceSpec:
+    def test_p100_peaks(self, device):
+        # 56 SMs x 2 x 32 lanes x 2 flops x 1.328 GHz ~ 9.5 SP TFLOPS
+        assert 9000 < device.peak_gflops(4) < 10000
+        assert device.peak_gflops(8) == pytest.approx(
+            device.peak_gflops(4) / 2
+        )
+
+    def test_occupancy_register_limit(self, device):
+        # 64 regs/thread -> 65536/(64*32) = 32 warps/SM
+        assert device.concurrent_warps(64) == 32 * 56
+        # tiny kernels hit the hardware warp-slot cap
+        assert device.concurrent_warps(2) == 64 * 56
+
+    def test_occupancy_shared_limit(self, device):
+        conc = device.concurrent_warps(2, shared_per_warp=16 * 1024)
+        assert conc == 4 * 56
+
+
+class TestTimingModel:
+    def test_gflops_scale(self, device):
+        t = time_batched_kernel(
+            _simple_stats(), 10000, 1000.0, 40, device
+        )
+        assert t.seconds > 0
+        assert t.gflops == pytest.approx(1e7 / t.seconds / 1e9)
+
+    def test_ramp_up_with_batch_size(self, device):
+        small = time_batched_kernel(_simple_stats(), 100, 1000.0, 40, device)
+        big = time_batched_kernel(_simple_stats(), 40000, 1000.0, 40, device)
+        assert big.gflops > small.gflops
+
+    def test_saturation(self, device):
+        """Beyond saturation GFLOPS stops growing (within 5%)."""
+        a = time_batched_kernel(_simple_stats(), 200000, 1000.0, 40, device)
+        b = time_batched_kernel(_simple_stats(), 400000, 1000.0, 40, device)
+        assert abs(a.gflops - b.gflops) / b.gflops < 0.05
+
+    def test_fp64_not_faster_than_fp32(self, device):
+        t32 = time_batched_kernel(
+            _simple_stats(), 40000, 1000.0, 40, device, dtype=np.float32
+        )
+        t64 = time_batched_kernel(
+            _simple_stats(), 40000, 1000.0, 40, device, dtype=np.float64
+        )
+        assert t64.seconds >= t32.seconds
+
+    def test_memory_bound_detection(self, device):
+        heavy_mem = _simple_stats(
+            global_load_transactions=100000, bytes_loaded=3200000
+        )
+        t = time_batched_kernel(heavy_mem, 40000, 1000.0, 40, device)
+        assert t.bound == "memory"
+
+    def test_strided_reads_cost_more_than_footprint(self, device):
+        coalesced = _simple_stats()
+        strided = _simple_stats(global_load_transactions=320)
+        tc = time_batched_kernel(coalesced, 40000, 1000.0, 40, device)
+        ts = time_batched_kernel(strided, 40000, 1000.0, 40, device)
+        assert ts.memory_s > tc.memory_s
+
+    def test_rejects_empty_batch(self, device):
+        with pytest.raises(ValueError):
+            time_batched_kernel(_simple_stats(), 0, 1.0, 40, device)
+
+
+class TestKernelProfiles:
+    def test_profiles_cached(self):
+        a = kernel_profile("lu_factor", 16, 8)
+        b = kernel_profile("lu_factor", 16, 8)
+        assert a is b
+
+    def test_useful_flops_convention(self):
+        p = kernel_profile("lu_factor", 16, 8)
+        assert p.useful_flops == pytest.approx(2 * 16**3 / 3)
+        s = kernel_profile("lu_solve", 16, 8)
+        assert s.useful_flops == pytest.approx(2 * 16**2)
+
+    def test_all_kinds_profile(self):
+        for kind in (
+            "lu_factor", "lu_solve", "gh_factor", "ght_factor",
+            "gh_solve", "ght_solve",
+        ):
+            p = kernel_profile(kind, 8, 4)
+            assert p.stats.total_instructions() > 0
+            assert p.regs_per_thread > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_profile("qr_factor", 8, 8)
+        with pytest.raises(ValueError):
+            kernel_profile("lu_factor", 8, 2)
+
+    def test_fp32_registers_half_of_fp64(self):
+        p32 = kernel_profile("lu_factor", 32, 4)
+        p64 = kernel_profile("lu_factor", 32, 8)
+        assert p64.regs_per_thread > p32.regs_per_thread

@@ -1,0 +1,71 @@
+"""Tests for the block-Jacobi GPU cost projection
+(repro.gpu.precond_projection)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DeviceSpec, project_block_jacobi
+from repro.sparse import circuit_like, fem_block_2d
+
+
+@pytest.fixture(scope="module")
+def fem():
+    return fem_block_2d(10, 10, 4, seed=0)
+
+
+class TestProjection:
+    def test_basic_shape(self, fem):
+        p = project_block_jacobi(fem, max_block_size=32, method="lu")
+        assert p.n_blocks > 0
+        assert p.extraction_s > 0
+        assert p.factorization_s > 0
+        assert p.apply_s > 0
+        assert p.setup_s == pytest.approx(
+            p.extraction_s + p.factorization_s
+        )
+        assert p.total_s(100) == pytest.approx(
+            p.setup_s + 100 * p.apply_s
+        )
+
+    def test_methods_within_factor_two(self, fem):
+        totals = {
+            m: project_block_jacobi(fem, 32, m).total_s(200)
+            for m in ("lu", "gh", "ght")
+        }
+        assert max(totals.values()) < 2.0 * min(totals.values())
+
+    def test_gh_apply_pays_for_noncoalesced_reads(self, fem):
+        gh = project_block_jacobi(fem, 32, "gh")
+        ght = project_block_jacobi(fem, 32, "ght")
+        assert gh.apply_s > ght.apply_s
+        # ...paid for at factorization time instead
+        assert ght.factorization_s >= gh.factorization_s
+
+    def test_smaller_bound_more_blocks_less_factor_work(self, fem):
+        p8 = project_block_jacobi(fem, 8, "lu")
+        p32 = project_block_jacobi(fem, 32, "lu")
+        assert p8.n_blocks > p32.n_blocks
+        # 8x8 LU work per unknown << 32x32 work per unknown
+        assert p8.factorization_s < p32.factorization_s
+
+    def test_explicit_block_sizes(self, fem):
+        sizes = np.full(fem.n_rows // 4, 4)
+        p = project_block_jacobi(fem, method="lu", block_sizes=sizes)
+        assert p.n_blocks == sizes.size
+
+    def test_device_override(self, fem):
+        p100 = project_block_jacobi(fem, 32, "lu", device=DeviceSpec.p100())
+        v100 = project_block_jacobi(fem, 32, "lu", device=DeviceSpec.v100())
+        assert v100.apply_s <= p100.apply_s  # newer device, more bandwidth
+
+    def test_unknown_method_rejected(self, fem):
+        with pytest.raises(ValueError, match="method"):
+            project_block_jacobi(fem, 32, "cublas")
+
+    def test_unbalanced_matrix_extraction_dominates_less_with_shared(self):
+        A = circuit_like(1500, seed=1, hub_degree=200)
+        p = project_block_jacobi(A, 32, "lu")
+        # extraction is a one-off cost comparable to the factorization,
+        # not orders of magnitude beyond it (the shared-memory scheme's
+        # whole purpose on such matrices)
+        assert p.extraction_s < 10 * p.factorization_s

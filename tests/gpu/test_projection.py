@@ -1,0 +1,104 @@
+"""Tests of the high-level projections and the cuBLAS baseline model -
+including the paper's headline performance claims as assertions."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    CUBLAS_TILE_SIZES,
+    cublas_padded_size,
+    project_kernel,
+    project_variable_batch,
+)
+
+
+class TestCublasModel:
+    def test_padded_sizes(self):
+        assert cublas_padded_size(5, 4) == 8
+        assert cublas_padded_size(8, 4) == 8
+        assert cublas_padded_size(17, 4) == 29
+        assert cublas_padded_size(17, 8) == 20
+        assert cublas_padded_size(30, 8) == 32
+        with pytest.raises(ValueError):
+            cublas_padded_size(33, 4)
+
+    def test_sawtooth_peaks(self):
+        for es, dtype in ((4, np.float32), (8, np.float64)):
+            g = [
+                project_kernel("cublas_factor", m, 40000, dtype=dtype).gflops
+                for m in range(4, 33)
+            ]
+            sizes = list(range(4, 33))
+            for t in CUBLAS_TILE_SIZES[es][:-1]:
+                i = sizes.index(t)
+                assert g[i] > g[i + 1], f"no drop after tile {t} ({es}B)"
+
+    def test_variable_size_rejected(self):
+        with pytest.raises(ValueError, match="variable"):
+            project_variable_batch("cublas_factor", np.array([4, 8]))
+
+
+class TestPaperClaims:
+    """Section IV's quantitative observations, asserted on the model."""
+
+    def test_sp32_small_lu_reaches_600(self):
+        g = project_kernel("lu_factor", 32, 40000, dtype=np.float32).gflops
+        assert 480 < g < 750  # paper: "up to 600 GFLOPS"
+
+    def test_dp32_small_lu_reaches_350(self):
+        g = project_kernel("lu_factor", 32, 40000, dtype=np.float64).gflops
+        assert 280 < g < 450  # paper: "350 GFLOPS"
+
+    def test_cublas_3_5x_slower_at_32(self):
+        for dt in (np.float32, np.float64):
+            lu = project_kernel("lu_factor", 32, 40000, dtype=dt).gflops
+            cu = project_kernel("cublas_factor", 32, 40000, dtype=dt).gflops
+            assert 2.5 < lu / cu < 7.0  # paper: ~3.5x
+
+    def test_dp16_lu_below_gh(self):
+        lu = project_kernel("lu_factor", 16, 40000, dtype=np.float64).gflops
+        gh = project_kernel("gh_factor", 16, 40000, dtype=np.float64).gflops
+        assert lu < gh  # paper: "about 35% lower"
+        assert lu / gh > 0.5
+
+    def test_ght_factor_slightly_below_gh_at_32(self):
+        gh = project_kernel("gh_factor", 32, 40000, dtype=np.float32).gflops
+        ght = project_kernel("ght_factor", 32, 40000, dtype=np.float32).gflops
+        assert 0.85 < ght / gh < 1.0  # paper: "about 5% below"
+
+    def test_solve_speedups_over_cublas(self):
+        # paper: 4.5x (SP) and 4x (DP) at block size 32
+        for dt, lo in ((np.float32, 3.0), (np.float64, 3.0)):
+            lu = project_kernel("lu_solve", 32, 40000, dtype=dt).gflops
+            cu = project_kernel("cublas_solve", 32, 40000, dtype=dt).gflops
+            assert lu / cu > lo
+
+    def test_ght_solve_about_2x_gh_solve_at_32(self):
+        for dt in (np.float32, np.float64):
+            gh = project_kernel("gh_solve", 32, 40000, dtype=dt).gflops
+            ght = project_kernel("ght_solve", 32, 40000, dtype=dt).gflops
+            assert ght / gh > 1.3  # paper: ~2x
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            project_kernel("qr_factor", 8, 100)
+
+
+class TestVariableBatchProjection:
+    def test_uniform_equals_fixed(self):
+        sizes = np.full(5000, 16)
+        tv = project_variable_batch("lu_factor", sizes)
+        tf = project_kernel("lu_factor", 16, 5000)
+        assert tv.gflops == pytest.approx(tf.gflops, rel=0.05)
+
+    def test_mixed_sizes_between_extremes(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(4, 33, size=5000)
+        tv = project_variable_batch("lu_factor", sizes)
+        lo = project_kernel("lu_factor", 4, 5000)
+        hi = project_kernel("lu_factor", 32, 5000)
+        assert lo.gflops < tv.gflops < hi.gflops
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            project_variable_batch("lu_factor", np.array([], dtype=int))

@@ -1,0 +1,194 @@
+"""Unit tests for the SIMT warp simulator (repro.gpu.simt)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.simt import (
+    GlobalMemory,
+    KernelStats,
+    SharedMemory,
+    Warp,
+    WARP_WIDTH,
+)
+
+
+class TestWarpShuffles:
+    def test_shfl_broadcast(self):
+        w = Warp()
+        val = np.arange(32.0)
+        out = w.shfl(val, 5)
+        assert (out == 5.0).all()
+        assert w.stats.shuffles == 1
+
+    def test_shfl_gather_per_lane(self):
+        w = Warp()
+        val = np.arange(32.0)
+        idx = (np.arange(32) + 1) % 32
+        out = w.shfl(val, idx)
+        np.testing.assert_array_equal(out, val[idx])
+
+    def test_shfl_xor_butterfly(self):
+        w = Warp()
+        val = np.arange(32.0)
+        out = w.shfl_xor(val, 1)
+        np.testing.assert_array_equal(out[::2], val[1::2])
+        np.testing.assert_array_equal(out[1::2], val[::2])
+
+    def test_ballot(self):
+        w = Warp()
+        pred = np.zeros(32, dtype=bool)
+        pred[[0, 3, 31]] = True
+        assert w.ballot(pred) == (1 | (1 << 3) | (1 << 31))
+        assert w.stats.ballots == 1
+
+
+class TestWarpArithmetic:
+    def test_fma_counts_flops_per_active_lane(self):
+        w = Warp()
+        mask = np.zeros(32, dtype=bool)
+        mask[:8] = True
+        out = w.fma(np.ones(32), np.full(32, 2.0), np.ones(32), mask=mask)
+        assert (out[:8] == 3.0).all()
+        assert (out[8:] == 1.0).all()  # masked lanes keep c
+        assert w.stats.flops == 2 * 8
+        assert w.stats.arith_instructions == 1
+
+    def test_div_zero_divisor_passthrough(self):
+        w = Warp()
+        b = np.ones(32)
+        b[3] = 0.0
+        out = w.div(np.full(32, 6.0), b)
+        assert out[0] == 6.0
+        assert out[3] == 6.0  # passthrough, no inf
+
+    def test_mul_sub_masks(self):
+        w = Warp()
+        m = np.zeros(32, dtype=bool)
+        m[0] = True
+        out = w.mul(np.full(32, 3.0), np.full(32, 4.0), mask=m)
+        assert out[0] == 12.0 and out[1] == 3.0
+        out = w.sub(np.full(32, 3.0), np.ones(32), mask=m)
+        assert out[0] == 2.0 and out[1] == 3.0
+
+
+class TestReductions:
+    def test_reduce_sum_all_lanes(self):
+        w = Warp()
+        val = np.arange(32.0)
+        out = w.reduce_sum(val)
+        assert (out == val.sum()).all()
+        assert w.stats.shuffles == 5  # log2(32) butterfly rounds
+
+    def test_reduce_argmax_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            w = Warp()
+            val = rng.standard_normal(32)
+            active = rng.random(32) > 0.3
+            if not active.any():
+                active[0] = True
+            idx, mag = w.reduce_argmax_abs(val, active)
+            masked = np.where(active, np.abs(val), -1.0)
+            assert idx == int(np.argmax(masked))
+            assert mag == masked.max()
+
+    def test_reduce_argmax_tie_breaks_low(self):
+        w = Warp()
+        val = np.zeros(32)
+        val[[7, 3, 19]] = 2.0
+        idx, _ = w.reduce_argmax_abs(val, np.ones(32, dtype=bool))
+        assert idx == 3
+
+    def test_transpose_registers(self):
+        w = Warp()
+        reg = np.zeros((32, 8))
+        reg[:8, :8] = np.arange(64.0).reshape(8, 8)
+        out = w.transpose_registers(reg, 8)
+        np.testing.assert_array_equal(out[:8, :8], reg[:8, :8].T)
+        assert w.stats.shuffles == 8
+
+
+class TestGlobalMemory:
+    def test_coalesced_load_transactions_fp64(self):
+        stats = KernelStats()
+        g = GlobalMemory(np.arange(64.0), stats)
+        g.load(np.arange(32))
+        # 32 consecutive fp64 = 256 bytes = 8 sectors
+        assert stats.global_load_transactions == 8
+        assert stats.bytes_loaded == 256
+
+    def test_coalesced_load_transactions_fp32(self):
+        stats = KernelStats()
+        g = GlobalMemory(np.arange(64.0, dtype=np.float32), stats)
+        g.load(np.arange(32))
+        assert stats.global_load_transactions == 4
+
+    def test_strided_load_transactions(self):
+        stats = KernelStats()
+        g = GlobalMemory(np.zeros(32 * 32), stats)
+        g.load(np.arange(32) * 32)  # stride 32 fp64 = 256B apart
+        assert stats.global_load_transactions == 32
+
+    def test_masked_lanes_do_not_count(self):
+        stats = KernelStats()
+        g = GlobalMemory(np.arange(64.0), stats)
+        mask = np.zeros(32, dtype=bool)
+        mask[:4] = True
+        g.load(np.arange(32), mask=mask)
+        assert stats.bytes_loaded == 4 * 8
+        assert stats.global_load_transactions == 1
+
+    def test_store_roundtrip(self):
+        stats = KernelStats()
+        arr = np.zeros(32)
+        g = GlobalMemory(arr, stats)
+        g.store(np.arange(32), np.arange(32.0))
+        np.testing.assert_array_equal(arr, np.arange(32.0))
+        assert stats.global_store_transactions == 8
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            GlobalMemory(np.zeros((2, 2)), KernelStats())
+
+
+class TestSharedMemory:
+    def test_conflict_free_fp32(self):
+        stats = KernelStats()
+        s = SharedMemory(64, np.float32, stats)
+        s.load(np.arange(32))
+        assert stats.shared_conflict_phases == 1
+
+    def test_same_bank_conflicts(self):
+        stats = KernelStats()
+        s = SharedMemory(32 * 32, np.float32, stats)
+        s.load(np.arange(32) * 32)  # all lanes hit bank 0
+        assert stats.shared_conflict_phases == 32
+
+    def test_store_data(self):
+        stats = KernelStats()
+        s = SharedMemory(32, np.float64, stats)
+        s.store(np.arange(32), np.arange(32.0))
+        np.testing.assert_array_equal(s.array, np.arange(32.0))
+
+
+class TestKernelStats:
+    def test_merge_accumulates(self):
+        a, b = KernelStats(), KernelStats()
+        a.flops = 10
+        b.flops = 5
+        b.shuffles = 2
+        a.merge(b)
+        assert a.flops == 15 and a.shuffles == 2
+
+    def test_total_instructions(self):
+        s = KernelStats(
+            arith_instructions=3, shuffles=2, global_load_instructions=1
+        )
+        assert s.total_instructions() == 6
+
+    def test_coalescing_efficiency(self):
+        s = KernelStats(global_load_transactions=8, bytes_loaded=256)
+        assert s.coalescing_efficiency(8) == 1.0
+        s2 = KernelStats(global_load_transactions=32, bytes_loaded=256)
+        assert s2.coalescing_efficiency(8) == 0.25
+        assert KernelStats().coalescing_efficiency(8) == 1.0

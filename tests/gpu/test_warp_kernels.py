@@ -1,0 +1,162 @@
+"""Warp kernels vs the NumPy batched reference (bit-level fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedMatrices,
+    BatchedVectors,
+    gh_factor,
+    gh_solve,
+    lu_factor,
+    lu_solve,
+)
+from repro.gpu.kernels.gauss_huard import warp_gh_factor, warp_gh_solve
+from repro.gpu.kernels.lu import warp_lu_factor, warp_lu_solve
+from repro.gpu.simt import KernelStats
+
+
+def _problem(m, seed=0, dominant=False):
+    rng = np.random.default_rng(seed)
+    M = rng.uniform(-1, 1, (m, m))
+    if dominant:
+        M += m * np.eye(m)
+    else:
+        M += 0.1 * np.eye(m)
+    b = rng.uniform(-1, 1, m)
+    return M, b
+
+
+def _reference(M, b):
+    batch = BatchedMatrices.identity_padded([M], tile=32)
+    rhs = BatchedVectors.from_vectors([b], tile=32)
+    return batch, rhs
+
+
+SIZES = [1, 2, 3, 5, 8, 13, 16, 21, 27, 32]
+
+
+class TestWarpLU:
+    @pytest.mark.parametrize("m", SIZES)
+    def test_factors_bitwise_equal_to_numpy(self, m):
+        M, b = _problem(m, seed=m)
+        batch, _ = _reference(M, b)
+        ref = lu_factor(batch)
+        f, perm, info, _ = warp_lu_factor(M)
+        np.testing.assert_array_equal(f, ref.factors.block(0))
+        np.testing.assert_array_equal(perm, ref.perm[0])
+        assert info == ref.info[0]
+
+    @pytest.mark.parametrize("m", SIZES)
+    def test_solve_bitwise_equal_to_numpy(self, m):
+        M, b = _problem(m, seed=m + 100)
+        batch, rhs = _reference(M, b)
+        ref = lu_solve(lu_factor(batch), rhs)
+        f, perm, _, _ = warp_lu_factor(M)
+        x, _ = warp_lu_solve(f, perm, b)
+        np.testing.assert_array_equal(x, ref.vector(0))
+
+    def test_pivoting_actually_happens(self):
+        M = np.array([[0.0, 1.0], [1.0, 0.0]])
+        f, perm, info, _ = warp_lu_factor(M)
+        assert info == 0
+        assert perm[0] == 1 and perm[1] == 0
+
+    def test_singular_flagged(self):
+        M = np.zeros((4, 4))
+        _, _, info, _ = warp_lu_factor(M)
+        assert info == 1
+
+    def test_counts_independent_of_values(self):
+        """Implicit pivoting executes the same instruction stream
+        whatever the pivot order - the property that lets one profile
+        characterise the whole batch."""
+        m = 16
+        s1, s2 = KernelStats(), KernelStats()
+        warp_lu_factor(_problem(m, seed=1)[0], stats=s1)
+        warp_lu_factor(_problem(m, seed=2, dominant=True)[0], stats=s2)
+        assert s1 == s2
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            warp_lu_factor(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            warp_lu_factor(np.zeros((33, 33)))
+
+    def test_eager_padding_waste_in_flop_counter(self):
+        """The GER spans the full tile: executed flops exceed the
+        useful count for m < 32 (the Section IV-B effect)."""
+        stats = KernelStats()
+        warp_lu_factor(_problem(16, seed=3)[0], stats=stats)
+        useful = 2 * 16**3 / 3
+        assert stats.flops > 1.5 * useful
+
+    def test_fp32_kernel(self):
+        M, b = _problem(8, seed=4)
+        f, perm, info, stats = warp_lu_factor(M, dtype=np.float32)
+        assert f.dtype == np.float32
+        assert info == 0
+        # coalesced fp32 loads: half the sectors of fp64
+        s64 = KernelStats()
+        warp_lu_factor(M, stats=s64)
+        assert stats.global_load_transactions < s64.global_load_transactions
+
+
+class TestWarpGH:
+    @pytest.mark.parametrize("m", SIZES)
+    def test_factors_close_to_numpy(self, m):
+        M, b = _problem(m, seed=m + 200)
+        batch, _ = _reference(M, b)
+        ref = gh_factor(batch)
+        f, cp, info, _ = warp_gh_factor(M)
+        np.testing.assert_allclose(
+            f, ref.factors.block(0), rtol=1e-12, atol=1e-13
+        )
+        np.testing.assert_array_equal(cp[:m], ref.colperm[0][:m])
+        assert info == ref.info[0]
+
+    @pytest.mark.parametrize("m", SIZES)
+    @pytest.mark.parametrize("transposed", [False, True])
+    def test_solve_close_to_numpy(self, m, transposed):
+        M, b = _problem(m, seed=m + 300)
+        batch, rhs = _reference(M, b)
+        ref = gh_solve(gh_factor(batch), rhs)
+        f, cp, _, _ = warp_gh_factor(M, transposed=transposed)
+        x, _ = warp_gh_solve(f, cp, b, transposed=transposed)
+        np.testing.assert_allclose(
+            x, ref.vector(0), rtol=1e-9, atol=1e-11
+        )
+
+    def test_ght_store_transactions_exceed_gh(self):
+        """GH-T pays non-coalesced writes in the factorization."""
+        M, _ = _problem(32, seed=5)
+        s_gh, s_ght = KernelStats(), KernelStats()
+        warp_gh_factor(M, transposed=False, stats=s_gh)
+        warp_gh_factor(M, transposed=True, stats=s_ght)
+        assert s_ght.global_store_transactions > 3 * s_gh.global_store_transactions
+        # ...and identical instruction mix otherwise
+        assert s_ght.shuffles == s_gh.shuffles
+        assert s_ght.arith_instructions == s_gh.arith_instructions
+
+    def test_gh_solve_load_transactions_exceed_ght(self):
+        """GH-T's whole point: the apply's row loads become coalesced."""
+        M, b = _problem(32, seed=6)
+        f, cp, _, _ = warp_gh_factor(M)
+        s_gh, s_ght = KernelStats(), KernelStats()
+        warp_gh_solve(f, cp, b, transposed=False, stats=s_gh)
+        warp_gh_solve(f, cp, b, transposed=True, stats=s_ght)
+        assert s_gh.global_load_transactions > 3 * s_ght.global_load_transactions
+
+    def test_lazy_schedule_beats_eager_below_tile(self):
+        """At m=16 the lazy GH issues fewer arithmetic instructions
+        than the eager LU (padding waste); at m=32 the order flips."""
+        M16, _ = _problem(16, seed=7)
+        M32, _ = _problem(32, seed=8)
+        lu16, gh16 = KernelStats(), KernelStats()
+        warp_lu_factor(M16, stats=lu16)
+        warp_gh_factor(M16, stats=gh16)
+        assert gh16.total_instructions() < lu16.total_instructions()
+        lu32, gh32 = KernelStats(), KernelStats()
+        warp_lu_factor(M32, stats=lu32)
+        warp_gh_factor(M32, stats=gh32)
+        assert lu32.total_instructions() < gh32.total_instructions()

@@ -1,0 +1,154 @@
+"""Tests for the preconditioners (repro.precond)."""
+
+import numpy as np
+import pytest
+
+from repro.precond import (
+    BlockJacobiPreconditioner,
+    IdentityPreconditioner,
+    ScalarJacobiPreconditioner,
+)
+from repro.sparse import CsrMatrix, circuit_like, fem_block_2d, laplacian_2d
+
+METHODS = ("lu", "gh", "ght", "gje")
+
+
+@pytest.fixture(scope="module")
+def fem():
+    return fem_block_2d(8, 8, 4, seed=0)
+
+
+class TestIdentity:
+    def test_apply_is_copy(self, fem):
+        M = IdentityPreconditioner().setup(fem)
+        x = np.arange(float(fem.n_rows))
+        y = M.apply(x)
+        np.testing.assert_array_equal(y, x)
+        assert y is not x
+
+
+class TestScalarJacobi:
+    def test_apply_divides_by_diagonal(self, fem):
+        M = ScalarJacobiPreconditioner().setup(fem)
+        x = np.ones(fem.n_rows)
+        np.testing.assert_allclose(M.apply(x), 1.0 / fem.diagonal())
+
+    def test_zero_diagonal_left_unscaled(self):
+        D = np.array([[0.0, 1.0], [1.0, 2.0]])
+        M = ScalarJacobiPreconditioner().setup(CsrMatrix.from_dense(D))
+        np.testing.assert_array_equal(M.apply(np.ones(2)), [1.0, 0.5])
+
+    def test_apply_before_setup(self):
+        with pytest.raises(RuntimeError):
+            ScalarJacobiPreconditioner().apply(np.ones(3))
+
+    def test_shape_check(self, fem):
+        M = ScalarJacobiPreconditioner().setup(fem)
+        with pytest.raises(ValueError):
+            M.apply(np.ones(fem.n_rows + 1))
+
+
+class TestBlockJacobi:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_apply_equals_dense_block_solve(self, fem, method):
+        M = BlockJacobiPreconditioner(method=method, max_block_size=16)
+        M.setup(fem)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(fem.n_rows)
+        y = M.apply(x)
+        starts = np.concatenate([[0], np.cumsum(M.block_sizes)])
+        for b in range(0, M.block_sizes.size, 3):
+            s, m = int(starts[b]), int(M.block_sizes[b])
+            blk = fem.extract_block(s, m)
+            ref = np.linalg.solve(blk, x[s : s + m])
+            np.testing.assert_allclose(y[s : s + m], ref, rtol=1e-8,
+                                       atol=1e-10)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_methods_agree(self, fem, method):
+        base = BlockJacobiPreconditioner("lu", 16).setup(fem)
+        other = BlockJacobiPreconditioner(method, 16).setup(fem)
+        x = np.linspace(-1, 1, fem.n_rows)
+        np.testing.assert_allclose(
+            other.apply(x), base.apply(x), rtol=1e-8, atol=1e-10
+        )
+
+    def test_explicit_block_sizes(self, fem):
+        sizes = np.full(fem.n_rows // 4, 4)
+        M = BlockJacobiPreconditioner("lu", block_sizes=sizes).setup(fem)
+        np.testing.assert_array_equal(M.block_sizes, sizes)
+
+    def test_explicit_block_sizes_must_cover(self, fem):
+        with pytest.raises(ValueError, match="cover"):
+            BlockJacobiPreconditioner(
+                "lu", block_sizes=np.array([4, 4])
+            ).setup(fem)
+
+    def test_bound_respected(self, fem):
+        for bound in (8, 12, 16, 24, 32):
+            M = BlockJacobiPreconditioner("lu", bound).setup(fem)
+            assert M.block_sizes.max() <= bound
+
+    def test_scalar_limit_matches_scalar_jacobi(self, fem):
+        Mb = BlockJacobiPreconditioner("lu", 1).setup(fem)
+        Ms = ScalarJacobiPreconditioner().setup(fem)
+        x = np.ones(fem.n_rows)
+        np.testing.assert_allclose(Mb.apply(x), Ms.apply(x), rtol=1e-12)
+
+    def test_singular_block_raises(self):
+        D = np.eye(4)
+        D[2, 2] = 0.0
+        A = CsrMatrix.from_dense(D)
+        with pytest.raises(ValueError, match="singular"):
+            BlockJacobiPreconditioner(
+                "lu", block_sizes=np.array([2, 2])
+            ).setup(A)
+
+    def test_cholesky_requires_spd(self, fem):
+        with pytest.raises(ValueError, match="SPD"):
+            BlockJacobiPreconditioner("cholesky", 16).setup(fem)
+
+    def test_cholesky_on_spd(self):
+        A = laplacian_2d(10, 10)
+        M = BlockJacobiPreconditioner("cholesky", 8).setup(A)
+        x = np.ones(100)
+        y_lu = BlockJacobiPreconditioner("lu", 8).setup(A).apply(x)
+        np.testing.assert_allclose(M.apply(x), y_lu, rtol=1e-10)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(method="qr")
+
+    def test_bad_bound(self):
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(max_block_size=0)
+        with pytest.raises(ValueError):
+            BlockJacobiPreconditioner(max_block_size=64)
+
+    def test_apply_before_setup(self):
+        with pytest.raises(RuntimeError):
+            BlockJacobiPreconditioner().apply(np.ones(4))
+
+    def test_nonsquare_rejected(self):
+        A = CsrMatrix(2, 3, [0, 1, 2], [0, 1], [1.0, 1.0])
+        with pytest.raises(ValueError, match="square"):
+            BlockJacobiPreconditioner().setup(A)
+
+    def test_setup_seconds_recorded(self, fem):
+        M = BlockJacobiPreconditioner("lu", 16).setup(fem)
+        assert M.setup_seconds > 0
+
+    def test_fp32_blocks(self, fem):
+        M = BlockJacobiPreconditioner("lu", 16, dtype=np.float32).setup(fem)
+        y64 = BlockJacobiPreconditioner("lu", 16).setup(fem).apply(
+            np.ones(fem.n_rows)
+        )
+        y32 = M.apply(np.ones(fem.n_rows))
+        assert np.abs(y32 - y64).max() < 1e-3
+        assert y32.dtype == np.float64  # result promoted for the solver
+
+    def test_circuit_matrix_blocks(self):
+        A = circuit_like(800, seed=2, hub_degree=100)
+        M = BlockJacobiPreconditioner("lu", 32).setup(A)
+        y = M.apply(np.ones(800))
+        assert np.isfinite(y).all()

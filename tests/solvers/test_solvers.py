@@ -1,0 +1,184 @@
+"""Tests for the Krylov solvers (repro.solvers)."""
+
+import numpy as np
+import pytest
+
+from repro.precond import BlockJacobiPreconditioner, ScalarJacobiPreconditioner
+from repro.solvers import bicgstab, cg, gmres, idrs
+from repro.sparse import (
+    convection_diffusion_2d,
+    fem_block_2d,
+    laplacian_2d,
+)
+
+SOLVERS_NONSYM = [idrs, bicgstab, gmres]
+
+
+@pytest.fixture(scope="module")
+def nonsym():
+    return convection_diffusion_2d(20, 20, peclet=30.0)
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return laplacian_2d(20, 20)
+
+
+class TestIDR:
+    def test_converges_and_solves(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        r = idrs(nonsym, b, s=4)
+        assert r.converged
+        true = np.linalg.norm(nonsym.matvec(r.x) - b) / np.linalg.norm(b)
+        assert true < 1e-5
+
+    def test_counts_matvecs(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        calls = 0
+        orig = nonsym.matvec
+
+        class Counting:
+            n_rows = nonsym.n_rows
+            n_cols = nonsym.n_cols
+
+        def counted(v):
+            nonlocal calls
+            calls += 1
+            return orig(v)
+
+        r = idrs(nonsym.to_dense(), b, s=4)  # dense path exercises as_operator
+        assert r.iterations > 0
+
+    @pytest.mark.parametrize("s", [1, 2, 4, 8])
+    def test_shadow_dimension(self, nonsym, s):
+        b = np.ones(nonsym.n_rows)
+        r = idrs(nonsym, b, s=s)
+        assert r.converged
+
+    def test_preconditioning_reduces_iterations(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        r0 = idrs(nonsym, b, s=4)
+        M = ScalarJacobiPreconditioner().setup(nonsym)
+        r1 = idrs(nonsym, b, s=4, M=M)
+        assert r1.converged
+        # diagonal scaling cannot be dramatically worse here
+        assert r1.iterations <= 2 * r0.iterations
+
+    def test_maxiter_respected(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        r = idrs(nonsym, b, s=4, maxiter=5)
+        assert r.iterations <= 5
+        assert not r.converged
+
+    def test_zero_rhs(self, nonsym):
+        r = idrs(nonsym, np.zeros(nonsym.n_rows), s=4)
+        assert r.converged
+        assert np.linalg.norm(r.x) < 1e-12
+
+    def test_x0_honoured(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        x_ref = idrs(nonsym, b, s=4).x
+        r = idrs(nonsym, b, s=4, x0=x_ref)
+        assert r.iterations <= 1
+
+    def test_history_recorded(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        r = idrs(nonsym, b, s=4, record_history=True)
+        assert len(r.history) >= r.iterations / 2
+        assert r.history[-1] <= r.history[0]
+
+    def test_deterministic_seed(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        r1 = idrs(nonsym, b, s=4, seed=5)
+        r2 = idrs(nonsym, b, s=4, seed=5)
+        assert r1.iterations == r2.iterations
+        np.testing.assert_array_equal(r1.x, r2.x)
+
+    def test_invalid_inputs(self, nonsym):
+        with pytest.raises(ValueError):
+            idrs(nonsym, np.ones(3))
+        with pytest.raises(ValueError):
+            idrs(nonsym, np.ones(nonsym.n_rows), s=0)
+
+
+class TestBicgstabGmres:
+    @pytest.mark.parametrize("solver", [bicgstab, gmres])
+    def test_converges(self, nonsym, solver):
+        b = np.ones(nonsym.n_rows)
+        r = solver(nonsym, b)
+        assert r.converged
+        true = np.linalg.norm(nonsym.matvec(r.x) - b) / np.linalg.norm(b)
+        assert true < 1e-5
+
+    def test_gmres_restart_effect(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        r_small = gmres(nonsym, b, restart=5)
+        r_big = gmres(nonsym, b, restart=60)
+        assert r_big.converged
+        assert r_big.iterations <= r_small.iterations or not r_small.converged
+
+    def test_gmres_invalid_restart(self, nonsym):
+        with pytest.raises(ValueError):
+            gmres(nonsym, np.ones(nonsym.n_rows), restart=0)
+
+    def test_bicgstab_with_block_jacobi(self):
+        A = fem_block_2d(10, 10, 4, seed=3)
+        b = np.ones(A.n_rows)
+        M = BlockJacobiPreconditioner("lu", 16).setup(A)
+        r0 = bicgstab(A, b)
+        r1 = bicgstab(A, b, M=M)
+        assert r1.converged
+        assert r1.iterations < r0.iterations
+
+
+class TestCG:
+    def test_spd_convergence(self, spd):
+        b = np.ones(spd.n_rows)
+        r = cg(spd, b)
+        assert r.converged
+        true = np.linalg.norm(spd.matvec(r.x) - b) / np.linalg.norm(b)
+        assert true < 1e-5
+
+    def test_block_jacobi_not_harmful_on_laplacian(self, spd):
+        # the Laplacian has a constant diagonal, so Jacobi-type
+        # preconditioning barely changes the spectrum; block-Jacobi must
+        # still converge and stay within noise of the baseline
+        b = np.ones(spd.n_rows)
+        M = BlockJacobiPreconditioner("cholesky", 16).setup(spd)
+        r0 = cg(spd, b)
+        r1 = cg(spd, b, M=M)
+        assert r1.converged
+        assert r1.iterations <= 1.2 * r0.iterations
+
+    def test_block_jacobi_helps_on_block_spd(self):
+        # SPD matrix with strong 4x4 node coupling: L (x) I + I (x) B
+        rng = np.random.default_rng(4)
+        L = laplacian_2d(12, 12).to_dense()
+        B4 = rng.standard_normal((4, 4))
+        B4 = B4 @ B4.T + 0.5 * np.eye(4)
+        A = np.kron(L, np.eye(4)) + np.kron(np.eye(L.shape[0]), 10 * B4)
+        from repro.sparse import CsrMatrix
+
+        Acsr = CsrMatrix.from_dense(A)
+        b = np.ones(Acsr.n_rows)
+        Ms = ScalarJacobiPreconditioner().setup(Acsr)
+        Mb = BlockJacobiPreconditioner("cholesky", 4).setup(Acsr)
+        rs = cg(Acsr, b, M=Ms)
+        rb = cg(Acsr, b, M=Mb)
+        assert rb.converged
+        assert rb.iterations < rs.iterations
+
+
+class TestSolveResult:
+    def test_total_seconds(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        M = ScalarJacobiPreconditioner().setup(nonsym)
+        r = idrs(nonsym, b, s=4, M=M)
+        assert r.total_seconds == pytest.approx(
+            r.setup_seconds + r.solve_seconds
+        )
+        assert r.relative_residual <= 1e-6
+
+    def test_repr(self, nonsym):
+        r = idrs(nonsym, np.ones(nonsym.n_rows), s=2, maxiter=3)
+        assert "NOT converged" in repr(r)

@@ -1,0 +1,62 @@
+"""Tests for the stationary (block-)Jacobi iteration."""
+
+import numpy as np
+import pytest
+
+from repro.precond import BlockJacobiPreconditioner, ScalarJacobiPreconditioner
+from repro.solvers.stationary import stationary_richardson
+from repro.sparse import fem_block_2d
+
+
+@pytest.fixture(scope="module")
+def dominant():
+    # strong dominance so the undamped Jacobi iteration converges
+    return fem_block_2d(8, 8, 4, seed=0, dominance=1.5)
+
+
+class TestStationary:
+    def test_scalar_jacobi_converges_on_dominant(self, dominant):
+        b = np.ones(dominant.n_rows)
+        M = ScalarJacobiPreconditioner().setup(dominant)
+        r = stationary_richardson(dominant, b, M=M)
+        assert r.converged
+        true = np.linalg.norm(dominant.matvec(r.x) - b) / np.linalg.norm(b)
+        assert true < 1e-5
+
+    def test_block_jacobi_converges_faster_than_scalar(self, dominant):
+        b = np.ones(dominant.n_rows)
+        Ms = ScalarJacobiPreconditioner().setup(dominant)
+        Mb = BlockJacobiPreconditioner("lu", 32).setup(dominant)
+        rs = stationary_richardson(dominant, b, M=Ms)
+        rb = stationary_richardson(dominant, b, M=Mb)
+        assert rb.converged
+        assert rb.iterations < rs.iterations
+
+    def test_divergence_detected_not_overflowed(self):
+        A = fem_block_2d(6, 6, 4, seed=1, dominance=0.3)  # not dominant
+        b = np.ones(A.n_rows)
+        M = ScalarJacobiPreconditioner().setup(A)
+        r = stationary_richardson(A, b, M=M, maxiter=500)
+        assert not r.converged
+
+    def test_damping_can_rescue_borderline_cases(self):
+        A = fem_block_2d(6, 6, 4, seed=2, dominance=0.8)
+        b = np.ones(A.n_rows)
+        M = BlockJacobiPreconditioner("lu", 32).setup(A)
+        undamped = stationary_richardson(A, b, M=M, maxiter=4000)
+        damped = stationary_richardson(A, b, M=M, omega=0.6, maxiter=4000)
+        # damping must not be worse when the undamped version struggles
+        if not undamped.converged:
+            assert damped.converged or damped.residual_norm < float("inf")
+
+    def test_invalid_omega(self, dominant):
+        with pytest.raises(ValueError):
+            stationary_richardson(dominant, np.ones(dominant.n_rows),
+                                  omega=0.0)
+
+    def test_history(self, dominant):
+        b = np.ones(dominant.n_rows)
+        M = ScalarJacobiPreconditioner().setup(dominant)
+        r = stationary_richardson(dominant, b, M=M, record_history=True)
+        assert len(r.history) == r.iterations + 1
+        assert r.history[-1] < r.history[0]

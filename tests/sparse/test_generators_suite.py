@@ -1,0 +1,143 @@
+"""Tests for the synthetic generators and the 48-matrix suite."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    SUITE,
+    banded_waveguide,
+    block_structured,
+    circuit_like,
+    convection_diffusion_2d,
+    fem_block_2d,
+    grid_graph,
+    iter_suite,
+    laplacian_2d,
+    laplacian_3d,
+    load_matrix,
+    suite_names,
+)
+
+
+class TestLaplacians:
+    def test_2d_structure(self):
+        A = laplacian_2d(4, 3)
+        D = A.to_dense()
+        assert D.shape == (12, 12)
+        np.testing.assert_array_equal(np.diag(D), np.full(12, 4.0))
+        np.testing.assert_array_equal(D, D.T)
+        # interior row has 4 neighbours
+        assert (D[5] == -1).sum() in (3, 4)
+
+    def test_3d_diagonal(self):
+        A = laplacian_3d(3, 3, 3)
+        assert (A.diagonal() == 6.0).all()
+        np.testing.assert_array_equal(A.to_dense(), A.to_dense().T)
+
+    def test_2d_spd(self):
+        A = laplacian_2d(6, 6).to_dense()
+        w = np.linalg.eigvalsh(A)
+        assert w.min() > 0
+
+
+class TestConvectionDiffusion:
+    def test_nonsymmetric(self):
+        A = convection_diffusion_2d(6, 6, peclet=30.0).to_dense()
+        assert not np.allclose(A, A.T)
+
+    def test_reduces_to_laplacian_at_zero_peclet(self):
+        A = convection_diffusion_2d(5, 5, peclet=0.0).to_dense()
+        L = laplacian_2d(5, 5).to_dense()
+        np.testing.assert_allclose(A, L)
+
+    def test_row_sums_nonnegative(self):
+        # upwinding keeps the matrix an M-matrix-like operator
+        A = convection_diffusion_2d(8, 8, peclet=50.0)
+        assert (A.diagonal() > 0).all()
+
+
+class TestBlockStructured:
+    def test_block_pattern(self):
+        A = fem_block_2d(4, 4, 3, seed=0)
+        assert A.n_rows == 48
+        # rows within a node share the column pattern (supervariables)
+        h = A.row_pattern_hashes()
+        for node in range(16):
+            assert h[3 * node] == h[3 * node + 1] == h[3 * node + 2]
+
+    def test_diagonal_blocks_nonsingular(self):
+        A = fem_block_2d(6, 6, 4, seed=1)
+        for node in range(0, 36, 7):
+            blk = A.extract_block(4 * node, 4)
+            assert abs(np.linalg.det(blk)) > 1e-12
+
+    def test_dominance_parameter_controls_difficulty(self):
+        A_easy = fem_block_2d(6, 6, 2, seed=2, dominance=1.5)
+        A_hard = fem_block_2d(6, 6, 2, seed=2, dominance=0.4)
+        d_easy = np.abs(A_easy.diagonal()).min()
+        d_hard = np.abs(A_hard.diagonal()).min()
+        assert d_easy > d_hard
+
+    def test_deterministic_in_seed(self):
+        A = fem_block_2d(5, 5, 3, seed=9)
+        B = fem_block_2d(5, 5, 3, seed=9)
+        np.testing.assert_array_equal(A.values, B.values)
+        C = fem_block_2d(5, 5, 3, seed=10)
+        assert not np.array_equal(A.values, C.values)
+
+
+class TestCircuitLike:
+    def test_unbalanced_rows(self):
+        A = circuit_like(2000, seed=3, hub_degree=250)
+        nnz = A.row_nnz()
+        assert nnz.max() > 20 * np.median(nnz)
+
+    def test_square_and_diag_present(self):
+        A = circuit_like(500, seed=4)
+        assert A.shape == (500, 500)
+        assert (A.diagonal() != 0).all()
+
+
+class TestWaveguide:
+    def test_bandwidth(self):
+        A = banded_waveguide(100, bandwidth=3, seed=0)
+        rows = np.repeat(np.arange(100), A.row_nnz())
+        assert np.abs(rows - A.indices).max() <= 3
+
+    def test_nonsingular(self):
+        A = banded_waveguide(80, bandwidth=4, seed=1).to_dense()
+        assert abs(np.linalg.slogdet(A)[0]) == 1.0
+
+
+class TestSuite:
+    def test_exactly_48_entries(self):
+        assert len(SUITE) == 48
+        assert len(set(suite_names())) == 48
+        assert [e.id for e in SUITE] == list(range(1, 49))
+
+    def test_families_covered(self):
+        fams = {e.family for e in SUITE}
+        assert {"fem", "fem3d", "varblock", "convdiff", "circuit",
+                "waveguide", "laplacian"} <= fams
+
+    def test_load_matrix_cached_and_square(self):
+        A = load_matrix("fem_b4_s0")
+        assert A is load_matrix("fem_b4_s0")
+        assert A.n_rows == A.n_cols
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_matrix("definitely_not_a_matrix")
+
+    def test_iter_suite_subset(self):
+        pairs = list(iter_suite(subset=3))
+        assert len(pairs) == 3
+        for entry, mat in pairs:
+            assert mat.n_rows > 100
+
+    @pytest.mark.parametrize("name", ["varblk_s0", "circuit_s2",
+                                      "wave_n2048_b4", "convdiff_p20"])
+    def test_representative_matrices_nonsingular_diag(self, name):
+        A = load_matrix(name)
+        assert (A.diagonal() != 0).all()
+        assert A.n_rows >= 1000

@@ -1,0 +1,95 @@
+"""Tests for Matrix Market I/O (repro.sparse.io)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CsrMatrix,
+    fem_block_2d,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+class TestRead:
+    def test_general(self):
+        text = """%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.5
+2 2 -1.0
+3 1 4.0
+1 3 0.5
+"""
+        A = read_matrix_market(io.StringIO(text))
+        D = np.zeros((3, 3))
+        D[0, 0], D[1, 1], D[2, 0], D[0, 2] = 2.5, -1.0, 4.0, 0.5
+        np.testing.assert_array_equal(A.to_dense(), D)
+
+    def test_symmetric_expansion(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 3.0
+2 1 -1.0
+"""
+        A = read_matrix_market(io.StringIO(text))
+        np.testing.assert_array_equal(
+            A.to_dense(), [[3.0, -1.0], [-1.0, 0.0]]
+        )
+        assert A.nnz == 3  # diagonal not duplicated
+
+    def test_skew_symmetric(self):
+        text = """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 5.0
+"""
+        A = read_matrix_market(io.StringIO(text))
+        np.testing.assert_array_equal(
+            A.to_dense(), [[0.0, -5.0], [5.0, 0.0]]
+        )
+
+    def test_pattern(self):
+        text = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+        A = read_matrix_market(io.StringIO(text))
+        assert A.to_dense()[0, 1] == 1.0
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            read_matrix_market(io.StringIO("%%NotMM\n1 1 0\n"))
+        with pytest.raises(ValueError, match="field"):
+            read_matrix_market(io.StringIO(
+                "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+            ))
+
+    def test_truncated_body(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(ValueError, match="entries"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_empty_file(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(""))
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_matrix(self, tmp_path):
+        A = fem_block_2d(5, 5, 3, seed=0)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(A, path)
+        B = read_matrix_market(path)
+        assert B.shape == A.shape
+        np.testing.assert_allclose(B.to_dense(), A.to_dense())
+
+    def test_roundtrip_high_precision_values(self, tmp_path):
+        D = np.array([[np.pi, 0.0], [0.0, 1e-300]])
+        A = CsrMatrix.from_dense(D)
+        path = tmp_path / "p.mtx"
+        write_matrix_market(A, path)
+        B = read_matrix_market(path)
+        np.testing.assert_array_equal(B.to_dense(), D)

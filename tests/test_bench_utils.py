@@ -1,0 +1,60 @@
+"""Tests for the benchmark-harness utilities (repro.bench)."""
+
+import numpy as np
+
+from repro.bench import (
+    BATCH_SWEEP,
+    SIZE_SWEEP,
+    format_series_table,
+    format_table,
+    getrf_flops,
+    sweep,
+    trsv_flops,
+)
+
+
+class TestFlops:
+    def test_getrf_scalar(self):
+        assert getrf_flops(32) == 2 * 32**3 / 3
+        assert getrf_flops(16, nb=10) == 10 * 2 * 16**3 / 3
+
+    def test_getrf_array_of_sizes(self):
+        sizes = np.array([4, 8])
+        assert getrf_flops(sizes) == 2 * (4**3 + 8**3) / 3
+
+    def test_trsv(self):
+        assert trsv_flops(16) == 2 * 16**2
+        assert trsv_flops(np.array([2, 3])) == 2 * (4 + 9)
+
+
+class TestSweeps:
+    def test_batch_sweep_monotone_to_40000(self):
+        assert BATCH_SWEEP[-1] == 40000
+        assert list(BATCH_SWEEP) == sorted(BATCH_SWEEP)
+
+    def test_size_sweep_paper_range(self):
+        assert SIZE_SWEEP[0] == 4 and SIZE_SWEEP[-1] == 32
+
+    def test_sweep_helper(self):
+        assert sweep(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 0.001]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_series_table(self):
+        out = format_series_table("x", [1, 2], {"s1": [10, 20], "s2": [3, 4]})
+        assert "s1" in out and "s2" in out
+        assert out.splitlines()[-1].split()[0] == "2"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234.5], [0.00012], [5.5], [0.0]])
+        assert "1234" in out or "1235" in out
+        assert "0.00012" in out
+        assert "5.5" in out

@@ -1,0 +1,67 @@
+"""Tests for the command-line front end (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.matrix == "fem_b4_s0"
+        assert args.method == "lu"
+        assert args.bound == 32
+
+
+class TestCommands:
+    def test_suite_listing(self, capsys):
+        assert main(["suite", "--family", "waveguide"]) == 0
+        out = capsys.readouterr().out
+        assert "wave_n2048_b4" in out
+        assert "fem_b2_s0" not in out
+
+    def test_solve_suite_matrix(self, capsys):
+        rc = main(["solve", "fem_b8_s1", "--bound", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged" in out
+        assert "blocks" in out
+
+    def test_solve_scalar_jacobi(self, capsys):
+        rc = main(["solve", "fem_b8_s1", "--method", "scalar"])
+        assert rc == 0
+
+    def test_solve_mtx_file(self, tmp_path, capsys):
+        from repro.sparse import fem_block_2d, write_matrix_market
+
+        path = tmp_path / "a.mtx"
+        write_matrix_market(fem_block_2d(6, 6, 3, seed=0), path)
+        rc = main(["solve", "--mtx", str(path), "--solver", "bicgstab"])
+        assert rc == 0
+
+    def test_project(self, capsys):
+        rc = main(["project", "lu_factor", "-m", "32", "-n", "40000",
+                   "--precision", "single"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "GFLOPS" in out
+        # the headline number of the paper
+        gf = float(out.split(":")[1].split("GFLOPS")[0])
+        assert 480 < gf < 750
+
+    def test_blocks(self, capsys):
+        rc = main(["blocks", "fem_b4_s0", "--bound", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "supervariables" in out
+
+    def test_nonconverged_exit_code(self):
+        # 3 iterations cannot converge: exit code must be 1
+        rc = main(["solve", "fem_b2_s1", "--method", "scalar",
+                   "--maxiter", "3"])
+        assert rc == 1
