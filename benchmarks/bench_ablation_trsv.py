@@ -9,7 +9,6 @@ numerically.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from conftest import write_result

@@ -11,7 +11,6 @@ amortised within a handful of iterations.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from conftest import write_result

@@ -7,7 +7,7 @@ The sweeps mirror the paper's axes: batch sizes up to 40,000
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 __all__ = ["BATCH_SWEEP", "SIZE_SWEEP", "sweep"]
 

@@ -69,14 +69,11 @@ def _cmd_solve(args) -> int:
         M = ScalarJacobiPreconditioner().setup(A)
     else:
         M = BlockJacobiPreconditioner(
-            method=args.method, max_block_size=args.bound
+            method=args.method,
+            max_block_size=args.bound,
+            on_singular=args.on_singular,
         ).setup(A)
-        print(
-            f"block-Jacobi[{args.method}] bound {args.bound}: "
-            f"{M.block_sizes.size} blocks "
-            f"(largest {int(M.block_sizes.max())}), "
-            f"setup {M.setup_seconds * 1e3:.1f} ms"
-        )
+        print(M.report.summary())
     solver = {"idr": lambda: idrs(A, b, s=args.s, M=M, tol=args.tol,
                                   maxiter=args.maxiter),
               "bicgstab": lambda: bicgstab(A, b, M=M, tol=args.tol,
@@ -140,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["lu", "gh", "ght", "gje", "cholesky",
                              "scalar", "none"])
     pv.add_argument("--bound", type=int, default=32)
+    pv.add_argument("--on-singular", default="raise",
+                    choices=["raise", "identity", "scalar", "shift"],
+                    help="what to do with singular diagonal blocks "
+                    "(default: raise)")
     pv.add_argument("--solver", default="idr",
                     choices=["idr", "bicgstab", "gmres", "cg"])
     pv.add_argument("-s", type=int, default=4, help="IDR shadow dimension")

@@ -21,6 +21,12 @@ Public surface:
 
 from .batch import MAX_TILE, BatchedMatrices, BatchedVectors, round_up_tile
 from .batched_cholesky import CholeskyFactors, cholesky_factor, cholesky_solve
+from .degradation import (
+    SINGULAR_POLICIES,
+    DegradationRecord,
+    SingularBlockError,
+    substitute_singular_blocks,
+)
 from .batched_gauss_huard import GHFactors, gh_factor, gh_solve
 from .batched_gauss_jordan import GJInverse, gj_apply, gj_invert
 from .batched_lu import LUFactors, lu_factor, lu_reconstruct
@@ -38,6 +44,10 @@ __all__ = [
     "BatchedMatrices",
     "BatchedVectors",
     "round_up_tile",
+    "SINGULAR_POLICIES",
+    "DegradationRecord",
+    "SingularBlockError",
+    "substitute_singular_blocks",
     "LUFactors",
     "lu_factor",
     "lu_reconstruct",

@@ -29,7 +29,7 @@ and all mutating kernels work in place on the ``data`` array.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -18,6 +18,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from .batch import BatchedMatrices, BatchedVectors
+from .degradation import (
+    DegradationRecord,
+    OnSingular,
+    substitute_singular_blocks,
+)
 
 __all__ = ["CholeskyFactors", "cholesky_factor", "cholesky_solve"]
 
@@ -34,10 +39,14 @@ class CholeskyFactors:
     info:
         0 on success; ``k+1`` if the leading minor of order ``k+1`` is
         not positive definite (LAPACK ``potrf`` semantics).
+    degradation:
+        Non-SPD-block substitution record when ``cholesky_factor`` was
+        called with an ``on_singular`` policy; None otherwise.
     """
 
     factors: BatchedMatrices
     info: np.ndarray
+    degradation: DegradationRecord | None = None
 
     @property
     def nb(self) -> int:
@@ -53,7 +62,9 @@ class CholeskyFactors:
 
 
 def cholesky_factor(
-    batch: BatchedMatrices, overwrite: bool = False
+    batch: BatchedMatrices,
+    overwrite: bool = False,
+    on_singular: OnSingular | None = None,
 ) -> CholeskyFactors:
     """Right-looking batched Cholesky: ``D_i = L_i L_i^T`` per block.
 
@@ -61,8 +72,45 @@ def cholesky_factor(
     LAPACK ``potrf('L', ...)``.  Blocks whose pivot becomes non-positive
     are flagged in ``info`` and their trailing updates are skipped
     (their factor content beyond the failing step is unspecified).
+
+    ``on_singular`` (None = flag and continue) delegates non-SPD blocks
+    to the shared substitution engine with ``spd=True`` (scalar patches
+    use absolute diagonal values, shifts escalate until the block turns
+    positive definite); see :func:`repro.core.batched_lu.lu_factor`.
     """
+    originals = None
+    if on_singular in ("scalar", "shift"):
+        originals = batch.data.copy() if overwrite else batch.data
     A = batch.data if overwrite else batch.data.copy()
+    A, info = _chol_core(A)
+    record = None
+    if on_singular is not None:
+
+        def refactor(cand: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            sub_A, sub_info = _chol_core(cand)
+            A[idx] = sub_A
+            return sub_info
+
+        record = substitute_singular_blocks(
+            on_singular,
+            info,
+            refactor,
+            originals,
+            batch.sizes,
+            A.shape[1],
+            A.dtype,
+            spd=True,
+            kernel="batched Cholesky",
+        )
+    return CholeskyFactors(
+        factors=BatchedMatrices(A, batch.sizes.copy()),
+        info=info,
+        degradation=record,
+    )
+
+
+def _chol_core(A: np.ndarray):
+    """In-place lower Cholesky of one ``(nb, tile, tile)`` batch."""
     nb, tile, _ = A.shape
     info = np.zeros(nb, dtype=np.int64)
     for k in range(tile):
@@ -95,9 +143,7 @@ def cholesky_factor(
     # off-load: zero the strict upper triangle so `factors` is exactly L.
     iu = np.triu_indices(tile, k=1)
     A[:, iu[0], iu[1]] = 0.0
-    return CholeskyFactors(
-        factors=BatchedMatrices(A, batch.sizes.copy()), info=info
-    )
+    return A, info
 
 
 def cholesky_solve(

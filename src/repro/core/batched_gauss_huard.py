@@ -44,6 +44,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from .batch import BatchedMatrices, BatchedVectors
+from .degradation import (
+    DegradationRecord,
+    OnSingular,
+    substitute_singular_blocks,
+)
 from .pivoting import identity_perms
 
 __all__ = ["GHFactors", "gh_factor", "gh_solve"]
@@ -68,12 +73,16 @@ class GHFactors:
         0 on success, ``k+1`` if the pivot of stage ``k`` was zero.
     transposed:
         True for the Gauss-Huard-T storage layout.
+    degradation:
+        Singular-block substitution record when ``gh_factor`` was
+        called with an ``on_singular`` policy; None otherwise.
     """
 
     factors: BatchedMatrices
     colperm: np.ndarray
     info: np.ndarray
     transposed: bool = False
+    degradation: DegradationRecord | None = None
 
     @property
     def nb(self) -> int:
@@ -96,6 +105,7 @@ def gh_factor(
     batch: BatchedMatrices,
     transposed: bool = False,
     overwrite: bool = False,
+    on_singular: OnSingular | None = None,
 ) -> GHFactors:
     """Gauss-Huard factorization (with column pivoting) of every block.
 
@@ -106,9 +116,52 @@ def gh_factor(
     transposed:
         Store the factors in the GH-T (transpose-friendly) layout.
     overwrite:
-        Destroy the input batch storage.
+        Destroy the input batch storage (snapshotted first when the
+        ``"scalar"``/``"shift"`` policies need the original blocks).
+    on_singular:
+        None keeps the flag-and-continue behaviour; a policy name
+        delegates singular blocks to the shared substitution engine
+        (see :func:`repro.core.batched_lu.lu_factor`).
     """
+    originals = None
+    if on_singular in ("scalar", "shift"):
+        originals = batch.data.copy() if overwrite else batch.data
     A = batch.data if overwrite else batch.data.copy()
+    A, colperm, info = _gh_core(A)
+    record = None
+    if on_singular is not None:
+
+        def refactor(cand: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            sub_A, sub_colperm, sub_info = _gh_core(cand)
+            A[idx] = sub_A
+            colperm[idx] = sub_colperm
+            return sub_info
+
+        record = substitute_singular_blocks(
+            on_singular,
+            info,
+            refactor,
+            originals,
+            batch.sizes,
+            A.shape[1],
+            A.dtype,
+            kernel="batched Gauss-Huard",
+        )
+    if transposed:
+        # GH-T: pay strided writes once here so the solve can stream the
+        # factors with unit stride.
+        A = np.ascontiguousarray(A.transpose(0, 2, 1))
+    return GHFactors(
+        factors=BatchedMatrices(A, batch.sizes.copy()),
+        colperm=colperm,
+        info=info,
+        transposed=transposed,
+        degradation=record,
+    )
+
+
+def _gh_core(A: np.ndarray):
+    """In-place Gauss-Huard loop over one ``(nb, tile, tile)`` batch."""
     nb, tile, _ = A.shape
     barange = np.arange(nb)
     colperm = identity_perms(nb, tile)
@@ -149,16 +202,7 @@ def gh_factor(
                 A[:, :k, k + 1 :] -= (
                     A[:, :k, k, None] * A[:, None, k, k + 1 :]
                 )
-    if transposed:
-        # GH-T: pay strided writes once here so the solve can stream the
-        # factors with unit stride.
-        A = np.ascontiguousarray(A.transpose(0, 2, 1))
-    return GHFactors(
-        factors=BatchedMatrices(A, batch.sizes.copy()),
-        colperm=colperm,
-        info=info,
-        transposed=transposed,
-    )
+    return A, colperm, info
 
 
 def gh_solve(fac: GHFactors, rhs: BatchedVectors) -> BatchedVectors:

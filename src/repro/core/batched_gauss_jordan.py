@@ -24,6 +24,11 @@ import numpy as np
 
 from .batch import BatchedMatrices, BatchedVectors
 from .blas import batched_gemv
+from .degradation import (
+    DegradationRecord,
+    OnSingular,
+    substitute_singular_blocks,
+)
 
 __all__ = ["GJInverse", "gj_invert", "gj_apply"]
 
@@ -40,10 +45,14 @@ class GJInverse:
     info:
         0 on success, ``k+1`` if stage ``k`` hit an exactly zero pivot
         (the block is singular and its "inverse" is garbage).
+    degradation:
+        Singular-block substitution record when ``gj_invert`` was
+        called with an ``on_singular`` policy; None otherwise.
     """
 
     inverses: BatchedMatrices
     info: np.ndarray
+    degradation: DegradationRecord | None = None
 
     @property
     def nb(self) -> int:
@@ -58,7 +67,11 @@ class GJInverse:
         return bool((self.info == 0).all())
 
 
-def gj_invert(batch: BatchedMatrices, overwrite: bool = False) -> GJInverse:
+def gj_invert(
+    batch: BatchedMatrices,
+    overwrite: bool = False,
+    on_singular: OnSingular | None = None,
+) -> GJInverse:
     """Invert every block in place via Gauss-Jordan with partial pivoting.
 
     The classic in-place scheme (e.g. Numerical Recipes ``gaussj``):
@@ -67,8 +80,43 @@ def gj_invert(batch: BatchedMatrices, overwrite: bool = False) -> GJInverse:
     eliminated.  Row exchanges during elimination correspond to column
     exchanges of the inverse, which are undone in reverse order at the
     end.
+
+    ``on_singular`` (None = flag and continue) delegates singular
+    blocks to the shared substitution engine; see
+    :func:`repro.core.batched_lu.lu_factor`.
     """
+    originals = None
+    if on_singular in ("scalar", "shift"):
+        originals = batch.data.copy() if overwrite else batch.data
     A = batch.data if overwrite else batch.data.copy()
+    A, info = _gj_core(A)
+    record = None
+    if on_singular is not None:
+
+        def refactor(cand: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            sub_A, sub_info = _gj_core(cand)
+            A[idx] = sub_A
+            return sub_info
+
+        record = substitute_singular_blocks(
+            on_singular,
+            info,
+            refactor,
+            originals,
+            batch.sizes,
+            A.shape[1],
+            A.dtype,
+            kernel="batched Gauss-Jordan inversion",
+        )
+    return GJInverse(
+        inverses=BatchedMatrices(A, batch.sizes.copy()),
+        info=info,
+        degradation=record,
+    )
+
+
+def _gj_core(A: np.ndarray):
+    """In-place Gauss-Jordan inversion of one ``(nb, tile, tile)`` batch."""
     nb, tile, _ = A.shape
     barange = np.arange(nb)
     info = np.zeros(nb, dtype=np.int64)
@@ -110,9 +158,7 @@ def gj_invert(batch: BatchedMatrices, overwrite: bool = False) -> GJInverse:
         cp = A[barange, :, jp].copy()
         A[:, :, k] = cp
         A[barange, :, jp] = ck
-    return GJInverse(
-        inverses=BatchedMatrices(A, batch.sizes.copy()), info=info
-    )
+    return A, info
 
 
 def gj_apply(inv: GJInverse, rhs: BatchedVectors) -> BatchedVectors:

@@ -33,17 +33,22 @@ the performance model charges for them, which reproduces the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np
 
-from .batch import BatchedMatrices, BatchedVectors
+from .batch import BatchedMatrices
 from .blas import (
     batched_apply_row_perm,
     batched_ger_update,
     batched_scal_rows,
     batched_swap_rows,
+)
+from .degradation import (
+    DegradationRecord,
+    OnSingular,
+    substitute_singular_blocks,
 )
 from .pivoting import identity_perms, invert_perms, steps_to_perm
 
@@ -72,12 +77,16 @@ class LUFactors:
         pivot of step ``k`` was exactly zero (singular block).
     pivoting:
         Which pivoting strategy produced this factorization.
+    degradation:
+        Singular-block substitution record when ``lu_factor`` was
+        called with an ``on_singular`` policy; None otherwise.
     """
 
     factors: BatchedMatrices
     perm: np.ndarray
     info: np.ndarray
     pivoting: Pivoting = "implicit"
+    degradation: DegradationRecord | None = None
 
     @property
     def nb(self) -> int:
@@ -109,10 +118,14 @@ class LUFactors:
         return np.triu(self.factors.data)
 
 
+_CORES = {}  # pivoting name -> batched core, filled after the defs below
+
+
 def lu_factor(
     batch: BatchedMatrices,
     pivoting: Pivoting = "implicit",
     overwrite: bool = False,
+    on_singular: OnSingular | None = None,
 ) -> LUFactors:
     """Factorize every block of ``batch`` as ``P A_i = L_i U_i``.
 
@@ -126,6 +139,18 @@ def lu_factor(
         (textbook row swaps) or ``"none"``.
     overwrite:
         If True, the batch's storage is destroyed (used as scratch).
+        The ``"scalar"``/``"shift"`` policies snapshot the input first
+        (they rebuild candidates from the original blocks), so the
+        scratch saving is lost for those two policies.
+    on_singular:
+        None (default) keeps the LAPACK behaviour: singular blocks are
+        flagged in ``info`` and the caller decides.  A policy name from
+        :data:`~repro.core.degradation.SINGULAR_POLICIES` delegates to
+        the shared substitution engine: ``"raise"`` aborts with
+        :class:`~repro.core.degradation.SingularBlockError`, the other
+        policies replace the failed blocks' factors so the returned
+        factorization is usable (``info`` cleared, original status in
+        ``degradation``).
 
     Returns
     -------
@@ -141,19 +166,38 @@ def lu_factor(
     """
     if pivoting not in ("implicit", "explicit", "none"):
         raise ValueError(f"unknown pivoting strategy: {pivoting!r}")
+    originals = None
+    if on_singular in ("scalar", "shift"):
+        originals = batch.data.copy() if overwrite else batch.data
     A = batch.data if overwrite else batch.data.copy()
     sizes = batch.sizes.copy()
-    if pivoting == "implicit":
-        out, perm, info = _factor_implicit(A)
-    elif pivoting == "explicit":
-        out, perm, info = _factor_explicit(A)
-    else:
-        out, perm, info = _factor_nopivot(A)
+    core = _CORES[pivoting]
+    out, perm, info = core(A)
+    record = None
+    if on_singular is not None:
+
+        def refactor(cand: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            sub_out, sub_perm, sub_info = core(cand)
+            out[idx] = sub_out
+            perm[idx] = sub_perm
+            return sub_info
+
+        record = substitute_singular_blocks(
+            on_singular,
+            info,
+            refactor,
+            originals,
+            sizes,
+            out.shape[1],
+            out.dtype,
+            kernel=f"batched LU ({pivoting} pivoting)",
+        )
     return LUFactors(
         factors=BatchedMatrices(out, sizes),
         perm=perm,
         info=info,
         pivoting=pivoting,
+        degradation=record,
     )
 
 
@@ -243,6 +287,13 @@ def _factor_nopivot(A: np.ndarray):
         batched_scal_rows(A, k, inv_pivot, below & ~singular[:, None])
         batched_ger_update(A, k, A[:, k, :].copy(), below)
     return A, perm, info
+
+
+_CORES.update(
+    implicit=_factor_implicit,
+    explicit=_factor_explicit,
+    none=_factor_nopivot,
+)
 
 
 def lu_reconstruct(fac: LUFactors) -> np.ndarray:

@@ -1,0 +1,330 @@
+"""Graceful degradation for singular blocks in batched factorizations.
+
+The paper (Section II-A) assumes every diagonal block is invertible -
+block-Jacobi is simply not defined otherwise - but real SuiteSparse
+matrices routinely produce singular (or, for the Cholesky path,
+non-SPD) diagonal blocks.  Production preconditioner stacks degrade
+*per block* instead of aborting the whole setup; MAGMA-sparse, for
+example, substitutes the identity for blocks its batched factorization
+flags, which turns the offending block's contribution into plain
+(unpreconditioned) Richardson coupling while the healthy blocks keep
+their full block-Jacobi effect.
+
+This module is the shared substitution engine used by all four batched
+factorization kernels (:mod:`.batched_lu`, :mod:`.batched_gauss_huard`,
+:mod:`.batched_gauss_jordan`, :mod:`.batched_cholesky`).  Policies:
+
+``"raise"``
+    Refuse: raise :class:`SingularBlockError` (the historical
+    behaviour of the preconditioner setup).
+``"identity"``
+    Replace each failed block with the identity, a la MAGMA-sparse.
+``"scalar"``
+    Replace each failed block with its own diagonal (zeros mapped to
+    one) - a per-block scalar-Jacobi patch that keeps at least the
+    diagonal scaling of the block.
+``"shift"``
+    Re-run the factorization on ``D + sigma I`` with an escalating
+    diagonal shift ``sigma`` (a Manteuffel-style shift); blocks that
+    still fail after the last attempt fall back to the identity.
+
+The engine is kernel-agnostic: each kernel passes a ``refactor``
+callback that runs its own batched core on a candidate batch and
+installs the resulting factors into the failed slots.  Because every
+candidate the engine constructs is invertible by construction
+(identity, a nonzero diagonal, or a sufficiently shifted block - with
+the identity as the final safety net), the returned factorization is
+always usable and its ``info`` is cleared to zero; the original
+per-block status survives in the :class:`DegradationRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+import numpy as np
+
+__all__ = [
+    "ACTION_IDENTITY",
+    "ACTION_NAMES",
+    "ACTION_NONE",
+    "ACTION_SCALAR",
+    "ACTION_SHIFT",
+    "DegradationRecord",
+    "OnSingular",
+    "SINGULAR_POLICIES",
+    "SingularBlockError",
+    "substitute_singular_blocks",
+]
+
+OnSingular = Literal["raise", "identity", "scalar", "shift"]
+
+#: the accepted ``on_singular`` policy names, in escalation order
+SINGULAR_POLICIES = ("raise", "identity", "scalar", "shift")
+
+#: per-block action codes recorded by :class:`DegradationRecord`
+ACTION_NONE = 0  # block factorized cleanly, nothing substituted
+ACTION_SHIFT = 1  # factor of the diagonally shifted block installed
+ACTION_SCALAR = 2  # factor of the diagonal (scalar-Jacobi) patch installed
+ACTION_IDENTITY = 3  # identity factor installed
+
+ACTION_NAMES = {
+    ACTION_NONE: "none",
+    ACTION_SHIFT: "shift",
+    ACTION_SCALAR: "scalar",
+    ACTION_IDENTITY: "identity",
+}
+
+#: first shift is ``scale * sqrt(eps)``; each retry multiplies by 100, so
+#: five attempts span ``~1.5e-8 .. 1.5`` times the block's norm scale
+_SHIFT_ATTEMPTS = 5
+_SHIFT_GROWTH = 100.0
+
+
+class SingularBlockError(ValueError):
+    """Raised by the ``"raise"`` policy when blocks fail to factorize.
+
+    Attributes
+    ----------
+    info:
+        The per-block LAPACK-style status array; nonzero entries mark
+        the offending blocks (value = 1 + first failing step).
+    """
+
+    def __init__(self, message: str, info: np.ndarray):
+        super().__init__(message)
+        self.info = info
+
+
+@dataclass
+class DegradationRecord:
+    """What the singular-block substitution engine did, per block.
+
+    Attributes
+    ----------
+    policy:
+        The requested ``on_singular`` policy.
+    original_info:
+        The factorization status *before* substitution (LAPACK
+        semantics: 0 = clean, ``k+1`` = step ``k`` failed).
+    action:
+        Per-block action code (``ACTION_*``): what ultimately replaced
+        the block's factor.  ``ACTION_NONE`` for healthy blocks.
+    shift:
+        The diagonal shift applied where ``action == ACTION_SHIFT``
+        (zero elsewhere).
+    """
+
+    policy: str
+    original_info: np.ndarray
+    action: np.ndarray
+    shift: np.ndarray
+
+    @property
+    def nb(self) -> int:
+        return self.original_info.shape[0]
+
+    @property
+    def n_failed(self) -> int:
+        """Number of blocks the factorization originally flagged."""
+        return int(np.count_nonzero(self.original_info))
+
+    @property
+    def n_fallbacks(self) -> int:
+        """Number of blocks whose factor was substituted."""
+        return int(np.count_nonzero(self.action))
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of substitution actions, keyed by action name."""
+        return {
+            name: int(np.count_nonzero(self.action == code))
+            for code, name in ACTION_NAMES.items()
+            if code != ACTION_NONE
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"{n} {name}" for name, n in self.counts().items() if n
+        ]
+        if not parts:
+            return "no fallbacks"
+        return (
+            f"{self.n_failed}/{self.nb} block(s) degraded "
+            f"[policy={self.policy}]: " + ", ".join(parts)
+        )
+
+
+def _identity_candidates(nf: int, tile: int, dtype) -> np.ndarray:
+    cand = np.zeros((nf, tile, tile), dtype=dtype)
+    idx = np.arange(tile)
+    cand[:, idx, idx] = 1.0
+    return cand
+
+
+def _scalar_candidates(
+    originals: np.ndarray, sizes: np.ndarray, spd: bool
+) -> np.ndarray:
+    """Diagonal (scalar-Jacobi) patches for the failed blocks.
+
+    Zero diagonal entries map to one (the unknown is left unscaled,
+    matching :class:`~repro.precond.scalar_jacobi.ScalarJacobiPreconditioner`).
+    For the SPD path the absolute value is used so the patch stays
+    positive definite.
+    """
+    nf, tile, _ = originals.shape
+    idx = np.arange(tile)
+    d = originals[:, idx, idx].copy()
+    if spd:
+        d = np.abs(d)
+    d = np.where(d == 0.0, 1.0, d)
+    cand = np.zeros_like(originals)
+    cand[:, idx, idx] = d  # padding slots already hold 1.0 in `originals`
+    return cand
+
+
+def _shift_scales(originals: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Per-block norm scale for the diagonal shift (active inf-norm)."""
+    nf, tile, _ = originals.shape
+    mask = np.arange(tile)[None, :] < sizes[:, None]
+    absA = np.abs(originals) * (mask[:, :, None] & mask[:, None, :])
+    rowsums = absA.sum(axis=2)
+    return np.maximum(rowsums.max(axis=1), 1.0)
+
+
+def _shifted_candidates(
+    originals: np.ndarray, sizes: np.ndarray, shift: np.ndarray
+) -> np.ndarray:
+    """``D + sigma I`` on the active diagonal (padding stays identity)."""
+    nf, tile, _ = originals.shape
+    cand = originals.copy()
+    idx = np.arange(tile)
+    active = idx[None, :] < sizes[:, None]
+    diag = cand[:, idx, idx]
+    cand[:, idx, idx] = np.where(active, diag + shift[:, None], diag)
+    return cand
+
+
+def substitute_singular_blocks(
+    policy: str,
+    info: np.ndarray,
+    refactor: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    originals: np.ndarray | None,
+    sizes: np.ndarray,
+    tile: int,
+    dtype,
+    spd: bool = False,
+    kernel: str = "batched factorization",
+) -> DegradationRecord:
+    """Replace every flagged block's factor according to ``policy``.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`SINGULAR_POLICIES` (``"raise"`` raises instead of
+        substituting).
+    info:
+        Per-block factorization status of the *whole* batch; nonzero
+        entries select the blocks to substitute.  Cleared to zero in
+        place for substituted blocks, so downstream batched solves (which
+        refuse factorizations with nonzero ``info``) accept the result.
+    refactor:
+        ``refactor(candidates, indices) -> info_subset``: run the
+        kernel's batched core on the ``(nf, tile, tile)`` candidate
+        batch and install the resulting factors into the global slots
+        ``indices``; return the candidates' own status array.  Called
+        one or more times (the shift policy escalates on shrinking
+        subsets); each call must overwrite whatever a previous call
+        installed for the same slot.
+    originals:
+        Pre-factorization content of the batch, ``(nb, tile, tile)``.
+        Required for the ``"scalar"`` and ``"shift"`` policies (they
+        rebuild candidates from the original blocks); may be None for
+        ``"raise"``/``"identity"``.
+    sizes, tile, dtype:
+        Batch geometry (active block sizes, padded tile, storage dtype).
+    spd:
+        True when the caller is the Cholesky kernel: scalar patches use
+        absolute diagonal values and shifts must reach positive
+        definiteness rather than mere invertibility.
+    kernel:
+        Human-readable kernel name for the ``"raise"`` error message.
+
+    Returns
+    -------
+    DegradationRecord
+        Per-block record of the original status and the substitutions.
+    """
+    if policy not in SINGULAR_POLICIES:
+        raise ValueError(
+            f"unknown on_singular policy {policy!r}; "
+            f"expected one of {SINGULAR_POLICIES}"
+        )
+    original_info = info.copy()
+    nb = info.shape[0]
+    action = np.zeros(nb, dtype=np.int8)
+    shift = np.zeros(nb, dtype=np.float64)
+    failed = np.nonzero(info)[0]
+    if failed.size == 0:
+        return DegradationRecord(policy, original_info, action, shift)
+    if policy == "raise":
+        raise SingularBlockError(
+            f"{failed.size} block(s) failed the {kernel} "
+            f"(first failing steps: info={original_info[failed][:8]}...); "
+            "pass on_singular='identity'|'scalar'|'shift' to degrade "
+            "gracefully instead of aborting",
+            original_info,
+        )
+    if policy in ("scalar", "shift") and originals is None:
+        raise ValueError(
+            f"the {policy!r} policy needs the original blocks; "
+            "the caller must snapshot them before an in-place "
+            "factorization"
+        )
+
+    def _give_up_identity(indices: np.ndarray) -> None:
+        cand = _identity_candidates(indices.size, tile, dtype)
+        sub_info = refactor(cand, indices)
+        if np.any(sub_info):  # pragma: no cover - identity always factors
+            raise AssertionError(
+                "identity substitution failed to factorize; "
+                f"kernel={kernel}"
+            )
+        action[indices] = ACTION_IDENTITY
+        shift[indices] = 0.0
+
+    if policy == "identity":
+        _give_up_identity(failed)
+    elif policy == "scalar":
+        cand = _scalar_candidates(
+            originals[failed].astype(dtype, copy=False), sizes[failed], spd
+        )
+        sub_info = refactor(cand, failed)
+        action[failed] = ACTION_SCALAR
+        if np.any(sub_info):  # pragma: no cover - patches are invertible
+            _give_up_identity(failed[sub_info != 0])
+    else:  # shift
+        remaining = failed
+        scale = np.zeros(nb, dtype=np.float64)
+        scale[failed] = _shift_scales(
+            originals[failed].astype(np.float64, copy=False), sizes[failed]
+        )
+        sigma0 = np.sqrt(np.finfo(np.float64).eps)
+        for attempt in range(_SHIFT_ATTEMPTS):
+            sigmas = sigma0 * _SHIFT_GROWTH**attempt * scale[remaining]
+            cand = _shifted_candidates(
+                originals[remaining].astype(dtype, copy=False),
+                sizes[remaining],
+                sigmas,
+            )
+            sub_info = refactor(cand, remaining)
+            fixed = sub_info == 0
+            action[remaining[fixed]] = ACTION_SHIFT
+            shift[remaining[fixed]] = sigmas[fixed]
+            remaining = remaining[~fixed]
+            if remaining.size == 0:
+                break
+        if remaining.size:
+            _give_up_identity(remaining)
+    info[failed] = 0
+    return DegradationRecord(policy, original_info, action, shift)

@@ -19,7 +19,6 @@ the differences concentrated in the apply phase for GH.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

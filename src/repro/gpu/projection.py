@@ -15,8 +15,6 @@ processes its own problem, so costs are additive over the batch.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-
 import numpy as np
 
 from .cublas_model import cublas_getrf_timing, cublas_getrs_timing

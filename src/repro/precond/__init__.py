@@ -2,6 +2,7 @@
 
 from .base import IdentityPreconditioner, Preconditioner
 from .block_jacobi import BlockJacobiPreconditioner
+from .report import SetupReport
 from .scalar_jacobi import ScalarJacobiPreconditioner
 
 __all__ = [
@@ -9,4 +10,5 @@ __all__ = [
     "IdentityPreconditioner",
     "ScalarJacobiPreconditioner",
     "BlockJacobiPreconditioner",
+    "SetupReport",
 ]

@@ -18,8 +18,37 @@ runs one batched solve.  Five factorization backends are supported:
     Inversion-based block-Jacobi (Gauss-Jordan elimination): setup
     computes explicit inverses, application is a batched GEMV.
 ``"cholesky"``
-    The SPD fast path (the paper's stated future work); setup falls
-    back to LU with a warning flag if any block is not SPD.
+    The SPD fast path (the paper's stated future work); if any block
+    turns out not to be SPD, setup falls back to the batched LU for the
+    whole batch, emits a ``UserWarning``, and records the fallback in
+    the :class:`~repro.precond.report.SetupReport`.
+
+Degradation policy
+------------------
+Block-Jacobi is only well-defined when every diagonal block is
+invertible (Section II-A), but real matrices routinely violate that.
+The ``on_singular`` knob decides what setup does with blocks the
+batched factorization flags:
+
+``"raise"`` (default)
+    Abort setup with ``ValueError`` - the historical behaviour.
+``"identity"``
+    Substitute the identity for the failed block's factor (the
+    MAGMA-sparse practice): the offending unknowns pass through the
+    preconditioner unscaled while healthy blocks keep their full
+    block-Jacobi treatment.
+``"scalar"``
+    Substitute the block's own diagonal (zeros mapped to one), i.e. a
+    per-block scalar-Jacobi patch.
+``"shift"``
+    Retry the factorization of the failed blocks with an escalating
+    diagonal shift; blocks that never succeed fall back to the
+    identity.
+
+Whatever happened is summarised in the ``report`` attribute (a
+:class:`~repro.precond.report.SetupReport`) with per-block status,
+substitution actions and 1-norm condition estimates of the surviving
+blocks.
 
 The vector gather/scatter between the sparse unknown ordering and the
 padded batch layout is precomputed once in ``setup`` so every ``apply``
@@ -30,20 +59,27 @@ permutation with the register load (Section III-B).
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Literal
 
 import numpy as np
 
 from ..blocking.extraction import extract_blocks
 from ..blocking.supervariable import supervariable_blocking
-from ..core.batch import BatchedMatrices, BatchedVectors
+from ..core.batch import MAX_TILE, BatchedMatrices, BatchedVectors
 from ..core.batched_cholesky import cholesky_factor, cholesky_solve
 from ..core.batched_gauss_huard import gh_factor, gh_solve
 from ..core.batched_gauss_jordan import gj_apply, gj_invert
 from ..core.batched_lu import lu_factor
 from ..core.batched_trsv import lu_solve
+from ..core.degradation import (
+    SINGULAR_POLICIES,
+    OnSingular,
+    SingularBlockError,
+)
 from ..sparse.csr import CsrMatrix
 from .base import Preconditioner
+from .report import SetupReport
 
 __all__ = ["BlockJacobiPreconditioner"]
 
@@ -65,15 +101,29 @@ class BlockJacobiPreconditioner(Preconditioner):
     dtype:
         Precision of the batched factorizations (the sparse matrix and
         vectors stay float64; fp32 models a mixed-precision setting).
+    on_singular:
+        Degradation policy for singular (or, after the Cholesky->LU
+        fallback, still singular) diagonal blocks; one of ``"raise"``
+        (default), ``"identity"``, ``"scalar"``, ``"shift"`` - see the
+        module docstring.
+    estimate_condition:
+        Estimate the 1-norm condition number of every surviving block
+        during setup (``tile`` extra batched solves); stored in the
+        ``report``.  On by default.
 
     Attributes (after ``setup``)
     ----------------------------
     block_sizes:
         The partition actually used.
     info:
-        Per-block factorization status (0 = success).
+        Per-block factorization status before any substitution
+        (0 = success; LAPACK semantics otherwise).
+    report:
+        :class:`~repro.precond.report.SetupReport` describing the
+        setup: fallback counts, substitution actions, condition
+        estimates.
     setup_seconds:
-        Wall time of extraction + factorization.
+        Wall time of extraction + factorization (+ estimation).
     """
 
     def __init__(
@@ -82,25 +132,81 @@ class BlockJacobiPreconditioner(Preconditioner):
         max_block_size: int = 32,
         block_sizes: np.ndarray | None = None,
         dtype=np.float64,
+        on_singular: OnSingular = "raise",
+        estimate_condition: bool = True,
     ):
         if method not in ("lu", "gh", "ght", "gje", "cholesky"):
             raise ValueError(f"unknown block-Jacobi method {method!r}")
         if not 1 <= max_block_size <= 32:
             raise ValueError("max_block_size must be in [1, 32]")
+        if on_singular not in SINGULAR_POLICIES:
+            raise ValueError(
+                f"unknown on_singular policy {on_singular!r}; expected "
+                f"one of {SINGULAR_POLICIES}"
+            )
         self.method = method
         self.max_block_size = max_block_size
         self._explicit_sizes = (
-            None if block_sizes is None else np.asarray(block_sizes, np.int64)
+            None if block_sizes is None else np.asarray(block_sizes)
         )
         self.dtype = np.dtype(dtype)
+        self.on_singular = on_singular
+        self.estimate_condition = estimate_condition
         self.block_sizes: np.ndarray | None = None
         self.info: np.ndarray | None = None
+        self.report: SetupReport | None = None
         self._factor = None
+        self._effective_method: str = method
         self._n = 0
         self._gather: np.ndarray | None = None
         self._valid: np.ndarray | None = None
 
     # -- setup ---------------------------------------------------------------
+
+    def _validated_explicit_sizes(self, n: int) -> np.ndarray:
+        """Check an explicit partition before it hits the batch layer.
+
+        Bad partitions (zero/negative entries, blocks beyond the warp
+        tile) used to surface as confusing downstream errors from
+        ``BatchedMatrices``/``round_up_tile``; reject them here with a
+        clear message instead.
+        """
+        sizes = self._explicit_sizes
+        if sizes.ndim != 1:
+            raise ValueError(
+                f"explicit block_sizes must be a 1-D sequence, got "
+                f"shape {sizes.shape}"
+            )
+        if not np.issubdtype(sizes.dtype, np.integer):
+            if not np.all(sizes == np.floor(sizes)):
+                raise ValueError(
+                    "explicit block_sizes must be integers, got "
+                    f"dtype {sizes.dtype}"
+                )
+            sizes = sizes.astype(np.int64)
+        else:
+            sizes = sizes.astype(np.int64)
+        if sizes.size == 0:
+            raise ValueError("explicit block_sizes must not be empty")
+        if sizes.min() < 1:
+            raise ValueError(
+                "explicit block_sizes must be positive; got "
+                f"{int(sizes.min())} at index "
+                f"{int(np.argmin(sizes))}"
+            )
+        if sizes.max() > MAX_TILE:
+            raise ValueError(
+                f"explicit block size {int(sizes.max())} exceeds the "
+                f"register tile limit {MAX_TILE} (the warp width of the "
+                "paper's kernels); split the block or use "
+                "supervariable blocking"
+            )
+        if sizes.sum() != n:
+            raise ValueError(
+                "explicit block sizes must cover the matrix: they sum "
+                f"to {int(sizes.sum())}, expected {n}"
+            )
+        return sizes
 
     def setup(self, matrix: CsrMatrix) -> "BlockJacobiPreconditioner":
         t0 = time.perf_counter()
@@ -108,46 +214,99 @@ class BlockJacobiPreconditioner(Preconditioner):
             raise ValueError("block-Jacobi needs a square matrix")
         self._n = matrix.n_rows
         if self._explicit_sizes is not None:
-            sizes = self._explicit_sizes
-            if sizes.sum() != self._n:
-                raise ValueError("explicit block sizes must cover the matrix")
+            sizes = self._validated_explicit_sizes(self._n)
         else:
             sizes = supervariable_blocking(matrix, self.max_block_size)
         self.block_sizes = sizes
         blocks = extract_blocks(matrix, sizes, dtype=self.dtype)
+        anorm1 = self._block_1norms(blocks)
         self._factorize(blocks)
         self._build_index_maps(blocks)
+        if self.estimate_condition:
+            cond = self._estimate_conditions(anorm1)
+        else:
+            cond = None
+        self.report.condition_estimates = cond
         self.setup_seconds = time.perf_counter() - t0
+        self.report.setup_seconds = self.setup_seconds
         return self
 
     def _factorize(self, blocks: BatchedMatrices) -> None:
-        if self.method == "lu":
-            fac = lu_factor(blocks, pivoting="implicit", overwrite=True)
-            self.info = fac.info
-        elif self.method in ("gh", "ght"):
-            fac = gh_factor(
-                blocks, transposed=(self.method == "ght"), overwrite=True
-            )
-            self.info = fac.info
-        elif self.method == "gje":
-            fac = gj_invert(blocks, overwrite=True)
-            self.info = fac.info
-        else:  # cholesky
-            fac = cholesky_factor(blocks, overwrite=False)
-            self.info = fac.info
-            if not fac.ok:
-                raise ValueError(
-                    "cholesky block-Jacobi requires SPD diagonal blocks; "
-                    f"{int(np.count_nonzero(fac.info))} block(s) failed - "
-                    "use method='lu' for general matrices"
+        policy = self.on_singular
+        effective = self.method
+        chol_fallback = False
+        n_nonspd = 0
+        try:
+            if self.method == "cholesky":
+                fac = cholesky_factor(blocks, overwrite=False)
+                if not fac.ok:
+                    # documented policy: non-SPD blocks demote the whole
+                    # batch to the general LU path, with a warning flag.
+                    n_nonspd = int(np.count_nonzero(fac.info))
+                    chol_fallback = True
+                    effective = "lu"
+                    warnings.warn(
+                        f"cholesky block-Jacobi: {n_nonspd} diagonal "
+                        "block(s) are not SPD; falling back to batched "
+                        "LU for the whole batch",
+                        UserWarning,
+                        stacklevel=3,
+                    )
+                    fac = lu_factor(
+                        blocks,
+                        pivoting="implicit",
+                        overwrite=True,
+                        on_singular=policy,
+                    )
+            elif self.method == "lu":
+                fac = lu_factor(
+                    blocks,
+                    pivoting="implicit",
+                    overwrite=True,
+                    on_singular=policy,
                 )
-        if self.method != "cholesky" and not (self.info == 0).all():
-            bad = int(np.count_nonzero(self.info))
+            elif self.method in ("gh", "ght"):
+                fac = gh_factor(
+                    blocks,
+                    transposed=(self.method == "ght"),
+                    overwrite=True,
+                    on_singular=policy,
+                )
+            else:  # gje
+                fac = gj_invert(blocks, overwrite=True, on_singular=policy)
+        except SingularBlockError as err:
+            bad = int(np.count_nonzero(err.info))
             raise ValueError(
                 f"{bad} diagonal block(s) are singular; block-Jacobi is "
-                "not well-defined for this matrix/partition (Section II-A)"
-            )
+                "not well-defined for this matrix/partition "
+                "(Section II-A) - pass on_singular='identity', 'scalar' "
+                "or 'shift' to degrade gracefully, or use a different "
+                "partition"
+            ) from err
+        rec = fac.degradation
+        nb = blocks.nb
+        if rec is not None:
+            info = rec.original_info
+            action = rec.action
+            shift = rec.shift
+        else:
+            info = fac.info.copy()
+            action = np.zeros(nb, dtype=np.int8)
+            shift = np.zeros(nb, dtype=np.float64)
         self._factor = fac
+        self._effective_method = effective
+        self.info = info
+        self.report = SetupReport(
+            method=self.method,
+            effective_method=effective,
+            on_singular=policy,
+            block_sizes=self.block_sizes,
+            info=info,
+            action=action,
+            shift=shift,
+            cholesky_lu_fallback=chol_fallback,
+            n_nonspd=n_nonspd,
+        )
 
     def _build_index_maps(self, blocks: BatchedMatrices) -> None:
         nb, tile = blocks.nb, blocks.tile
@@ -160,7 +319,49 @@ class BlockJacobiPreconditioner(Preconditioner):
         self._valid = valid
         self._tile = tile
 
+    def _block_1norms(self, blocks: BatchedMatrices) -> np.ndarray:
+        """``||D_i||_1`` of every active block (max active column sum)."""
+        mask = blocks.active_mask()
+        colsums = (np.abs(blocks.data) * mask).sum(axis=1)
+        return colsums.max(axis=1)
+
+    def _estimate_conditions(self, anorm1: np.ndarray) -> np.ndarray:
+        """1-norm condition estimates of the surviving blocks.
+
+        The blocks are tiny (at most ``MAX_TILE`` rows), so
+        ``||D_i^{-1}||_1`` is computed *exactly* by solving against all
+        ``tile`` unit vectors with the stored factorization - ``tile``
+        extra batched solves, the same order of work as the
+        factorization itself.  Substituted blocks report NaN: their
+        stored factor no longer represents the original block.
+        """
+        nb, tile = self.block_sizes.size, self._tile
+        invnorm1 = np.zeros(nb)
+        for j in range(tile):
+            e = np.zeros((nb, tile), dtype=self.dtype)
+            e[:, j] = 1.0
+            sol = self._solve_batch(
+                BatchedVectors(e, self.block_sizes.copy())
+            )
+            colsum = (np.abs(sol.data) * self._valid).sum(axis=1)
+            active = j < self.block_sizes
+            np.maximum(invnorm1, colsum, out=invnorm1, where=active)
+        cond = anorm1 * invnorm1
+        cond[self.report.action != 0] = np.nan
+        return cond
+
     # -- application -----------------------------------------------------------
+
+    def _solve_batch(self, rhs: BatchedVectors) -> BatchedVectors:
+        """One batched solve with the stored factors (method dispatch)."""
+        method = self._effective_method
+        if method == "lu":
+            return lu_solve(self._factor, rhs)
+        if method in ("gh", "ght"):
+            return gh_solve(self._factor, rhs)
+        if method == "gje":
+            return gj_apply(self._factor, rhs)
+        return cholesky_solve(self._factor, rhs)
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """``y = M^{-1} x``: one batched solve over all diagonal blocks."""
@@ -168,8 +369,9 @@ class BlockJacobiPreconditioner(Preconditioner):
             raise RuntimeError("setup() must be called before apply()")
         x = np.asarray(x)
         if x.shape != (self._n,):
+            length = x.shape[0] if x.ndim == 1 else f"shape {x.shape}"
             raise ValueError(
-                f"vector of length {x.shape} does not match matrix "
+                f"vector of length {length} does not match matrix "
                 f"dimension {self._n}"
             )
         seg = x[self._gather].astype(self.dtype, copy=False)
@@ -177,14 +379,7 @@ class BlockJacobiPreconditioner(Preconditioner):
         rhs = BatchedVectors(
             np.ascontiguousarray(seg), self.block_sizes.copy()
         )
-        if self.method == "lu":
-            sol = lu_solve(self._factor, rhs)
-        elif self.method in ("gh", "ght"):
-            sol = gh_solve(self._factor, rhs)
-        elif self.method == "gje":
-            sol = gj_apply(self._factor, rhs)
-        else:
-            sol = cholesky_solve(self._factor, rhs)
+        sol = self._solve_batch(rhs)
         out = np.empty(self._n, dtype=np.float64)
         out[self._gather[self._valid]] = sol.data[self._valid]
         return out
@@ -193,5 +388,6 @@ class BlockJacobiPreconditioner(Preconditioner):
         nb = 0 if self.block_sizes is None else self.block_sizes.size
         return (
             f"BlockJacobiPreconditioner(method={self.method!r}, "
-            f"bound={self.max_block_size}, blocks={nb})"
+            f"bound={self.max_block_size}, blocks={nb}, "
+            f"on_singular={self.on_singular!r})"
         )

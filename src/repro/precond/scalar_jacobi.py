@@ -35,8 +35,9 @@ class ScalarJacobiPreconditioner(Preconditioner):
             raise RuntimeError("setup() must be called before apply()")
         x = np.asarray(x)
         if x.shape != self._inv_diag.shape:
+            length = x.shape[0] if x.ndim == 1 else f"shape {x.shape}"
             raise ValueError(
-                f"vector of length {x.shape} does not match matrix "
-                f"dimension {self._inv_diag.shape}"
+                f"vector of length {length} does not match matrix "
+                f"dimension {self._inv_diag.shape[0]}"
             )
         return x * self._inv_diag

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -10,7 +9,7 @@ import numpy as np
 from ..precond.base import IdentityPreconditioner, Preconditioner
 from ..sparse.csr import CsrMatrix
 
-__all__ = ["SolveResult", "as_operator", "resolve_preconditioner"]
+__all__ = ["SolveResult", "as_operator", "resolve_preconditioner", "safe_norm"]
 
 
 @dataclass
@@ -20,6 +19,13 @@ class SolveResult:
     ``iterations`` counts matrix-vector products, the convention under
     which IDR(s) costs ``s+1`` per cycle and which matches how
     MAGMA-sparse reports IDR iteration counts in the paper's Table I.
+
+    ``breakdown`` is None for a regular stop (converged, or hit
+    ``maxiter``); otherwise a short reason string - e.g.
+    ``"nonfinite_residual"`` when a NaN/Inf residual ended the solve,
+    or a method-specific tag like ``"omega_breakdown"`` - so callers
+    can distinguish honest non-convergence from a numerical breakdown
+    without parsing logs.
     """
 
     x: np.ndarray
@@ -30,6 +36,7 @@ class SolveResult:
     solve_seconds: float
     setup_seconds: float = 0.0
     history: list[float] = field(default_factory=list)
+    breakdown: str | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -44,11 +51,25 @@ class SolveResult:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         tag = "converged" if self.converged else "NOT converged"
+        if self.breakdown:
+            tag += f", breakdown={self.breakdown}"
         return (
             f"SolveResult({tag} in {self.iterations} its, "
             f"rel.res={self.relative_residual:.2e}, "
             f"time={self.total_seconds:.3f}s)"
         )
+
+
+def safe_norm(v: np.ndarray) -> float:
+    """2-norm that overflows to ``inf`` silently instead of warning.
+
+    A diverging iteration can push intermediate vectors past the
+    float64 range; the solvers detect that through ``np.isfinite`` on
+    the returned value and stop with a ``breakdown`` reason rather
+    than looping to ``maxiter`` on garbage.
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        return float(np.linalg.norm(v))
 
 
 def as_operator(A):

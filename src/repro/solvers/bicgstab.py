@@ -13,7 +13,7 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner
+from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
 
 __all__ = ["bicgstab"]
 
@@ -51,50 +51,69 @@ def bicgstab(
     p = np.zeros(n)
     iters = 0
     resnorm = float(np.linalg.norm(r))
+    breakdown = None
 
     while resnorm > target and iters < maxiter:
-        rho = float(r_hat @ r)
-        if rho == 0.0:
-            break  # breakdown
+        with np.errstate(over="ignore", invalid="ignore"):
+            rho = float(r_hat @ r)
+        if rho == 0.0 or not np.isfinite(rho):
+            breakdown = "rho_breakdown"
+            break
         beta = (rho / rho_old) * (alpha / om)
         p = r + beta * (p - om * v)
         phat = M.apply(p)
         v = matvec(phat)
         iters += 1
-        denom = float(r_hat @ v)
-        if denom == 0.0:
+        with np.errstate(over="ignore", invalid="ignore"):
+            denom = float(r_hat @ v)
+        if denom == 0.0 or not np.isfinite(denom):
+            breakdown = "orthogonality_breakdown"
             break
         alpha = rho / denom
         s_vec = r - alpha * v
-        if np.linalg.norm(s_vec) <= target:
+        snorm = safe_norm(s_vec)
+        if not np.isfinite(snorm):
+            breakdown = "nonfinite_residual"
+            resnorm = snorm
+            if record_history:
+                history.append(resnorm)
+            break
+        if snorm <= target:
             x = x + alpha * phat
-            resnorm = float(np.linalg.norm(s_vec))
+            resnorm = snorm
             if record_history:
                 history.append(resnorm)
             break
         shat = M.apply(s_vec)
         t = matvec(shat)
         iters += 1
-        tt = float(t @ t)
-        if tt == 0.0:
+        with np.errstate(over="ignore", invalid="ignore"):
+            tt = float(t @ t)
+        if tt == 0.0 or not np.isfinite(tt):
+            breakdown = "tt_breakdown"
             break
         om = float(t @ s_vec) / tt
         x = x + alpha * phat + om * shat
         r = s_vec - om * t
         rho_old = rho
-        resnorm = float(np.linalg.norm(r))
+        resnorm = safe_norm(r)
         if record_history:
             history.append(resnorm)
+        if not np.isfinite(resnorm):
+            breakdown = "nonfinite_residual"
+            break
         if om == 0.0:
+            breakdown = "omega_breakdown"
             break
 
     return SolveResult(
         x=x,
-        converged=resnorm <= target,
+        converged=bool(np.isfinite(resnorm) and resnorm <= target),
         iterations=iters,
         residual_norm=resnorm,
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
+        breakdown=breakdown,
     )

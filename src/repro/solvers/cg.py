@@ -12,7 +12,7 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner
+from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
 
 __all__ = ["cg"]
 
@@ -49,33 +49,47 @@ def cg(
     rz = float(r @ z)
     iters = 0
     resnorm = float(np.linalg.norm(r))
+    breakdown = None
 
     while resnorm > target and iters < maxiter:
         Ap = matvec(p)
         iters += 1
-        pAp = float(p @ Ap)
+        with np.errstate(over="ignore", invalid="ignore"):
+            pAp = float(p @ Ap)
+        if not np.isfinite(pAp):
+            breakdown = "nonfinite_curvature"
+            break
         if pAp <= 0.0:
-            break  # not SPD (or breakdown)
+            breakdown = "indefinite_operator"  # not SPD (or breakdown)
+            break
         alpha = rz / pAp
         x = x + alpha * p
         r = r - alpha * Ap
-        resnorm = float(np.linalg.norm(r))
+        resnorm = safe_norm(r)
         if record_history:
             history.append(resnorm)
+        if not np.isfinite(resnorm):
+            breakdown = "nonfinite_residual"
+            break
         if resnorm <= target:
             break
         z = M.apply(r)
-        rz_new = float(r @ z)
+        with np.errstate(over="ignore", invalid="ignore"):
+            rz_new = float(r @ z)
+        if not np.isfinite(rz_new) or rz_new == 0.0:
+            breakdown = "rz_breakdown"
+            break
         p = z + (rz_new / rz) * p
         rz = rz_new
 
     return SolveResult(
         x=x,
-        converged=resnorm <= target,
+        converged=bool(np.isfinite(resnorm) and resnorm <= target),
         iterations=iters,
         residual_norm=resnorm,
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
+        breakdown=breakdown,
     )

@@ -12,7 +12,7 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner
+from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
 
 __all__ = ["gmres"]
 
@@ -47,6 +47,7 @@ def gmres(
     resnorm = float(np.linalg.norm(r))
     history = [resnorm] if record_history else []
     iters = 0
+    breakdown = None
 
     while resnorm > target and iters < maxiter:
         m = min(restart, maxiter - iters)
@@ -64,10 +65,17 @@ def gmres(
             w = matvec(Z[:, j])
             iters += 1
             # modified Gram-Schmidt
-            for i in range(j + 1):
-                H[i, j] = float(V[:, i] @ w)
-                w -= H[i, j] * V[:, i]
-            H[j + 1, j] = np.linalg.norm(w)
+            with np.errstate(over="ignore", invalid="ignore"):
+                for i in range(j + 1):
+                    H[i, j] = float(V[:, i] @ w)
+                    w -= H[i, j] * V[:, i]
+            H[j + 1, j] = safe_norm(w)
+            if not np.isfinite(H[: j + 2, j]).all():
+                # a NaN/Inf Hessenberg column poisons every later Givens
+                # rotation - stop this cycle and report the breakdown
+                breakdown = "nonfinite_hessenberg"
+                j_used = j
+                break
             if H[j + 1, j] > 0:
                 V[:, j + 1] = w / H[j + 1, j]
             # apply previous Givens rotations to the new column
@@ -93,19 +101,27 @@ def gmres(
             if resnorm <= target or iters >= maxiter:
                 break
         # solve the small triangular system and update x
-        if j_used:
-            y = np.linalg.solve(H[:j_used, :j_used], g[:j_used])
-            x = x + Z[:, :j_used] @ y
+        if j_used and np.isfinite(g[:j_used]).all():
+            diag = np.abs(np.diag(H[:j_used, :j_used]))
+            if diag.min() > 0 and np.isfinite(diag).all():
+                y = np.linalg.solve(H[:j_used, :j_used], g[:j_used])
+                x = x + Z[:, :j_used] @ y
         r = b - matvec(x)
-        resnorm = float(np.linalg.norm(r))
+        resnorm = safe_norm(r)
+        if not np.isfinite(resnorm):
+            breakdown = breakdown or "nonfinite_residual"
+            break
+        if breakdown:
+            break
 
     return SolveResult(
         x=x,
-        converged=resnorm <= target,
+        converged=bool(np.isfinite(resnorm) and resnorm <= target),
         iterations=iters,
         residual_norm=resnorm,
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
+        breakdown=breakdown,
     )

@@ -20,7 +20,7 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner
+from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
 
 __all__ = ["idrs"]
 
@@ -30,15 +30,16 @@ _OMEGA_ANGLE = 0.7
 
 def _omega(t: np.ndarray, r: np.ndarray) -> float:
     """Minimal-residual omega, stabilised (van Gijzen's strategy)."""
-    nt = np.linalg.norm(t)
-    nr = np.linalg.norm(r)
-    if nt == 0.0:
-        return 0.0
-    ts = float(t @ r)
-    rho = abs(ts / (nt * nr)) if nr else 1.0
-    om = ts / (nt * nt)
-    if rho < _OMEGA_ANGLE and rho > 0.0:
-        om *= _OMEGA_ANGLE / rho
+    with np.errstate(over="ignore", invalid="ignore"):
+        nt = float(np.linalg.norm(t))
+        nr = float(np.linalg.norm(r))
+        if nt == 0.0 or not np.isfinite(nt):
+            return 0.0
+        ts = float(t @ r)
+        rho = abs(ts / (nt * nr)) if nr else 1.0
+        om = ts / (nt * nt)
+        if rho < _OMEGA_ANGLE and rho > 0.0:
+            om *= _OMEGA_ANGLE / rho
     return om
 
 
@@ -52,6 +53,7 @@ def idrs(
     x0: np.ndarray | None = None,
     seed: int = 271828,
     record_history: bool = False,
+    max_restarts: int = 5,
 ) -> SolveResult:
     """Solve ``A x = b`` with preconditioned IDR(s).
 
@@ -73,11 +75,18 @@ def idrs(
     x0, seed, record_history:
         Initial guess (zero by default), shadow-space seed, and whether
         to record the residual-norm history.
+    max_restarts:
+        How many times an ``Ms[k, k] == 0`` shadow-space breakdown may
+        be answered by re-seeding the shadow space (a fresh random
+        orthonormal ``P``, reset recurrences) before the solve gives up
+        with ``breakdown="shadow_space_breakdown"``.
 
     Returns
     -------
     SolveResult
-        With ``setup_seconds`` copied from the preconditioner.
+        With ``setup_seconds`` copied from the preconditioner and
+        ``breakdown`` set when the solve ended on a numerical
+        breakdown instead of convergence or the iteration cap.
     """
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
@@ -85,6 +94,9 @@ def idrs(
         raise ValueError(f"b must have shape ({n},), got {b.shape}")
     if s < 1:
         raise ValueError("s must be at least 1")
+    # a shadow space can't have more directions than the problem has
+    # unknowns; the reduced QR below would silently shrink P otherwise
+    s = min(s, n)
     M = resolve_preconditioner(M)
     t_start = time.perf_counter()
 
@@ -96,15 +108,20 @@ def idrs(
 
     # shadow space: orthonormalised Gaussian block (rows of P)
     rng = np.random.default_rng(seed)
-    P = rng.standard_normal((n, s))
-    P, _ = np.linalg.qr(P)
-    P = P.T  # (s, n)
 
+    def fresh_shadow_space() -> np.ndarray:
+        P = rng.standard_normal((n, s))
+        P, _ = np.linalg.qr(P)
+        return P.T  # (s, n)
+
+    P = fresh_shadow_space()
     G = np.zeros((n, s))
     U = np.zeros((n, s))
     Ms = np.eye(s)
     om = 1.0
     iters = 0
+    restarts = 0
+    breakdown = None
     resnorm = float(np.linalg.norm(r))
 
     def done() -> bool:
@@ -112,9 +129,15 @@ def idrs(
 
     while not done():
         f = P @ r  # (s,)
+        broke = False
         for k in range(s):
             # solve the small lower-triangular system and form v _|_ P[:k]
-            c = np.linalg.solve(Ms[k:, k:], f[k:])
+            try:
+                c = np.linalg.solve(Ms[k:, k:], f[k:])
+            except np.linalg.LinAlgError:
+                # exactly singular Ms: same remedy as Ms[k, k] == 0
+                broke = True
+                break
             v = r - G[:, k:] @ c
             v = M.apply(v)
             U[:, k] = U[:, k:] @ c + om * v
@@ -126,43 +149,74 @@ def idrs(
                 G[:, k] -= alpha * G[:, i]
                 U[:, k] -= alpha * U[:, i]
             Ms[k:, k] = P[k:] @ G[:, k]
-            if Ms[k, k] == 0.0:
-                # breakdown: the new direction is orthogonal to p_k
-                resnorm = float(np.linalg.norm(r))
+            if Ms[k, k] == 0.0 or not np.isfinite(Ms[k, k]):
+                # breakdown: the new direction is orthogonal to p_k (or
+                # the recurrence produced non-finite garbage).  r and x
+                # are untouched this step; record the recomputed norm so
+                # history stays in sync with the matvec count.
+                resnorm = safe_norm(r)
+                if record_history:
+                    history.append(resnorm)
+                if not np.isfinite(resnorm):
+                    breakdown = "nonfinite_residual"
+                else:
+                    broke = True
                 break
             # make r orthogonal to p_0..p_k
             beta = f[k] / Ms[k, k]
             r = r - beta * G[:, k]
             x = x + beta * U[:, k]
-            resnorm = float(np.linalg.norm(r))
+            resnorm = safe_norm(r)
             if record_history:
                 history.append(resnorm)
+            if not np.isfinite(resnorm):
+                breakdown = "nonfinite_residual"
+                break
             if done():
                 break
             if k + 1 < s:
                 f[k + 1 :] = f[k + 1 :] - beta * Ms[k + 1 :, k]
-        if done():
+        if breakdown or done():
             break
+        if broke:
+            # re-seeded shadow-space restart: a zero Ms[k, k] means the
+            # current P cannot span the next Sonneveld space from here;
+            # a fresh random P almost surely can (van Gijzen's remedy).
+            restarts += 1
+            if restarts > max_restarts:
+                breakdown = "shadow_space_breakdown"
+                break
+            P = fresh_shadow_space()
+            G[:] = 0.0
+            U[:] = 0.0
+            Ms = np.eye(s)
+            om = 1.0
+            continue
         # polynomial step: enter the next Sonneveld space G_{j+1}
         v = M.apply(r)
         t = matvec(v)
         iters += 1
         om = _omega(t, r)
-        if om == 0.0:
-            break  # stagnation
+        if om == 0.0 or not np.isfinite(om):
+            breakdown = "omega_stagnation"
+            break
         x = x + om * v
         r = r - om * t
-        resnorm = float(np.linalg.norm(r))
+        resnorm = safe_norm(r)
         if record_history:
             history.append(resnorm)
+        if not np.isfinite(resnorm):
+            breakdown = "nonfinite_residual"
+            break
 
     return SolveResult(
         x=x,
-        converged=resnorm <= target,
+        converged=bool(np.isfinite(resnorm) and resnorm <= target),
         iterations=iters,
         residual_norm=resnorm,
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
+        breakdown=breakdown,
     )

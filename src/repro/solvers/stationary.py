@@ -17,7 +17,7 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner
+from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
 
 __all__ = ["stationary_richardson"]
 
@@ -61,27 +61,29 @@ def stationary_richardson(
     resnorm = float(np.linalg.norm(r))
     history = [resnorm] if record_history else []
     iters = 0
+    breakdown = None
 
     while resnorm > target and iters < maxiter:
         x = x + omega * M.apply(r)
         r = b - matvec(x)
         iters += 1
-        with np.errstate(over="ignore", invalid="ignore"):
-            # a diverging iteration overflows the norm; the finite
-            # check below turns that into a clean stop
-            resnorm = float(np.linalg.norm(r))
+        # a diverging iteration overflows the norm; the finite check
+        # below turns that into a clean stop
+        resnorm = safe_norm(r)
         if record_history:
             history.append(resnorm)
         if not np.isfinite(resnorm):
-            break  # diverged: stop rather than overflow
+            breakdown = "nonfinite_residual"  # diverged: stop cleanly
+            break
 
     return SolveResult(
         x=x,
-        converged=bool(resnorm <= target),
+        converged=bool(np.isfinite(resnorm) and resnorm <= target),
         iterations=iters,
         residual_norm=resnorm if np.isfinite(resnorm) else float("inf"),
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
+        breakdown=breakdown,
     )

@@ -14,7 +14,6 @@ from repro.core import (
 from repro.core.validation import (
     factorization_errors,
     growth_factors,
-    solve_residuals,
 )
 
 

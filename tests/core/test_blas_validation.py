@@ -1,7 +1,6 @@
 """Unit tests for repro.core.blas and repro.core.validation."""
 
 import numpy as np
-import pytest
 
 from repro.core import BatchedMatrices, BatchedVectors
 from repro.core.blas import (

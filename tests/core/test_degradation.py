@@ -1,0 +1,242 @@
+"""Tests for the singular-block substitution engine (repro.core.degradation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedMatrices,
+    BatchedVectors,
+    SingularBlockError,
+    cholesky_factor,
+    cholesky_solve,
+    gh_factor,
+    gh_solve,
+    gj_apply,
+    gj_invert,
+    lu_factor,
+    lu_solve,
+    random_batch,
+)
+from repro.core.degradation import (
+    ACTION_IDENTITY,
+    ACTION_NONE,
+    ACTION_SCALAR,
+    ACTION_SHIFT,
+)
+
+POLICIES = ("identity", "scalar", "shift")
+
+
+def mixed_batch(seed=0):
+    """A batch where blocks 1 and 3 are exactly singular."""
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for i in range(5):
+        m = 4 + i
+        A = rng.standard_normal((m, m)) + m * np.eye(m)
+        if i in (1, 3):
+            A[m // 2, :] = 0.0  # exactly singular (zero row)
+        blocks.append(A)
+    return BatchedMatrices.identity_padded(blocks, tile=16)
+
+
+def rhs_for(batch, seed=7):
+    rng = np.random.default_rng(seed)
+    vecs = [rng.standard_normal(s) for s in batch.sizes]
+    return BatchedVectors.from_vectors(vecs, tile=batch.tile)
+
+
+class TestRaisePolicy:
+    def test_lu_raises_with_info(self):
+        b = mixed_batch()
+        with pytest.raises(SingularBlockError, match="on_singular") as exc:
+            lu_factor(b, on_singular="raise")
+        assert np.array_equal(np.nonzero(exc.value.info)[0], [1, 3])
+
+    def test_default_matches_seed_behaviour(self):
+        # without on_singular the factorization must NOT raise: it
+        # reports through `info`, exactly as before this feature
+        fac = lu_factor(mixed_batch())
+        assert not fac.ok
+        assert fac.degradation is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_singular"):
+            lu_factor(mixed_batch(), on_singular="nonsense")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestPoliciesAcrossKernels:
+    def check(self, fac, solve, batch, policy):
+        assert fac.ok  # info cleared: downstream solves accept it
+        rec = fac.degradation
+        assert rec is not None
+        assert rec.policy == policy
+        assert rec.n_failed == 2
+        assert np.array_equal(np.nonzero(rec.original_info)[0], [1, 3])
+        assert np.all(rec.action[[0, 2, 4]] == ACTION_NONE)
+        assert np.all(rec.action[[1, 3]] != ACTION_NONE)
+        x = solve(fac, rhs_for(batch))
+        assert np.isfinite(x.data).all()
+        # healthy blocks keep their exact factorization
+        for i in (0, 2, 4):
+            m = batch.sizes[i]
+            ref = np.linalg.solve(
+                batch.block(i), rhs_for(batch).data[i, :m]
+            )
+            np.testing.assert_allclose(x.data[i, :m], ref, atol=1e-9)
+
+    def test_lu(self, policy):
+        b = mixed_batch()
+        fac = lu_factor(b, on_singular=policy)
+        self.check(fac, lu_solve, b, policy)
+
+    def test_gauss_huard(self, policy):
+        b = mixed_batch()
+        fac = gh_factor(b, on_singular=policy)
+        self.check(fac, gh_solve, b, policy)
+
+    def test_gauss_huard_transposed(self, policy):
+        b = mixed_batch()
+        fac = gh_factor(b, transposed=True, on_singular=policy)
+        self.check(fac, gh_solve, b, policy)
+
+    def test_gauss_jordan(self, policy):
+        b = mixed_batch()
+        inv = gj_invert(b, on_singular=policy)
+        self.check(inv, gj_apply, b, policy)
+
+    def test_cholesky(self, policy):
+        # SPD batch with one zero block (not SPD -> flagged)
+        rng = np.random.default_rng(3)
+        blocks = []
+        for i in range(4):
+            m = 3 + i
+            L = rng.standard_normal((m, m))
+            A = L @ L.T + m * np.eye(m)
+            if i == 2:
+                A = np.zeros((m, m))
+            blocks.append(A)
+        b = BatchedMatrices.identity_padded(blocks, tile=8)
+        fac = cholesky_factor(b, on_singular=policy)
+        assert fac.ok
+        rec = fac.degradation
+        assert rec.n_failed == 1
+        assert rec.action[2] != ACTION_NONE
+        x = cholesky_solve(fac, rhs_for(b))
+        assert np.isfinite(x.data).all()
+
+
+class TestActions:
+    def test_identity_action_yields_identity_apply(self):
+        b = mixed_batch()
+        fac = lu_factor(b, on_singular="identity")
+        assert np.all(fac.degradation.action[[1, 3]] == ACTION_IDENTITY)
+        r = rhs_for(b)
+        x = lu_solve(fac, r)
+        for i in (1, 3):
+            m = b.sizes[i]
+            np.testing.assert_allclose(x.data[i, :m], r.data[i, :m])
+
+    def test_scalar_action_divides_by_diagonal(self):
+        b = mixed_batch()
+        diags = [np.diag(b.block(i)).copy() for i in range(b.nb)]
+        fac = lu_factor(b, on_singular="scalar")
+        assert np.all(fac.degradation.action[[1, 3]] == ACTION_SCALAR)
+        r = rhs_for(b)
+        x = lu_solve(fac, r)
+        for i in (1, 3):
+            m = b.sizes[i]
+            d = np.where(diags[i][:m] == 0.0, 1.0, diags[i][:m])
+            np.testing.assert_allclose(x.data[i, :m], r.data[i, :m] / d)
+
+    def test_shift_records_positive_sigma(self):
+        b = mixed_batch()
+        fac = lu_factor(b, on_singular="shift")
+        rec = fac.degradation
+        shifted = rec.action == ACTION_SHIFT
+        # every shifted block carries its sigma; identity leftovers none
+        assert np.all(rec.shift[shifted] > 0.0)
+        assert np.all(rec.shift[~shifted] == 0.0)
+
+    def test_shift_solves_against_shifted_block(self):
+        # one singular 2x2 block: shift must solve (A + sigma I) x = b
+        A = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = BatchedMatrices.identity_padded([A], tile=4)
+        fac = lu_factor(b, on_singular="shift")
+        rec = fac.degradation
+        assert rec.action[0] == ACTION_SHIFT
+        sigma = rec.shift[0]
+        r = rhs_for(b)
+        x = lu_solve(fac, r)
+        ref = np.linalg.solve(A + sigma * np.eye(2), r.data[0, :2])
+        np.testing.assert_allclose(x.data[0, :2], ref, atol=1e-12)
+
+    def test_record_summary_and_counts(self):
+        fac = lu_factor(mixed_batch(), on_singular="identity")
+        rec = fac.degradation
+        assert rec.counts()["identity"] == 2
+        assert "2/5" in rec.summary()
+        assert "identity" in rec.summary()
+        clean = lu_factor(random_batch(4, 4, seed=0), on_singular="identity")
+        assert clean.degradation.summary() == "no fallbacks"
+
+
+class TestOverwriteSnapshot:
+    @pytest.mark.parametrize("policy", ["scalar", "shift"])
+    def test_overwrite_true_still_sees_originals(self, policy):
+        # overwrite=True destroys the input; the kernel must snapshot
+        # before factorizing so scalar/shift can rebuild candidates
+        b = mixed_batch()
+        expected = lu_factor(b, overwrite=False, on_singular=policy)
+        got = lu_factor(b, overwrite=True, on_singular=policy)
+        np.testing.assert_allclose(
+            got.factors.data, expected.factors.data, atol=1e-13
+        )
+        np.testing.assert_array_equal(
+            got.degradation.action, expected.degradation.action
+        )
+
+
+class TestEdgeGeometry:
+    """Regression: tiny and empty batches through factor+solve."""
+
+    @pytest.mark.parametrize("pivoting", ["implicit", "explicit", "none"])
+    def test_size_one_blocks_roundtrip(self, pivoting):
+        b = BatchedMatrices.identity_padded(
+            [np.array([[2.0]]), np.array([[-0.5]]), np.array([[8.0]])],
+            tile=2,
+        )
+        fac = lu_factor(b, pivoting=pivoting)
+        assert fac.ok
+        r = rhs_for(b)
+        x = lu_solve(fac, r)
+        np.testing.assert_allclose(
+            x.data[:, 0], r.data[:, 0] / np.array([2.0, -0.5, 8.0])
+        )
+
+    def test_size_one_singular_block_substituted(self):
+        b = BatchedMatrices.identity_padded(
+            [np.array([[0.0]]), np.array([[3.0]])], tile=2
+        )
+        fac = lu_factor(b, on_singular="identity")
+        assert fac.ok
+        assert fac.degradation.action[0] == ACTION_IDENTITY
+        r = rhs_for(b)
+        x = lu_solve(fac, r)
+        np.testing.assert_allclose(x.data[0, 0], r.data[0, 0])
+        np.testing.assert_allclose(x.data[1, 0], r.data[1, 0] / 3.0)
+
+    def test_empty_batch_factor_and_solve(self):
+        b = BatchedMatrices.zeros(0, 4)
+        fac = lu_factor(b)
+        assert fac.ok
+        assert fac.info.shape == (0,)
+        x = lu_solve(fac, BatchedVectors.zeros(0, 4))
+        assert x.data.shape == (0, 4)
+
+    def test_empty_batch_with_policy(self):
+        b = BatchedMatrices.zeros(0, 4)
+        fac = lu_factor(b, on_singular="identity")
+        assert fac.ok
+        assert fac.degradation.n_fallbacks == 0

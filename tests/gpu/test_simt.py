@@ -8,7 +8,6 @@ from repro.gpu.simt import (
     KernelStats,
     SharedMemory,
     Warp,
-    WARP_WIDTH,
 )
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.precond import BlockJacobiPreconditioner, ScalarJacobiPreconditioner
-from repro.solvers import bicgstab, cg, gmres, idrs
+from repro.solvers import bicgstab, cg, gmres, idrs, stationary_richardson
 from repro.sparse import (
     convection_diffusion_2d,
     fem_block_2d,
@@ -182,3 +182,93 @@ class TestSolveResult:
     def test_repr(self, nonsym):
         r = idrs(nonsym, np.ones(nonsym.n_rows), s=2, maxiter=3)
         assert "NOT converged" in repr(r)
+
+
+class TestBreakdownHardening:
+    """NaN/Inf and rank-deficiency guards added to every solver."""
+
+    NAN_A = np.array(
+        [
+            [np.nan, 1.0, 0.0, 0.0],
+            [1.0, 2.0, 1.0, 0.0],
+            [0.0, 1.0, 2.0, 1.0],
+            [0.0, 0.0, 1.0, 2.0],
+        ]
+    )
+    ALL = [idrs, bicgstab, gmres, cg, stationary_richardson]
+
+    @pytest.mark.parametrize("solver", ALL)
+    def test_nan_operator_stops_cleanly(self, solver):
+        r = solver(self.NAN_A, np.ones(4), maxiter=50)
+        assert not r.converged
+        assert r.breakdown is not None
+        # detected within a handful of matvecs (IDR burns one per
+        # re-seeded restart before concluding the operator is broken)
+        assert r.iterations <= 10
+
+    @pytest.mark.parametrize("solver", ALL)
+    def test_healthy_solve_reports_no_breakdown(self, nonsym, solver):
+        b = np.ones(nonsym.n_rows)
+        M = ScalarJacobiPreconditioner().setup(nonsym)
+        r = solver(nonsym, b, M=M, tol=1e-6)
+        assert r.breakdown is None
+
+    def test_cg_indefinite_operator(self):
+        A = np.diag([1.0, -1.0])
+        r = cg(A, np.ones(2))
+        assert not r.converged
+        assert r.breakdown == "indefinite_operator"
+
+    def test_stationary_divergence_is_nonfinite_residual(self):
+        A = np.array([[1.0, 3.0], [3.0, 1.0]])  # Jacobi radius 3
+        r = stationary_richardson(A, np.ones(2), maxiter=1000,
+                                  record_history=True)
+        assert not r.converged
+        assert r.breakdown == "nonfinite_residual"
+        assert r.iterations < 1000  # stopped at overflow, not the cap
+        assert all(np.isfinite(h) for h in r.history[:-1])
+
+    def test_gmres_overflow_hessenberg(self):
+        A = np.full((2, 2), 1e308)
+        r = gmres(A, np.ones(2), maxiter=20)
+        assert not r.converged
+        assert r.breakdown is not None
+        assert np.isfinite(r.x).all() or r.breakdown
+
+    def test_idr_shadow_space_breakdown_after_restarts(self):
+        A = np.zeros((6, 6))  # G = A U is always 0 -> Ms[k, k] == 0
+        r = idrs(A, np.ones(6), s=2, maxiter=100, max_restarts=3,
+                 record_history=True)
+        assert not r.converged
+        assert r.breakdown == "shadow_space_breakdown"
+        # one matvec per attempted cycle: initial + 3 restarts
+        assert r.iterations == 4
+        # satellite fix: history stays in sync on the breakdown path
+        assert len(r.history) == r.iterations + 1
+        assert all(np.isfinite(h) for h in r.history)
+
+    def test_idr_restart_counts_capped_at_zero(self):
+        A = np.zeros((4, 4))
+        r = idrs(A, np.ones(4), s=2, max_restarts=0)
+        assert r.breakdown == "shadow_space_breakdown"
+        assert r.iterations == 1
+
+    def test_idr_history_in_sync_on_healthy_run(self, nonsym):
+        b = np.ones(nonsym.n_rows)
+        r = idrs(nonsym, b, s=4, record_history=True)
+        assert len(r.history) == r.iterations + 1
+
+    def test_breakdown_in_repr(self):
+        r = cg(np.diag([1.0, -1.0]), np.ones(2))
+        assert "indefinite_operator" in repr(r)
+
+    def test_idr_caps_shadow_dimension_at_n(self):
+        A = np.diag([2.0, 3.0])
+        r = idrs(A, np.ones(2), s=4)  # s > n must not crash
+        assert r.converged
+
+    def test_bicgstab_nan_history_in_sync(self):
+        r = bicgstab(self.NAN_A, np.ones(4), maxiter=10,
+                     record_history=True)
+        assert r.breakdown is not None
+        assert all(np.isfinite(h) for h in r.history[:-1])

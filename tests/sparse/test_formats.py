@@ -74,9 +74,9 @@ class TestCsr:
             A.matvec(np.ones(6))
 
     def test_identity(self):
-        I = CsrMatrix.identity(5)
+        eye = CsrMatrix.identity(5)
         x = np.arange(5.0)
-        np.testing.assert_array_equal(I.matvec(x), x)
+        np.testing.assert_array_equal(eye.matvec(x), x)
 
     def test_diagonal(self, dense):
         A = CsrMatrix.from_dense(dense)

@@ -6,11 +6,9 @@ import pytest
 from repro.sparse import (
     SUITE,
     banded_waveguide,
-    block_structured,
     circuit_like,
     convection_diffusion_2d,
     fem_block_2d,
-    grid_graph,
     iter_suite,
     laplacian_2d,
     laplacian_3d,

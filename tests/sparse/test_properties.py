@@ -3,7 +3,7 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.sparse import CooMatrix, CsrMatrix
+from repro.sparse import CooMatrix
 from repro.sparse.reorder import bandwidth, permute_symmetric, rcm_ordering
 
 # -- strategies -------------------------------------------------------------

@@ -1,6 +1,5 @@
 """Tests for the command-line front end (repro.cli)."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -65,3 +64,21 @@ class TestCommands:
         rc = main(["solve", "fem_b2_s1", "--method", "scalar",
                    "--maxiter", "3"])
         assert rc == 1
+
+    def test_solve_prints_setup_report(self, capsys):
+        rc = main(["solve", "fem_b8_s1", "--bound", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "degradation[raise]" in out
+        assert "condition estimate" in out
+
+    def test_solve_on_singular_flag_accepted(self, capsys):
+        rc = main(["solve", "fem_b8_s1", "--bound", "16",
+                   "--on-singular", "identity"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "degradation[identity]" in out
+
+    def test_solve_on_singular_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "fem_b8_s1", "--on-singular", "panic"])
