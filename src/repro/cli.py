@@ -11,6 +11,10 @@ Gives downstream users the paper's workflows without writing code:
     Project a batched kernel's GFLOPS on the P100 model (Figures 4-7).
 ``python -m repro blocks fem_b4_s0 --bound 16``
     Show the supervariable blocking a matrix induces.
+``python -m repro verify --quick``
+    Run the differential verification suite (cross-kernel oracles,
+    backward-error metrology, adversarial batches, SIMT replay) and
+    exit nonzero on any violation.
 """
 
 from __future__ import annotations
@@ -117,6 +121,25 @@ def _cmd_blocks(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    import json
+
+    from .verify import run_verification
+
+    report = run_verification(quick=args.quick, seed=args.seed)
+    if args.json:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.json}")
+    if args.json != "-":
+        print(report.summary())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -165,6 +188,17 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--mtx", help="Matrix Market file instead")
     pb.add_argument("--bound", type=int, default=32)
     pb.set_defaults(fn=_cmd_blocks)
+
+    pf = sub.add_parser(
+        "verify",
+        help="differential verification suite (exit 1 on violation)",
+    )
+    pf.add_argument("--quick", action="store_true",
+                    help="trimmed sweep for CI entry gates")
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--json", metavar="PATH",
+                    help="write the JSON report to PATH ('-' for stdout)")
+    pf.set_defaults(fn=_cmd_verify)
     return p
 
 

@@ -251,7 +251,14 @@ def _factor_explicit(A: np.ndarray):
         # Pivot search restricted to rows k..tile-1 (rows above are done).
         col = np.abs(A[:, :, k])
         col[:, :k] = -1.0
-        ipiv = col.argmax(axis=1)
+        # Exact-magnitude ties break to the lowest ORIGINAL row index
+        # (which perm tracks), not the lowest current position: earlier
+        # swaps reorder tied rows, and the implicit scheme - whose rows
+        # never move - resolves ties in original order.  Without this
+        # the two variants pick different (equally valid) pivots on
+        # tied columns and the bitwise-equivalence invariant breaks.
+        tied = col == col.max(axis=1)[:, None]
+        ipiv = np.where(tied, perm, tile).argmin(axis=1)
         pivot_val = A[barange, ipiv, k]
         singular = pivot_val == 0
         np.copyto(info, k + 1, where=(info == 0) & singular)

@@ -22,34 +22,79 @@ Kind = Literal["uniform", "diag_dominant", "spd", "illcond", "singular"]
 
 def resolve_sizes(
     nb: int,
-    size: int | Sequence[int] | tuple[int, int],
-    rng: np.random.Generator,
+    size: int | Sequence[int] | tuple[int, int] | None = None,
+    rng: np.random.Generator | None = None,
+    *,
+    size_range: tuple[int, int] | Sequence[int] | None = None,
 ) -> np.ndarray:
     """Normalise a size specification into an ``(nb,)`` array.
 
-    ``size`` may be a single int (uniform batch), an explicit sequence
-    of ``nb`` sizes, or a ``(lo, hi)`` tuple from which sizes are drawn
-    uniformly at random - the "variable-size" scenario of the paper.
+    Exactly one of ``size`` and ``size_range`` must be given:
+
+    ``size``
+        A single int (uniform batch) or an explicit sequence of ``nb``
+        sizes.  For backward compatibility a 2-element *tuple* is still
+        interpreted as a ``(lo, hi)`` range; a 2-element *list* is two
+        explicit sizes, as before.  New code should avoid leaning on
+        that spelling distinction and pass ``size_range=`` instead.
+    ``size_range``
+        A ``(lo, hi)`` pair (any sequence spelling) from which sizes
+        are drawn uniformly at random - the "variable-size" scenario of
+        the paper.  Unambiguous: a list works the same as a tuple.
+
+    ``rng`` is only required when a range is used.
     """
+    if (size is None) == (size_range is None):
+        raise TypeError("pass exactly one of 'size' or 'size_range'")
+    if size_range is not None:
+        pair = tuple(int(v) for v in size_range)
+        if len(pair) != 2:
+            raise ValueError(
+                f"size_range must be a (lo, hi) pair, got {size_range!r}"
+            )
+        return _draw_range(nb, pair, rng)
     if isinstance(size, (int, np.integer)):
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
         return np.full(nb, int(size), dtype=np.int64)
-    size = tuple(size) if isinstance(size, tuple) else list(size)
     if isinstance(size, tuple) and len(size) == 2:
-        lo, hi = size
-        return rng.integers(lo, hi + 1, size=nb).astype(np.int64)
-    sizes = np.asarray(size, dtype=np.int64)
+        # legacy range spelling, kept working
+        return _draw_range(nb, (int(size[0]), int(size[1])), rng)
+    sizes = np.asarray(list(size), dtype=np.int64)
     if sizes.shape != (nb,):
-        raise ValueError(f"expected {nb} sizes, got shape {sizes.shape}")
+        raise ValueError(
+            f"expected {nb} sizes, got shape {sizes.shape}"
+            + (
+                "; for a random (lo, hi) range pass size_range=(lo, hi)"
+                if sizes.shape == (2,)
+                else ""
+            )
+        )
+    if (sizes < 0).any():
+        raise ValueError(f"sizes must be non-negative, got {sizes}")
     return sizes
+
+
+def _draw_range(
+    nb: int, pair: tuple[int, int], rng: np.random.Generator | None
+) -> np.ndarray:
+    lo, hi = pair
+    if not 0 <= lo <= hi:
+        raise ValueError(f"invalid size range ({lo}, {hi})")
+    if rng is None:
+        raise TypeError("a size range requires an rng")
+    return rng.integers(lo, hi + 1, size=nb).astype(np.int64)
 
 
 def random_batch(
     nb: int,
-    size: int | Sequence[int] | tuple[int, int],
+    size: int | Sequence[int] | tuple[int, int] | None = None,
     kind: Kind = "diag_dominant",
     dtype=np.float64,
     seed: int = 0,
     tile: int | None = None,
+    *,
+    size_range: tuple[int, int] | Sequence[int] | None = None,
 ) -> BatchedMatrices:
     """Generate a reproducible batch of small dense matrices.
 
@@ -57,8 +102,11 @@ def random_batch(
     ----------
     nb:
         Number of problems.
-    size:
-        Uniform size, per-problem sizes, or a ``(lo, hi)`` range.
+    size, size_range:
+        Exactly one of the two: ``size`` is a uniform size or explicit
+        per-problem sizes (legacy: a 2-element tuple is a range);
+        ``size_range=(lo, hi)`` is the unambiguous range spelling.
+        See :func:`resolve_sizes`.
     kind:
         ``"uniform"``       entries iid U(-1, 1); generically well
                             conditioned but pivoting genuinely matters.
@@ -74,7 +122,7 @@ def random_batch(
         Precision, RNG seed, and optional forced tile size.
     """
     rng = np.random.default_rng(seed)
-    sizes = resolve_sizes(nb, size, rng)
+    sizes = resolve_sizes(nb, size, rng, size_range=size_range)
     if tile is None:
         tile = round_up_tile(int(sizes.max()))
     blocks = []

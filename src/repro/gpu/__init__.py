@@ -10,9 +10,21 @@ This package substitutes the paper's CUDA/P100 artifact (see DESIGN.md,
 * :mod:`repro.gpu.device` / :mod:`repro.gpu.perf` - device specs and
   the analytic timing model;
 * :mod:`repro.gpu.projection` - the high-level "GFLOPS of kernel X at
-  size m, batch nb" API that the figure benchmarks call.
+  size m, batch nb" API that the figure benchmarks call;
+* :mod:`repro.gpu.closed_forms` - analytic instruction/transaction
+  counts per kernel that :mod:`repro.verify.simt_check` asserts the
+  measured profiles against.
 """
 
+from .closed_forms import (
+    contiguous_sectors,
+    expected_counts,
+    gh_factor_counts,
+    gh_solve_counts,
+    lu_factor_counts,
+    lu_solve_counts,
+    strided_sectors,
+)
 from .cublas_model import (
     CUBLAS_TILE_SIZES,
     cublas_getrf_timing,
@@ -46,4 +58,11 @@ __all__ = [
     "cublas_padded_size",
     "cublas_getrf_timing",
     "cublas_getrs_timing",
+    "expected_counts",
+    "lu_factor_counts",
+    "lu_solve_counts",
+    "gh_factor_counts",
+    "gh_solve_counts",
+    "contiguous_sectors",
+    "strided_sectors",
 ]

@@ -1,0 +1,89 @@
+"""Differential verification subsystem for the batched kernels.
+
+Four layers, each usable on its own and composed by the runner:
+
+* :mod:`repro.verify.metrics` - backward-error metrology (normwise and
+  componentwise backward error, residual norms, pivot growth,
+  factorization error), vectorised over batches and padding-aware;
+* :mod:`repro.verify.oracles` - the differential harness: run any
+  subset of the solver pipelines (plus SciPy/LAPACK) on one problem and
+  compare, and the implicit-vs-explicit pivoting equivalence check;
+* :mod:`repro.verify.adversarial` - batch generators that sit on the
+  algorithms' decision boundaries (Wilkinson growth, pivot ties, graded
+  blocks, near-singular sign flips, maximally mixed sizes);
+* :mod:`repro.verify.simt_check` - warp kernels replayed on the SIMT
+  machine against closed-form instruction/transaction counts and the
+  NumPy reference factors.
+
+``python -m repro verify`` runs :func:`repro.verify.run_verification`
+and exits nonzero on any violation.
+"""
+
+from .adversarial import (
+    adversarial_suite,
+    graded_batch,
+    mixed_size_batch,
+    pivot_tie_batch,
+    sign_flip_near_singular_batch,
+    wilkinson_batch,
+    wilkinson_matrix,
+)
+from .metrics import (
+    componentwise_backward_error,
+    factorization_error,
+    growth_factor,
+    normwise_backward_error,
+    reconstruction_error,
+    residual_norms,
+    solution_distance,
+)
+from .oracles import (
+    SOLVER_ORACLES,
+    DifferentialReport,
+    KernelRun,
+    PivotAgreement,
+    differential_solve,
+    pivot_agreement,
+)
+from .runner import CheckResult, VerificationReport, run_verification
+from .simt_check import (
+    SimtCheckResult,
+    check_kernel_counts,
+    check_warp_vs_reference,
+    run_simt_checks,
+)
+
+__all__ = [
+    # metrics
+    "normwise_backward_error",
+    "componentwise_backward_error",
+    "residual_norms",
+    "growth_factor",
+    "factorization_error",
+    "reconstruction_error",
+    "solution_distance",
+    # oracles
+    "SOLVER_ORACLES",
+    "KernelRun",
+    "DifferentialReport",
+    "PivotAgreement",
+    "differential_solve",
+    "pivot_agreement",
+    # adversarial
+    "wilkinson_matrix",
+    "wilkinson_batch",
+    "pivot_tie_batch",
+    "graded_batch",
+    "sign_flip_near_singular_batch",
+    "mixed_size_batch",
+    "adversarial_suite",
+    # simt
+    "SimtCheckResult",
+    "check_kernel_counts",
+    "check_warp_vs_reference",
+    "run_simt_checks",
+    # runner
+    "CheckResult",
+    "VerificationReport",
+    "run_verification",
+]

@@ -1,0 +1,222 @@
+"""Adversarial batch generators for stress-testing the batched kernels.
+
+The random batches of :mod:`repro.core.random_batches` probe the
+generic case; the verification suite additionally needs inputs that sit
+on the decision boundaries of the algorithms:
+
+``wilkinson_batch``
+    Wilkinson's growth matrix (-1 below the diagonal, 1 on it, last
+    column 1): partial pivoting never swaps, yet ``U``'s last column
+    doubles every step, attaining the worst-case growth ``2^{m-1}``
+    exactly.  The canonical probe for growth-factor accounting and the
+    paper's claim that implicit pivoting inherits LU's stability, not
+    more, not less.
+
+``pivot_tie_batch``
+    Columns with exact |value| ties in every pivot search.  Implicit
+    and explicit pivoting only stay bitwise-comparable if both break
+    ties to the lowest row index (the NumPy ``argmax`` rule the warp
+    butterfly replicates); these inputs catch any divergence.
+
+``graded_batch``
+    Geometrically graded rows/columns (Hilbert-like conditioning):
+    large dynamic range within each block, the regime where a wrong
+    pivot choice destroys the factorization instead of merely
+    perturbing it.
+
+``sign_flip_near_singular_batch``
+    Blocks of the form ``u v^T + eps * E`` (numerical rank one): every
+    elimination step works on nearly cancelled data, amplifying any
+    deviation between two supposedly identical eliminations.
+
+``mixed_size_batch``
+    Maximally non-uniform sizes (1..tile cycling, in adversarial
+    order) to stress the identity-padding convention: padded steps of a
+    small block sit next to active steps of a full block in the same
+    vectorised loop.
+
+All generators are deterministic in ``seed`` and return identity-padded
+:class:`~repro.core.batch.BatchedMatrices`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.batch import BatchedMatrices
+
+__all__ = [
+    "wilkinson_matrix",
+    "wilkinson_batch",
+    "pivot_tie_batch",
+    "graded_batch",
+    "sign_flip_near_singular_batch",
+    "mixed_size_batch",
+    "adversarial_suite",
+]
+
+
+def wilkinson_matrix(m: int) -> np.ndarray:
+    """The ``m x m`` Wilkinson growth matrix.
+
+    ``A[i, j] = 1`` if ``i == j`` or ``j == m-1``, ``-1`` if ``i > j``,
+    else 0.  Partial pivoting keeps the identity permutation (each
+    pivot candidate column holds only +-1 and ties break upward) while
+    the trailing column doubles at every elimination step, so the LU
+    growth factor is exactly ``2^{m-1}``.
+    """
+    if m < 1:
+        raise ValueError(f"m must be positive, got {m}")
+    A = -np.tril(np.ones((m, m)), k=-1)
+    np.fill_diagonal(A, 1.0)
+    A[:, m - 1] = 1.0
+    return A
+
+
+def wilkinson_batch(
+    sizes, tile: int | None = None, dtype=np.float64
+) -> BatchedMatrices:
+    """Batch of Wilkinson growth matrices, one per entry of ``sizes``."""
+    blocks = [wilkinson_matrix(int(m)) for m in np.asarray(sizes).ravel()]
+    return BatchedMatrices.identity_padded(blocks, tile=tile, dtype=dtype)
+
+
+def pivot_tie_batch(
+    nb: int,
+    size: int,
+    tile: int | None = None,
+    dtype=np.float64,
+    seed: int = 0,
+) -> BatchedMatrices:
+    """Blocks engineered so every pivot search sees exact magnitude ties.
+
+    Entries are drawn from ``{-1, +1}`` with random signs and the rows
+    shuffled, so at each elimination step several candidate rows share
+    the winning magnitude (the update arithmetic preserves exact ties:
+    sums of +-1 stay integral).  A pivot rule that is anything other
+    than "lowest index wins" produces a different permutation here.
+    """
+    rng = np.random.default_rng(seed)
+    blocks = []
+    while len(blocks) < nb:
+        signs = np.where(rng.random((size, size)) < 0.5, -1.0, 1.0)
+        # A +-1 matrix has an integer determinant well inside double
+        # range (Hadamard: |det| <= size^(size/2)), so the singularity
+        # test is exact - resample the occasional singular draw.
+        if size > 1 and round(np.linalg.det(signs)) == 0:
+            continue
+        blocks.append(signs)
+    return BatchedMatrices.identity_padded(blocks, tile=tile, dtype=dtype)
+
+
+def graded_batch(
+    nb: int,
+    size: int,
+    tile: int | None = None,
+    dtype=np.float64,
+    seed: int = 0,
+    decades: float = 8.0,
+) -> BatchedMatrices:
+    """Hilbert-like graded blocks: ``D R D`` with geometric ``D``.
+
+    ``R`` is a random well-conditioned block and
+    ``D = diag(10^0 ... 10^-decades)``, so entries span ``decades``
+    orders of magnitude both across rows and columns - the regime where
+    pivoting decisions dominate the achievable accuracy (a Hilbert
+    matrix has the same graded structure).
+    """
+    rng = np.random.default_rng(seed)
+    grade = np.logspace(0, -decades, size) if size > 1 else np.ones(1)
+    blocks = []
+    for _ in range(nb):
+        R = rng.uniform(-1.0, 1.0, (size, size)) + 2.0 * np.eye(size)
+        blocks.append((grade[:, None] * R) * grade[None, :])
+    return BatchedMatrices.identity_padded(blocks, tile=tile, dtype=dtype)
+
+
+def sign_flip_near_singular_batch(
+    nb: int,
+    size: int,
+    tile: int | None = None,
+    dtype=np.float64,
+    seed: int = 0,
+    eps: float = 1e-10,
+) -> BatchedMatrices:
+    """Numerically rank-one blocks ``s u v^T + eps E`` with sign flips.
+
+    ``s`` alternates the sign of the dominant rank-one part across the
+    batch (so reductions over the batch cannot cancel systematically),
+    and ``eps E`` is a full-rank perturbation ``~eps`` that keeps the
+    block technically nonsingular.  Every elimination past the first
+    step runs on nearly cancelled data.
+    """
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for i in range(nb):
+        u = rng.uniform(0.5, 1.0, size)
+        v = rng.uniform(0.5, 1.0, size)
+        E = rng.uniform(-1.0, 1.0, (size, size))
+        s = -1.0 if i % 2 else 1.0
+        blocks.append(s * np.outer(u, v) + eps * E)
+    return BatchedMatrices.identity_padded(blocks, tile=tile, dtype=dtype)
+
+
+def mixed_size_batch(
+    nb: int,
+    tile: int = 8,
+    dtype=np.float64,
+    seed: int = 0,
+    kind: str = "uniform",
+) -> BatchedMatrices:
+    """Maximally non-uniform batch: sizes cycle ``tile, 1, tile-1, 2, ...``.
+
+    Adjacent problems alternate between nearly-full and nearly-empty
+    active blocks, the worst case for the identity-padding convention
+    (padded identity steps of one problem run in the same vectorised
+    loop iteration as active elimination steps of its neighbours).
+    ``kind`` selects the block contents ("uniform" or "diag_dominant").
+    """
+    rng = np.random.default_rng(seed)
+    ladder = []
+    lo, hi = 1, tile
+    while lo <= hi:
+        ladder.append(hi)
+        if lo < hi:
+            ladder.append(lo)
+        hi -= 1
+        lo += 1
+    sizes = [ladder[i % len(ladder)] for i in range(nb)]
+    blocks = []
+    for m in sizes:
+        M = rng.uniform(-1.0, 1.0, (m, m))
+        if kind == "diag_dominant":
+            M[np.arange(m), np.arange(m)] += m
+        elif kind != "uniform":
+            raise ValueError(f"unknown kind {kind!r}")
+        M += 0.1 * np.eye(m)
+        blocks.append(M)
+    return BatchedMatrices.identity_padded(blocks, tile=tile, dtype=dtype)
+
+
+def adversarial_suite(
+    tile: int = 8, seed: int = 0, dtype=np.float64
+) -> dict[str, BatchedMatrices]:
+    """The named adversarial batches the verification runner sweeps.
+
+    Returns an ordered mapping ``name -> batch`` with one entry per
+    generator, all at the same ``tile`` so reports line up.
+    """
+    sizes = np.arange(1, tile + 1)
+    return {
+        "wilkinson": wilkinson_batch(sizes, tile=tile, dtype=dtype),
+        "pivot_tie": pivot_tie_batch(
+            8, tile, tile=tile, dtype=dtype, seed=seed
+        ),
+        "graded": graded_batch(8, tile, tile=tile, dtype=dtype, seed=seed),
+        "sign_flip": sign_flip_near_singular_batch(
+            8, tile, tile=tile, dtype=dtype, seed=seed
+        ),
+        "mixed_size": mixed_size_batch(
+            2 * tile, tile=tile, dtype=dtype, seed=seed
+        ),
+    }

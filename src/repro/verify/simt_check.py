@@ -1,0 +1,244 @@
+"""SIMT replay checks: warp kernels vs closed forms and NumPy reference.
+
+Two properties tie the performance story to the numerics story:
+
+1. **Count fidelity** - the instruction/transaction counters a warp
+   kernel accumulates on the SIMT machine must equal the closed forms
+   in :mod:`repro.gpu.closed_forms`.  The performance model prices
+   measured counters (:func:`repro.gpu.profiles.kernel_profile`), so a
+   kernel doing the wrong amount of work would silently skew every
+   projected GFLOPS figure; this check catches it.  It also re-asserts
+   the paper's load-balance premise that the counts are *independent of
+   the matrix values* (implicit pivoting executes one fixed instruction
+   stream per size).
+
+2. **Factor fidelity** - the warp LU kernel must agree with the NumPy
+   batched reference *bitwise* (same pivot sequence, same factors, same
+   permutation), and the warp Gauss-Huard kernels to rounding.  The
+   reference is what every numerical claim is validated against, so the
+   warp kernels inherit those claims only through this equality.
+
+Both checks run over a sweep of sizes and both precisions and report
+structured findings the ``repro verify`` CLI serialises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.batch import BatchedMatrices, BatchedVectors
+from ..core.batched_gauss_huard import gh_factor, gh_solve
+from ..core.batched_lu import lu_factor
+from ..core.batched_trsv import lu_solve
+from ..gpu.closed_forms import expected_counts
+from ..gpu.kernels.gauss_huard import warp_gh_factor, warp_gh_solve
+from ..gpu.kernels.lu import warp_lu_factor, warp_lu_solve
+from ..gpu.simt import KernelStats
+
+__all__ = [
+    "SIMT_KINDS",
+    "CountMismatch",
+    "SimtCheckResult",
+    "check_kernel_counts",
+    "check_warp_vs_reference",
+    "run_simt_checks",
+]
+
+#: every profiled kernel configuration kind
+SIMT_KINDS = (
+    "lu_factor",
+    "lu_solve",
+    "gh_factor",
+    "ght_factor",
+    "gh_solve",
+    "ght_solve",
+)
+
+#: tolerance for the (non-bitwise) GH warp-vs-reference comparison:
+#: the warp kernel reassociates the lazy dot via the butterfly sum
+_GH_RTOL = 1e-12
+_GH_ATOL = 1e-13
+
+
+def _sample(m: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    M = rng.uniform(-1.0, 1.0, (m, m))
+    M[np.arange(m), np.arange(m)] += m
+    return M
+
+
+def _run_kernel(
+    kind: str, M: np.ndarray, dtype, tile: int
+) -> KernelStats:
+    """Execute one warp kernel configuration, returning its counters."""
+    m = M.shape[0]
+    b = np.linspace(1.0, 2.0, m)
+    if kind == "lu_factor":
+        stats = KernelStats()
+        warp_lu_factor(M, tile=tile, stats=stats, dtype=dtype)
+        return stats
+    if kind == "lu_solve":
+        f, p, _, _ = warp_lu_factor(M, tile=tile, dtype=dtype)
+        stats = KernelStats()
+        warp_lu_solve(f, p, b, stats=stats, dtype=dtype)
+        return stats
+    transposed = kind.startswith("ght")
+    if kind.endswith("factor"):
+        stats = KernelStats()
+        warp_gh_factor(
+            M, transposed=transposed, tile=tile, stats=stats, dtype=dtype
+        )
+        return stats
+    f, cp, _, _ = warp_gh_factor(M, transposed=transposed, tile=tile, dtype=dtype)
+    stats = KernelStats()
+    warp_gh_solve(f, cp, b, transposed=transposed, stats=stats, dtype=dtype)
+    return stats
+
+
+@dataclass
+class CountMismatch:
+    """One counter field that disagreed with its closed form."""
+
+    kind: str
+    m: int
+    dtype_bytes: int
+    counter: str
+    measured: int
+    expected: int
+
+    def to_dict(self) -> dict:
+        return self.__dict__.copy()
+
+
+def check_kernel_counts(
+    sizes=(1, 2, 3, 5, 8, 16, 24, 32),
+    dtype_bytes=(4, 8),
+    kinds=SIMT_KINDS,
+    tile: int = 32,
+    seed: int = 1234,
+) -> list[CountMismatch]:
+    """Replay the warp kernels and diff their counters field by field.
+
+    Also replays each factor kernel on a second, differently pivoting
+    matrix to assert the value-independence of the counts (the premise
+    that lets one profile run characterise a whole batch).  Returns
+    every mismatch found (empty list = pass).
+    """
+    mismatches: list[CountMismatch] = []
+    for kind in kinds:
+        for m in sizes:
+            for es in dtype_bytes:
+                dtype = np.float32 if es == 4 else np.float64
+                got = _run_kernel(kind, _sample(m, seed), dtype, tile)
+                want = expected_counts(kind, m, es, tile)
+                for name in got.__dataclass_fields__:
+                    gv, wv = getattr(got, name), getattr(want, name)
+                    if gv != wv:
+                        mismatches.append(
+                            CountMismatch(kind, m, es, name, gv, wv)
+                        )
+                # value-independence: different pivot order, same stream
+                again = _run_kernel(
+                    kind, _sample(m, seed + 999), dtype, tile
+                )
+                if again != got:
+                    mismatches.append(
+                        CountMismatch(
+                            kind,
+                            m,
+                            es,
+                            "value_independence",
+                            again.total_instructions(),
+                            got.total_instructions(),
+                        )
+                    )
+    return mismatches
+
+
+@dataclass
+class SimtCheckResult:
+    """Aggregated outcome of the SIMT replay checks."""
+
+    count_mismatches: list[CountMismatch] = field(default_factory=list)
+    factor_mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.count_mismatches and not self.factor_mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "count_mismatches": [
+                m.to_dict() for m in self.count_mismatches
+            ],
+            "factor_mismatches": list(self.factor_mismatches),
+        }
+
+
+def check_warp_vs_reference(
+    sizes=(1, 2, 3, 5, 8, 16, 24, 32), seed: int = 77
+) -> list[str]:
+    """Exact/rounding agreement between warp kernels and NumPy reference.
+
+    LU is compared bitwise (factors, permutation, info, solve); GH/GH-T
+    to ``_GH_RTOL`` (the warp apply reassociates its dot products via a
+    butterfly reduction, which is a different but equally valid
+    summation order).  Returns human-readable mismatch descriptions.
+    """
+    problems: list[str] = []
+    rng = np.random.default_rng(seed)
+    for m in sizes:
+        M = rng.uniform(-1.0, 1.0, (m, m)) + 0.1 * np.eye(m)
+        b = rng.uniform(-1.0, 1.0, m)
+        batch = BatchedMatrices.identity_padded([M], tile=32)
+        rhs = BatchedVectors.from_vectors([b], tile=32)
+
+        ref = lu_factor(batch)
+        f, perm, info, _ = warp_lu_factor(M)
+        if not np.array_equal(f, ref.factors.block(0)):
+            problems.append(f"lu_factor m={m}: factors differ from reference")
+        if not np.array_equal(perm, ref.perm[0]):
+            problems.append(f"lu_factor m={m}: permutation differs")
+        if info != ref.info[0]:
+            problems.append(f"lu_factor m={m}: info differs")
+        if ref.ok:
+            xref = lu_solve(ref, rhs)
+            x, _ = warp_lu_solve(f, perm, b)
+            if not np.array_equal(x, xref.vector(0)):
+                problems.append(f"lu_solve m={m}: solution differs bitwise")
+
+        gref = gh_factor(batch)
+        for transposed, tag in ((False, "gh"), (True, "ght")):
+            gf, cp, ginfo, _ = warp_gh_factor(M, transposed=transposed)
+            if not np.allclose(
+                gf, gref.factors.block(0), rtol=_GH_RTOL, atol=_GH_ATOL
+            ):
+                problems.append(f"{tag}_factor m={m}: factors drifted")
+            if not np.array_equal(cp[:m], gref.colperm[0][:m]):
+                problems.append(f"{tag}_factor m={m}: column perm differs")
+            if ginfo != gref.info[0]:
+                problems.append(f"{tag}_factor m={m}: info differs")
+            if gref.ok:
+                gx, _ = warp_gh_solve(gf, cp, b, transposed=transposed)
+                gxref = gh_solve(gref, rhs)
+                scale = max(1.0, float(np.abs(gxref.vector(0)).max()))
+                if np.abs(gx - gxref.vector(0)).max() > 1e-9 * scale:
+                    problems.append(f"{tag}_solve m={m}: solution drifted")
+    return problems
+
+
+def run_simt_checks(
+    sizes=(1, 2, 3, 5, 8, 16, 24, 32),
+    dtype_bytes=(4, 8),
+    seed: int = 1234,
+) -> SimtCheckResult:
+    """Full SIMT replay: counts vs closed forms + factors vs reference."""
+    return SimtCheckResult(
+        count_mismatches=check_kernel_counts(
+            sizes=sizes, dtype_bytes=dtype_bytes, seed=seed
+        ),
+        factor_mismatches=check_warp_vs_reference(sizes=sizes, seed=seed),
+    )

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.blocking import (
     extract_blocks,
@@ -10,6 +10,7 @@ from repro.blocking import (
     supervariable_blocking,
 )
 from repro.sparse import CsrMatrix, circuit_like, fem_block_2d
+from tests.strategies import bounds, random_sparse_dense, seeds
 
 
 class TestExtractBlocks:
@@ -50,15 +51,12 @@ class TestExtractBlocks:
             extract_blocks(CsrMatrix.identity(40), np.array([40]))
 
     @settings(max_examples=25, deadline=None)
-    @given(seed=st.integers(0, 1000), bound=st.integers(1, 32))
+    @given(seed=seeds, bound=bounds)
     def test_extraction_partition_property(self, seed, bound):
         """Every matrix entry inside a diagonal block appears in the
         batch; everything outside is ignored."""
-        rng = np.random.default_rng(seed)
-        n = int(rng.integers(10, 60))
-        D = rng.standard_normal((n, n))
-        D[rng.random((n, n)) < 0.6] = 0.0
-        np.fill_diagonal(D, 1.0)
+        D = random_sparse_dense(seed)
+        n = D.shape[0]
         A = CsrMatrix.from_dense(D)
         sizes = supervariable_blocking(A, bound)
         batch = extract_blocks(A, sizes)

@@ -2,10 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.blocking import agglomerate, find_supervariables, supervariable_blocking
 from repro.sparse import CsrMatrix, fem_block_2d, laplacian_2d
+from tests.strategies import bounds, supervariable_runs
 
 
 class TestFindSupervariables:
@@ -65,10 +66,7 @@ class TestAgglomerate:
 
 
 @settings(max_examples=50, deadline=None)
-@given(
-    sv=st.lists(st.integers(1, 50), min_size=1, max_size=60),
-    bound=st.integers(1, 32),
-)
+@given(sv=supervariable_runs, bound=bounds)
 def test_agglomerate_properties(sv, bound):
     """For any supervariable sequence: the blocks partition the rows,
     respect the bound, and never waste slots when a merge was legal."""

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
 from repro.core import (
     BatchedMatrices,
@@ -14,6 +15,7 @@ from repro.core import (
     upper_solve,
 )
 from repro.core.validation import max_relative_error, solve_residuals
+from tests.strategies import batch_shapes, make_batch, make_rhs, seeds
 
 
 def _lower_batch(nb=16, tile=16, seed=0):
@@ -113,3 +115,75 @@ class TestGetrs:
         x = lu_solve(lu_factor(b), rhs)
         assert x.dtype == np.float32
         assert solve_residuals(b, x, rhs).max() < 1e-4
+
+
+# -- eager/lazy equivalence properties (hypothesis) -------------------------
+
+
+def _triangular_pair(shape, seed):
+    """Unit-lower/upper factor batch + rhs from a random LU."""
+    batch = make_batch(*shape, seed=seed, dominant=True)
+    fac = lu_factor(batch)
+    assert fac.ok
+    return fac.factors, make_rhs(batch, seed + 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=batch_shapes, seed=seeds)
+def test_lower_eager_lazy_agree_property(shape, seed):
+    """AXPY and DOT formulations of L y = b agree to rounding on any
+    random unit-lower batch (size-1 blocks included)."""
+    factors, rhs = _triangular_pair(shape, seed)
+    ye = lower_unit_solve(factors, rhs, variant="eager")
+    yl = lower_unit_solve(factors, rhs, variant="lazy")
+    scale = max(1.0, np.abs(ye.data).max())
+    assert np.abs(ye.data - yl.data).max() < 1e-13 * scale
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=batch_shapes, seed=seeds)
+def test_upper_eager_lazy_agree_property(shape, seed):
+    factors, rhs = _triangular_pair(shape, seed)
+    xe = upper_solve(factors, rhs, variant="eager")
+    xl = upper_solve(factors, rhs, variant="lazy")
+    scale = max(1.0, np.abs(xe.data).max())
+    assert np.abs(xe.data - xl.data).max() < 1e-12 * scale
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=batch_shapes, seed=seeds, zero_at=seeds)
+def test_zero_diagonal_infnan_patterns_match_property(shape, seed, zero_at):
+    """With a zero on U's diagonal both variants blow up the *same way*:
+    matching inf/nan patterns per block (LAPACK getrs semantics)."""
+    factors, rhs = _triangular_pair(shape, seed)
+    data = factors.data.copy()
+    for i in range(factors.nb):
+        m = int(factors.sizes[i])
+        data[i, zero_at % m, zero_at % m] = 0.0
+    broken = BatchedMatrices(data, factors.sizes.copy())
+    xe = upper_solve(broken, rhs, variant="eager")
+    xl = upper_solve(broken, rhs, variant="lazy")
+    assert np.array_equal(np.isnan(xe.data), np.isnan(xl.data))
+    assert np.array_equal(np.isinf(xe.data), np.isinf(xl.data))
+    finite = np.isfinite(xe.data) & np.isfinite(xl.data)
+    scale = max(1.0, np.abs(xe.data[finite]).max(initial=0.0))
+    gap = np.abs(xe.data[finite] - xl.data[finite]).max(initial=0.0)
+    assert gap < 1e-12 * scale
+
+
+@pytest.mark.parametrize("variant", ["eager", "lazy"])
+def test_empty_batch_and_size_one_blocks(variant):
+    """nb = 0 and all-size-1 batches pass through both variants."""
+    empty = BatchedMatrices(np.zeros((0, 4, 4)), np.zeros(0, dtype=np.int64))
+    erhs = BatchedVectors(np.zeros((0, 4)), np.zeros(0, dtype=np.int64))
+    for solve in (lower_unit_solve, upper_solve):
+        out = solve(empty, erhs, variant=variant)
+        assert out.data.shape == (0, 4)
+
+    ones = random_batch(5, 1, kind="diag_dominant", seed=0)
+    rhs = random_rhs(ones)
+    x = lu_solve(lu_factor(ones), rhs, variant=variant)
+    for i in range(5):
+        np.testing.assert_allclose(
+            x.vector(i), rhs.vector(i) / ones.block(i)[0, 0], rtol=1e-15
+        )

@@ -15,7 +15,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     BatchedMatrices,
-    BatchedVectors,
     gh_factor,
     gh_solve,
     gj_apply,
@@ -30,33 +29,8 @@ from repro.core.validation import (
     max_relative_error,
     solve_residuals,
 )
-
-# -- strategies ------------------------------------------------------------
-
-batch_shapes = st.tuples(
-    st.integers(min_value=1, max_value=12),  # nb
-    st.integers(min_value=1, max_value=16),  # max size
-)
-
-
-def _make_batch(nb: int, max_size: int, seed: int, dominant: bool):
-    rng = np.random.default_rng(seed)
-    sizes = rng.integers(1, max_size + 1, size=nb)
-    blocks = []
-    for m in sizes:
-        M = rng.uniform(-1.0, 1.0, (m, m))
-        if dominant:
-            M[np.arange(m), np.arange(m)] += m + 1.0
-        blocks.append(M)
-    return BatchedMatrices.identity_padded(blocks)
-
-
-def _make_rhs(batch, seed):
-    rng = np.random.default_rng(seed)
-    data = rng.uniform(-1, 1, (batch.nb, batch.tile))
-    data[~batch.row_mask()] = 0.0
-    return BatchedVectors(data, batch.sizes.copy())
-
+from tests.strategies import batch_shapes, make_batch as _make_batch, \
+    make_rhs as _make_rhs
 
 # -- properties ------------------------------------------------------------
 

@@ -1,0 +1,93 @@
+"""Regression tests for size resolution in repro.core.random_batches.
+
+The historical API overloaded ``size``: a 2-element *tuple* meant a
+random ``(lo, hi)`` range while a 2-element *list* meant two explicit
+sizes - correct but spelling-dependent.  ``size_range=`` is the
+unambiguous replacement; these tests pin both the new keyword and the
+preserved legacy behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import random_batch
+from repro.core.random_batches import resolve_sizes
+
+
+def _rng():
+    return np.random.default_rng(42)
+
+
+class TestResolveSizes:
+    def test_scalar_size(self):
+        np.testing.assert_array_equal(
+            resolve_sizes(3, 7, _rng()), [7, 7, 7]
+        )
+
+    def test_explicit_sequence(self):
+        np.testing.assert_array_equal(
+            resolve_sizes(4, [4, 1, 3, 2], _rng()), [4, 1, 3, 2]
+        )
+
+    def test_legacy_tuple_is_still_a_range(self):
+        sizes = resolve_sizes(50, (2, 5), _rng())
+        assert sizes.shape == (50,)
+        assert sizes.min() >= 2 and sizes.max() <= 5
+
+    def test_two_element_list_is_still_two_explicit_sizes(self):
+        # the spelling distinction the old code relied on, kept working
+        np.testing.assert_array_equal(
+            resolve_sizes(2, [3, 5], _rng()), [3, 5]
+        )
+
+    def test_size_range_keyword_accepts_any_spelling(self):
+        for spelling in [(2, 8), [2, 8], np.array([2, 8])]:
+            sizes = resolve_sizes(40, size_range=spelling, rng=_rng())
+            assert sizes.min() >= 2 and sizes.max() <= 8
+
+    def test_size_range_is_deterministic_in_rng(self):
+        a = resolve_sizes(10, size_range=(1, 9), rng=_rng())
+        b = resolve_sizes(10, (1, 9), _rng())  # same draw path
+        np.testing.assert_array_equal(a, b)
+
+    def test_exactly_one_spec_required(self):
+        with pytest.raises(TypeError, match="exactly one"):
+            resolve_sizes(4)
+        with pytest.raises(TypeError, match="exactly one"):
+            resolve_sizes(4, 3, _rng(), size_range=(1, 2))
+
+    def test_wrong_length_mentions_size_range_escape_hatch(self):
+        with pytest.raises(ValueError, match="size_range"):
+            resolve_sizes(3, [1, 2], _rng())
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError, match="invalid size range"):
+            resolve_sizes(4, size_range=(5, 2), rng=_rng())
+        with pytest.raises(ValueError, match="pair"):
+            resolve_sizes(4, size_range=(1, 2, 3), rng=_rng())
+
+    def test_range_without_rng_rejected(self):
+        with pytest.raises(TypeError, match="rng"):
+            resolve_sizes(4, size_range=(2, 8))
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            resolve_sizes(1, -3, _rng())
+        with pytest.raises(ValueError, match="non-negative"):
+            resolve_sizes(3, [1, -2, 3], _rng())
+
+
+class TestRandomBatchSizeRange:
+    def test_keyword_threads_through(self):
+        batch = random_batch(30, size_range=(1, 8), seed=0)
+        assert batch.sizes.min() >= 1 and batch.sizes.max() <= 8
+        assert batch.nb == 30
+
+    def test_same_draws_as_legacy_tuple(self):
+        a = random_batch(12, (1, 8), seed=5)
+        b = random_batch(12, size_range=(1, 8), seed=5)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_double_spec_rejected(self):
+        with pytest.raises(TypeError, match="exactly one"):
+            random_batch(4, 8, size_range=(1, 8))

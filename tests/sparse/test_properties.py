@@ -3,22 +3,8 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.sparse import CooMatrix
 from repro.sparse.reorder import bandwidth, permute_symmetric, rcm_ordering
-
-# -- strategies -------------------------------------------------------------
-
-
-@st.composite
-def coo_matrices(draw):
-    n = draw(st.integers(1, 25))
-    nnz = draw(st.integers(0, 80))
-    seed = draw(st.integers(0, 2**20))
-    rng = np.random.default_rng(seed)
-    rows = rng.integers(0, n, nnz)
-    cols = rng.integers(0, n, nnz)
-    vals = rng.standard_normal(nnz)
-    return CooMatrix(n, n, rows, cols, vals)
+from tests.strategies import coo_matrices
 
 
 @settings(max_examples=50, deadline=None)

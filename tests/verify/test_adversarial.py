@@ -1,0 +1,118 @@
+"""Tests for the adversarial batch generators (repro.verify.adversarial)."""
+
+import numpy as np
+import pytest
+
+from repro.core import lu_factor
+from repro.verify import (
+    adversarial_suite,
+    graded_batch,
+    growth_factor,
+    mixed_size_batch,
+    pivot_tie_batch,
+    sign_flip_near_singular_batch,
+    wilkinson_batch,
+    wilkinson_matrix,
+)
+
+
+class TestWilkinson:
+    def test_structure(self):
+        W = wilkinson_matrix(4)
+        expect = np.array(
+            [
+                [1.0, 0.0, 0.0, 1.0],
+                [-1.0, 1.0, 0.0, 1.0],
+                [-1.0, -1.0, 1.0, 1.0],
+                [-1.0, -1.0, -1.0, 1.0],
+            ]
+        )
+        np.testing.assert_array_equal(W, expect)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wilkinson_matrix(0)
+
+    def test_no_pivoting_happens_and_growth_is_exact(self):
+        batch = wilkinson_batch([1, 4, 9, 16], tile=16)
+        fac = lu_factor(batch)
+        # partial pivoting keeps the identity permutation on Wilkinson
+        np.testing.assert_array_equal(
+            fac.perm, np.tile(np.arange(16), (4, 1))
+        )
+        np.testing.assert_array_equal(
+            growth_factor(batch, fac),
+            2.0 ** (batch.sizes.astype(float) - 1),
+        )
+
+
+class TestPivotTie:
+    def test_entries_are_signs_and_blocks_nonsingular(self):
+        batch = pivot_tie_batch(6, 8, seed=11)
+        assert set(np.unique(batch.data[:, :8, :8])) <= {-1.0, 1.0}
+        for i in range(batch.nb):
+            assert round(np.linalg.det(batch.block(i))) != 0
+
+    def test_first_pivot_search_sees_only_ties(self):
+        batch = pivot_tie_batch(6, 8, seed=11)
+        np.testing.assert_array_equal(
+            np.abs(batch.data[:, :8, 0]), np.ones((6, 8))
+        )
+
+
+class TestGraded:
+    def test_dynamic_range_spans_requested_decades(self):
+        batch = graded_batch(4, 8, decades=6.0, seed=2)
+        for i in range(batch.nb):
+            B = np.abs(batch.block(i))
+            assert B.max() / B[B > 0].min() > 1e6
+
+    def test_nonsingular(self):
+        batch = graded_batch(4, 8, seed=2)
+        assert lu_factor(batch).ok
+
+
+class TestSignFlipNearSingular:
+    def test_blocks_are_near_singular_but_factorable(self):
+        batch = sign_flip_near_singular_batch(4, 8, seed=3, eps=1e-10)
+        fac = lu_factor(batch)
+        assert fac.ok
+        conds = [np.linalg.cond(batch.block(i)) for i in range(batch.nb)]
+        assert min(conds) > 1e6
+
+    def test_signs_alternate(self):
+        batch = sign_flip_near_singular_batch(4, 4, seed=3)
+        tr = [np.trace(batch.block(i)) for i in range(batch.nb)]
+        assert tr[0] > 0 > tr[1] and tr[2] > 0 > tr[3]
+
+
+class TestMixedSize:
+    def test_sizes_cycle_extremes(self):
+        batch = mixed_size_batch(16, tile=8)
+        np.testing.assert_array_equal(
+            batch.sizes[:8], [8, 1, 7, 2, 6, 3, 5, 4]
+        )
+        assert batch.tile == 8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_size_batch(4, kind="magic")
+
+
+class TestSuite:
+    def test_contains_all_generators_at_one_tile(self):
+        suite = adversarial_suite(tile=8, seed=0)
+        assert set(suite) == {
+            "wilkinson",
+            "pivot_tie",
+            "graded",
+            "sign_flip",
+            "mixed_size",
+        }
+        assert all(b.tile == 8 for b in suite.values())
+
+    def test_deterministic_in_seed(self):
+        a = adversarial_suite(tile=8, seed=4)
+        b = adversarial_suite(tile=8, seed=4)
+        for name in a:
+            np.testing.assert_array_equal(a[name].data, b[name].data)

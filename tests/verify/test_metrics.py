@@ -1,0 +1,165 @@
+"""Unit tests for the backward-error metrology (repro.verify.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedMatrices,
+    BatchedVectors,
+    lu_factor,
+    lu_solve,
+    random_batch,
+    random_rhs,
+)
+from repro.verify import (
+    componentwise_backward_error,
+    factorization_error,
+    growth_factor,
+    normwise_backward_error,
+    reconstruction_error,
+    residual_norms,
+    solution_distance,
+    wilkinson_batch,
+)
+
+
+def _problem(nb=12, size=(1, 16), seed=3, kind="diag_dominant"):
+    batch = random_batch(nb, size, kind=kind, seed=seed)
+    rhs = random_rhs(batch, seed=seed + 1)
+    return batch, rhs
+
+
+class TestNormwiseBackwardError:
+    def test_computed_solution_is_tiny(self):
+        batch, rhs = _problem()
+        x = lu_solve(lu_factor(batch), rhs)
+        assert normwise_backward_error(batch, x, rhs).max() < 1e-14
+
+    def test_matches_rigal_gaches_by_hand(self):
+        A = np.array([[4.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+        x = np.array([0.11, 0.59])  # deliberately off
+        batch = BatchedMatrices.identity_padded([A], tile=4)
+        eta = normwise_backward_error(
+            batch,
+            BatchedVectors.from_vectors([x], tile=4),
+            BatchedVectors.from_vectors([b], tile=4),
+        )
+        r = b - A @ x
+        expect = np.abs(r).max() / (
+            np.abs(A).sum(axis=1).max() * np.abs(x).max() + np.abs(b).max()
+        )
+        np.testing.assert_allclose(eta, [expect], rtol=1e-14)
+
+    def test_padding_excluded(self):
+        # same active problem at two tiles must give the same eta
+        A = np.array([[4.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+        x = np.array([0.3, 0.5])
+        etas = []
+        for tile in (2, 8):
+            batch = BatchedMatrices.identity_padded([A], tile=tile)
+            etas.append(
+                normwise_backward_error(
+                    batch,
+                    BatchedVectors.from_vectors([x], tile=tile),
+                    BatchedVectors.from_vectors([b], tile=tile),
+                )[0]
+            )
+        assert etas[0] == etas[1]
+
+
+class TestComponentwiseBackwardError:
+    def test_computed_solution_is_small(self):
+        batch, rhs = _problem(seed=5)
+        x = lu_solve(lu_factor(batch), rhs)
+        assert componentwise_backward_error(batch, x, rhs).max() < 1e-12
+
+    def test_matches_oettli_prager_by_hand(self):
+        A = np.array([[2.0, 0.0], [1.0, 5.0]])
+        b = np.array([2.0, 11.0])
+        x = np.array([1.01, 1.98])
+        batch = BatchedMatrices.identity_padded([A], tile=2)
+        omega = componentwise_backward_error(
+            batch,
+            BatchedVectors.from_vectors([x], tile=2),
+            BatchedVectors.from_vectors([b], tile=2),
+        )
+        r = np.abs(b - A @ x)
+        denom = np.abs(A) @ np.abs(x) + np.abs(b)
+        np.testing.assert_allclose(omega, [(r / denom).max()], rtol=1e-14)
+
+    def test_zero_residual_zero_denominator_is_zero(self):
+        # x = 0, b = 0: residual 0 over denominator 0 counts as exact
+        A = np.array([[1.0, 0.0], [0.0, 1.0]])
+        batch = BatchedMatrices.identity_padded([A], tile=2)
+        z = BatchedVectors.from_vectors([np.zeros(2)], tile=2)
+        assert componentwise_backward_error(batch, z, z)[0] == 0.0
+
+
+class TestResidualAndFactorization:
+    def test_residual_norms_match_per_block(self):
+        batch, rhs = _problem(seed=7)
+        x = lu_solve(lu_factor(batch), rhs)
+        res = residual_norms(batch, x, rhs)
+        for i in range(batch.nb):
+            m = int(batch.sizes[i])
+            r = rhs.vector(i) - batch.block(i) @ x.vector(i)
+            assert abs(res[i] - np.abs(r).max()) < 1e-15
+
+    def test_factorization_error_small_and_padding_free(self):
+        batch, _ = _problem(seed=9, kind="uniform")
+        fac = lu_factor(batch)
+        assert factorization_error(batch, fac).max() < 1e-14
+        assert reconstruction_error(batch, fac).max() < 1e-14
+
+
+class TestGrowthFactor:
+    def test_wilkinson_attains_bound_exactly(self):
+        batch = wilkinson_batch([2, 5, 11, 24], tile=32)
+        rho = growth_factor(batch, lu_factor(batch))
+        np.testing.assert_array_equal(
+            rho, 2.0 ** (batch.sizes.astype(float) - 1)
+        )
+
+    def test_identity_has_unit_growth(self):
+        batch = BatchedMatrices.identity_padded([np.eye(3)], tile=8)
+        rho = growth_factor(batch, lu_factor(batch))
+        np.testing.assert_array_equal(rho, [1.0])
+
+
+class TestSolutionDistance:
+    def _vecs(self, *arrays, tile=4):
+        return [
+            BatchedVectors.from_vectors([np.asarray(a, float)], tile=tile)
+            for a in arrays
+        ]
+
+    def test_identical_is_zero(self):
+        x, y = self._vecs([1.0, 2.0], [1.0, 2.0])
+        assert solution_distance(x, y)[0] == 0.0
+
+    def test_relative_scaling(self):
+        x, y = self._vecs([10.0, 0.0], [10.0, 1.0])
+        np.testing.assert_allclose(solution_distance(x, y), [0.1])
+        np.testing.assert_allclose(
+            solution_distance(x, y, scale="absolute"), [1.0]
+        )
+
+    def test_matching_inf_nan_patterns_compare_finite_part(self):
+        x, y = self._vecs([np.inf, np.nan, 1.0], [np.inf, np.nan, 1.0])
+        assert np.isfinite(solution_distance(x, y)[0])
+
+    def test_mismatched_patterns_are_inf(self):
+        x, y = self._vecs([np.inf, 1.0], [1.0, 1.0])
+        assert np.isinf(solution_distance(x, y)[0])
+
+    def test_opposite_sign_infs_are_inf(self):
+        x, y = self._vecs([np.inf, 1.0], [-np.inf, 1.0])
+        assert np.isinf(solution_distance(x, y)[0])
+
+    def test_rejects_mismatched_batches(self):
+        x = BatchedVectors.from_vectors([np.ones(2)], tile=4)
+        y = BatchedVectors.from_vectors([np.ones(2), np.ones(2)], tile=4)
+        with pytest.raises(ValueError):
+            solution_distance(x, y)

@@ -1,0 +1,101 @@
+"""Tests for the differential harness (repro.verify.oracles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import random_batch, random_rhs
+from repro.verify import (
+    SOLVER_ORACLES,
+    differential_solve,
+    pivot_agreement,
+    pivot_tie_batch,
+)
+from tests.strategies import batch_shapes, make_batch, make_rhs, seeds
+
+
+class TestDifferentialSolve:
+    def test_all_kernels_agree_on_well_conditioned_batch(self):
+        batch = random_batch(16, (1, 16), kind="diag_dominant", seed=1)
+        report = differential_solve(
+            batch,
+            random_rhs(batch),
+            ["lu", "lu_explicit", "gh", "ght", "gje", "scipy"],
+        )
+        assert report.passed(1e-9), report.to_dict()
+        assert not report.failed_kernels
+
+    def test_cholesky_joins_on_spd(self):
+        batch = random_batch(8, (1, 12), kind="spd", seed=2)
+        report = differential_solve(
+            batch, random_rhs(batch), ["lu", "cholesky"]
+        )
+        assert report.passed(1e-9), report.to_dict()
+
+    def test_unknown_kernel_rejected(self):
+        batch = random_batch(2, 4, seed=3)
+        with pytest.raises(ValueError, match="magic"):
+            differential_solve(batch, random_rhs(batch), ["lu", "magic"])
+
+    def test_singular_batch_recorded_as_failed_not_raised(self):
+        batch = random_batch(4, 8, kind="singular", seed=4)
+        report = differential_solve(batch, random_rhs(batch), ["lu", "gje"])
+        assert "lu" in report.failed_kernels
+        assert not report.passed(np.inf)
+
+    def test_report_serialises(self):
+        import json
+
+        batch = random_batch(4, 6, seed=5)
+        report = differential_solve(batch, random_rhs(batch), ["lu", "gh"])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["kernels"] == ["gh", "lu"]
+        assert "lu|gh" in payload["pairwise_max"] or "gh|lu" in payload[
+            "pairwise_max"
+        ]
+
+    def test_registry_covers_documented_pipelines(self):
+        assert set(SOLVER_ORACLES) == {
+            "lu",
+            "lu_explicit",
+            "gh",
+            "ght",
+            "gje",
+            "cholesky",
+            "scipy",
+        }
+
+
+class TestPivotAgreement:
+    def test_bitwise_on_random_batch(self):
+        batch = random_batch(24, (1, 32), kind="uniform", seed=6)
+        agr = pivot_agreement(batch)
+        assert agr.passed(factor_tol=0.0), agr.to_dict()
+
+    def test_bitwise_even_under_exact_ties(self):
+        # ties are where implicit and explicit can legitimately diverge
+        # unless both break them on the original row index
+        agr = pivot_agreement(pivot_tie_batch(16, 8, seed=7))
+        assert agr.passed(factor_tol=0.0), agr.to_dict()
+
+    def test_detects_a_broken_pivot_choice(self, monkeypatch):
+        import repro.core.batched_lu as blu
+
+        monkeypatch.setitem(blu._CORES, "implicit", blu._factor_nopivot)
+        agr = pivot_agreement(random_batch(8, 8, kind="uniform", seed=8))
+        assert not agr.passed(factor_tol=0.0)
+        assert not agr.perms_equal
+
+
+# -- the ~20-line oracle-driven differential property (ISSUE item 4) -------
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=batch_shapes, seed=seeds)
+def test_gh_ght_and_gje_agree_property(shape, seed):
+    """GH == GH-T to rounding and GJE apply == LU solve on any
+    well-conditioned variable-size batch."""
+    batch = make_batch(*shape, seed=seed, dominant=True)
+    rhs = make_rhs(batch, seed + 1)
+    report = differential_solve(batch, rhs, ["lu", "gh", "ght", "gje"])
+    assert report.passed(1e-9), report.to_dict()

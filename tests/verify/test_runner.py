@@ -1,0 +1,84 @@
+"""End-to-end tests of the verification runner and its CLI entry point,
+including the mutation smoke test: a deliberately broken pivot choice
+must be caught by the differential harness with a nonzero exit."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.verify import run_verification
+
+
+class TestRunVerification:
+    def test_quick_sweep_passes_on_healthy_tree(self):
+        report = run_verification(quick=True)
+        assert report.passed, report.summary()
+        assert report.mode == "quick"
+        assert {c.name for c in report.checks} == {
+            "growth",
+            "pivot_equivalence",
+            "backward_error",
+            "factorization",
+            "differential",
+            "simt",
+        }
+
+    def test_report_round_trips_through_json(self):
+        report = run_verification(quick=True)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["passed"] is True
+        assert len(payload["checks"]) == len(report.checks)
+
+    def test_summary_mentions_verdict(self):
+        report = run_verification(quick=True)
+        assert "verdict: PASS" in report.summary()
+
+
+class TestMutationSmoke:
+    """Break the implicit-pivoting core and demand the gate trips."""
+
+    @pytest.fixture()
+    def broken_pivoting(self, monkeypatch):
+        import repro.core.batched_lu as blu
+
+        # the no-pivot core factors without row exchanges: numerically
+        # unstable and a different permutation than explicit pivoting -
+        # exactly the kind of regression the subsystem exists to catch
+        monkeypatch.setitem(blu._CORES, "implicit", blu._factor_nopivot)
+
+    def test_differential_harness_catches_it(self, broken_pivoting):
+        report = run_verification(quick=True)
+        assert not report.passed
+        failed = {c.name for c in report.failures}
+        assert "pivot_equivalence" in failed
+        # the growth/backward-error metrology trips too: no pivoting
+        # means unbounded growth on the uniform batches
+        assert failed & {"backward_error", "differential", "growth"}
+
+    def test_cli_exits_nonzero(self, broken_pivoting, capsys):
+        assert main(["verify", "--quick"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestCliVerify:
+    def test_exit_zero_and_summary(self, capsys):
+        assert main(["verify", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["verify", "--quick", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["mode"] == "quick"
+
+    def test_json_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["verify", "--quick", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["passed"] is True
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_seed_changes_sweep_not_verdict(self):
+        assert main(["verify", "--quick", "--seed", "7"]) == 0

@@ -1,0 +1,72 @@
+"""Tests for the SIMT replay checks (repro.verify.simt_check)."""
+
+import pytest
+
+from repro.gpu import expected_counts
+from repro.gpu.closed_forms import contiguous_sectors, strided_sectors
+from repro.verify import (
+    check_kernel_counts,
+    check_warp_vs_reference,
+    run_simt_checks,
+)
+from repro.verify.simt_check import SIMT_KINDS
+
+
+class TestSectorHelpers:
+    def test_contiguous(self):
+        # 8 doubles starting at 0: 64 bytes = 2 sectors
+        assert contiguous_sectors(0, 8, 8) == 2
+        # crossing a sector boundary costs the extra sector
+        assert contiguous_sectors(3, 8, 8) == 3
+        assert contiguous_sectors(0, 0, 8) == 0
+
+    def test_strided(self):
+        # stride-m float64 scatter: every element its own sector
+        assert strided_sectors(0, 8, 8, 8) == 8
+        # stride 1 degenerates to the contiguous count
+        assert strided_sectors(5, 6, 1, 4) == contiguous_sectors(5, 6, 4)
+
+
+class TestExpectedCounts:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            expected_counts("magic", 4, 8)
+
+    @pytest.mark.parametrize("kind", SIMT_KINDS)
+    def test_flops_grow_with_size(self, kind):
+        small = expected_counts(kind, 2, 8).flops
+        large = expected_counts(kind, 16, 8).flops
+        assert large > small
+
+
+class TestReplayAgainstClosedForms:
+    def test_counts_match_everywhere(self):
+        mismatches = check_kernel_counts(sizes=(1, 2, 5, 8, 17, 32))
+        assert mismatches == [], [m.to_dict() for m in mismatches]
+
+    def test_warp_kernels_match_reference(self):
+        problems = check_warp_vs_reference(sizes=(1, 2, 5, 8, 17, 32))
+        assert problems == []
+
+    def test_aggregate_runner(self):
+        result = run_simt_checks(sizes=(1, 4, 8), dtype_bytes=(8,))
+        assert result.passed
+        payload = result.to_dict()
+        assert payload["passed"] is True
+        assert payload["count_mismatches"] == []
+
+    def test_detects_wrong_amount_of_work(self, monkeypatch):
+        # shrink the closed form's GER width: replay must notice that
+        # the kernel does more work than the (mutated) model claims
+        import repro.verify.simt_check as sc
+
+        real = sc.expected_counts
+
+        def lying(kind, m, es, tile=32):
+            return real(kind, m, es, tile - 1)
+
+        monkeypatch.setattr(sc, "expected_counts", lying)
+        mismatches = sc.check_kernel_counts(
+            sizes=(8,), dtype_bytes=(8,), kinds=("lu_factor",)
+        )
+        assert any(m.counter == "flops" for m in mismatches)
