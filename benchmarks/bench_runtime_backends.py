@@ -1,0 +1,83 @@
+"""Runtime perf baseline: numpy vs binned vs scipy backends.
+
+The first performance baseline of the execution subsystem
+(``repro.runtime``): sweeps every available backend over the paper's
+SIZE and BATCH axes plus the adversarial batches, cross-checks them
+against the monolithic ``numpy`` reference, and persists both the JSON
+baseline (``results/BENCH_runtime.json``, quoted by EXPERIMENTS.md)
+and a human-readable table.
+
+Expected shape: the ``binned`` backend's padded flop count drops
+strictly below the monolithic charge on every mixed-size batch (the
+planner's raison d'etre), the per-block ``scipy`` backend reports zero
+padding waste but pays per-block call overhead, and no backend diverges
+from the reference beyond rounding.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import write_result
+from repro.bench.runtime_sweep import format_sweep_summary, run_backend_sweep
+from repro.core import random_batch, random_rhs
+from repro.runtime import BatchRuntime
+
+SEED = 0
+
+
+def test_runtime_backend_sweep(benchmark):
+    report = run_backend_sweep(quick=False, seed=SEED)
+
+    # persist the JSON baseline next to the text tables
+    from conftest import RESULTS_DIR
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_runtime.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    write_result("runtime_backends.txt", format_sweep_summary(report))
+
+    # the cross-check gate: every backend agrees with the reference
+    assert report["passed"], (
+        f"backend divergence {report['max_discrepancy']:.3e}"
+    )
+
+    # the flop-accounting gate: on every mixed-size case the binned
+    # dispatch is charged strictly less than the monolithic loop
+    mixed = [
+        c for c in report["cases"]
+        if c["name"].startswith(("batch/", "adversarial/mixed"))
+    ]
+    assert mixed
+    for case in mixed:
+        binned = case["backends"]["binned"]
+        assert binned["padded_flops"] < binned["monolithic_padded_flops"]
+        # and the numpy path is charged exactly the monolithic amount
+        mono = case["backends"]["numpy"]
+        assert mono["padded_flops"] == mono["monolithic_padded_flops"]
+
+    # timing anchor: the binned factorization of a large mixed batch
+    batch = random_batch(4000, size_range=(1, 32), kind="diag_dominant",
+                         seed=SEED)
+    rt = BatchRuntime(backend="binned", cache=False)
+    fac = benchmark(lambda: rt.factorize(batch, use_cache=False))
+    assert fac.ok
+
+
+def test_runtime_cache_hit_throughput(benchmark):
+    """Cached re-setup: the serving-loop scenario the cache exists for."""
+    batch = random_batch(2000, size_range=(1, 32), kind="diag_dominant",
+                         seed=SEED)
+    rhs = random_rhs(batch, seed=SEED + 1)
+    rt = BatchRuntime(backend="binned")
+    rt.factorize(batch)  # warm the cache
+
+    def serve():
+        fac = rt.factorize(batch)
+        return fac.solve(rhs)
+
+    benchmark(serve)
+    stats = rt.cache_stats
+    assert stats.hits >= 1
+    assert stats.hit_rate > 0.5

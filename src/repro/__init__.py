@@ -16,6 +16,10 @@ Quintana-Orti, ICPP 2017 (DOI 10.1109/ICPP.2017.18):
   extraction (including the shared-memory strategy cost model);
 * :mod:`repro.precond` - scalar and block-Jacobi preconditioners over
   five batched factorization backends;
+* :mod:`repro.runtime` - the execution subsystem: size-binned batch
+  planning at the warp-tile ladder, pluggable backends
+  (numpy/binned/scipy/threads), a content-fingerprinted factorization
+  cache, and per-stage/per-bin instrumentation;
 * :mod:`repro.solvers` - IDR(s) (the paper's IDR(4)), BiCGSTAB, CG,
   GMRES.
 
@@ -50,6 +54,7 @@ from .precond import (
     Preconditioner,
     ScalarJacobiPreconditioner,
 )
+from .runtime import BatchRuntime
 from .solvers import SolveResult, bicgstab, cg, gmres, idrs
 
 __version__ = "1.0.0"
@@ -70,6 +75,7 @@ __all__ = [
     "IdentityPreconditioner",
     "ScalarJacobiPreconditioner",
     "BlockJacobiPreconditioner",
+    "BatchRuntime",
     "SolveResult",
     "idrs",
     "bicgstab",

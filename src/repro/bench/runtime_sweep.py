@@ -1,0 +1,240 @@
+"""Backend sweep harness behind ``python -m repro bench``.
+
+Times every requested runtime backend over the paper's two axes - the
+SIZE sweep (uniform batches, sizes 4..32) and the BATCH sweep (mixed
+variable-size batches of growing count) - and cross-checks all backends
+against the ``numpy`` reference on every case, random *and*
+adversarial.  The result is a JSON document (``BENCH_runtime.json``)
+that doubles as the repo's perf baseline and as a CI smoke gate: any
+backend divergence beyond tolerance fails the run.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..core.batch import BatchedMatrices, BatchedVectors
+from ..core.random_batches import random_batch, random_rhs
+from ..runtime import BatchRuntime, available_backends
+from .series import BATCH_SWEEP, SIZE_SWEEP
+
+__all__ = ["run_backend_sweep", "format_sweep_summary"]
+
+#: reference backend for the differential cross-check
+REFERENCE = "numpy"
+
+#: default agreement tolerance on well-conditioned batches (float64);
+#: binned/threads are bitwise vs numpy, scipy differs by rounding only
+CHECK_TOL = 1e-9
+
+_QUICK_SIZES = (4, 8, 16, 32)
+_QUICK_BATCHES = (32, 128)
+_FULL_SIZES = tuple(SIZE_SWEEP)
+_FULL_BATCHES = tuple(b for b in BATCH_SWEEP if b <= 4000)
+_QUICK_ADVERSARIAL_NB = 24
+_FULL_ADVERSARIAL_NB = 96
+
+
+def _discrepancy(a: BatchedVectors, b: BatchedVectors) -> float:
+    """Max per-block relative inf-norm distance (padding excluded)."""
+    from ..verify.metrics import solution_distance
+
+    d = solution_distance(a, b)
+    return float(np.max(d)) if d.size else 0.0
+
+
+def _time_backend(
+    rt: BatchRuntime, batch: BatchedMatrices, rhs: BatchedVectors
+) -> tuple[dict, BatchedVectors]:
+    t0 = time.perf_counter()
+    fac = rt.factorize(batch, method="lu", use_cache=False)
+    t1 = time.perf_counter()
+    sol = fac.solve(rhs)
+    t2 = time.perf_counter()
+    rep = rt.last_report
+    useful = rep.useful_flops
+    entry = {
+        "factor_seconds": t1 - t0,
+        "solve_seconds": t2 - t1,
+        "useful_flops": useful,
+        "padded_flops": rep.padded_flops,
+        "padding_waste": rep.padding_waste,
+        "monolithic_padded_flops": rep.monolithic_padded_flops,
+        "flops_saved": rep.flops_saved,
+        "n_bins": len(rep.bins),
+        "gflops_useful": (
+            useful / (t1 - t0) / 1e9 if t1 > t0 else 0.0
+        ),
+    }
+    return entry, sol
+
+
+def _case(
+    name: str,
+    batch: BatchedMatrices,
+    rhs: BatchedVectors,
+    backends: Sequence[str],
+    tol: float,
+) -> dict:
+    case = {
+        "name": name,
+        "nb": batch.nb,
+        "tile": batch.tile,
+        "backends": {},
+        "checks": {},
+    }
+    solutions: dict[str, BatchedVectors] = {}
+    for name_b in backends:
+        rt = BatchRuntime(backend=name_b, cache=False)
+        entry, sol = _time_backend(rt, batch, rhs)
+        case["backends"][name_b] = entry
+        solutions[name_b] = sol
+    ref = solutions.get(REFERENCE)
+    for name_b, sol in solutions.items():
+        if ref is None or name_b == REFERENCE:
+            continue
+        d = _discrepancy(sol, ref)
+        case["checks"][name_b] = {
+            "max_discrepancy_vs_numpy": d,
+            "passed": bool(d <= tol),
+        }
+    return case
+
+
+def run_backend_sweep(
+    backends: Sequence[str] | None = None,
+    quick: bool = False,
+    seed: int = 0,
+    tol: float = CHECK_TOL,
+) -> dict:
+    """Sweep backends over SIZE/BATCH axes + adversarial cross-checks.
+
+    Parameters
+    ----------
+    backends:
+        Backend names to compare (default: every available one; the
+        ``numpy`` reference is always included).
+    quick:
+        Trimmed sweep for CI smoke gates (a few seconds end to end).
+    seed, tol:
+        Batch generator seed and cross-check tolerance.
+
+    Returns
+    -------
+    dict
+        JSON-serialisable report: per-case timings, flop/waste
+        counters, and per-backend divergence checks.  ``["passed"]``
+        aggregates every check.
+    """
+    if backends is None:
+        backends = available_backends()
+    backends = list(dict.fromkeys([REFERENCE, *backends]))
+    missing = [b for b in backends if b not in available_backends()]
+    if missing:
+        raise ValueError(
+            f"unavailable backend(s) {missing}; "
+            f"available: {available_backends()}"
+        )
+    sizes = _QUICK_SIZES if quick else _FULL_SIZES
+    batch_counts = _QUICK_BATCHES if quick else _FULL_BATCHES
+    size_nb = 64 if quick else 512
+    cases = []
+    for m in sizes:
+        batch = random_batch(
+            size_nb, size=m, kind="diag_dominant", seed=seed
+        )
+        rhs = random_rhs(batch, seed=seed + 1)
+        cases.append(
+            _case(f"size/m={m}", batch, rhs, backends, tol)
+        )
+    for nb in batch_counts:
+        batch = random_batch(
+            nb, size_range=(1, 32), kind="diag_dominant", seed=seed + nb
+        )
+        rhs = random_rhs(batch, seed=seed + nb + 1)
+        cases.append(
+            _case(f"batch/nb={nb}", batch, rhs, backends, tol)
+        )
+    # adversarial coverage: decision-boundary batches from repro.verify
+    from ..verify.adversarial import (
+        graded_batch,
+        mixed_size_batch,
+        pivot_tie_batch,
+    )
+
+    adv_nb = _QUICK_ADVERSARIAL_NB if quick else _FULL_ADVERSARIAL_NB
+    adversarial = {
+        "adversarial/mixed_size": mixed_size_batch(
+            adv_nb, tile=32, seed=seed, kind="diag_dominant"
+        ),
+        "adversarial/pivot_ties": pivot_tie_batch(adv_nb, size=16, seed=seed),
+        # 4 decades of grading: adversarial for pivoting but still far
+        # from the rounding floor, so the LAPACK-vs-kernel comparison
+        # stays meaningful at the default tolerance
+        "adversarial/graded": graded_batch(
+            adv_nb, size=16, seed=seed, decades=4.0
+        ),
+    }
+    for name, batch in adversarial.items():
+        rhs = random_rhs(batch, seed=seed + 2)
+        cases.append(_case(name, batch, rhs, backends, tol))
+    passed = all(
+        chk["passed"] for c in cases for chk in c["checks"].values()
+    )
+    worst = 0.0
+    for c in cases:
+        for chk in c["checks"].values():
+            worst = max(worst, chk["max_discrepancy_vs_numpy"])
+    return {
+        "meta": {
+            "harness": "repro bench (runtime backend sweep)",
+            "quick": quick,
+            "seed": seed,
+            "tol": tol,
+            "backends": backends,
+            "reference": REFERENCE,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "cases": cases,
+        "max_discrepancy": worst,
+        "passed": passed,
+    }
+
+
+def format_sweep_summary(report: dict) -> str:
+    """Fixed-width per-case summary table of a sweep report."""
+    from .reporting import format_table
+
+    backends = report["meta"]["backends"]
+    headers = ["case", "nb"]
+    for b in backends:
+        headers += [f"{b} ms", f"{b} waste%"]
+    rows = []
+    for c in report["cases"]:
+        row = [c["name"], c["nb"]]
+        for b in backends:
+            e = c["backends"][b]
+            waste = (
+                100.0 * e["padding_waste"] / e["padded_flops"]
+                if e["padded_flops"]
+                else 0.0
+            )
+            row += [
+                f"{e['factor_seconds'] * 1e3:.2f}",
+                f"{waste:.1f}",
+            ]
+        rows.append(row)
+    status = "PASS" if report["passed"] else "FAIL"
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "runtime backend sweep "
+            f"[{status}, max divergence {report['max_discrepancy']:.2e}]"
+        ),
+    )

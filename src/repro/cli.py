@@ -15,6 +15,10 @@ Gives downstream users the paper's workflows without writing code:
     Run the differential verification suite (cross-kernel oracles,
     backward-error metrology, adversarial batches, SIMT replay) and
     exit nonzero on any violation.
+``python -m repro bench --quick``
+    Sweep the runtime backends (numpy/binned/scipy/threads) over the
+    SIZE/BATCH axes, cross-check them against each other, and write
+    ``BENCH_runtime.json``; exits nonzero on backend divergence.
 """
 
 from __future__ import annotations
@@ -76,6 +80,7 @@ def _cmd_solve(args) -> int:
             method=args.method,
             max_block_size=args.bound,
             on_singular=args.on_singular,
+            backend=args.backend,
         ).setup(A)
         print(M.report.summary())
     solver = {"idr": lambda: idrs(A, b, s=args.s, M=M, tol=args.tol,
@@ -140,6 +145,30 @@ def _cmd_verify(args) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from .bench.runtime_sweep import format_sweep_summary, run_backend_sweep
+
+    backends = (
+        [b.strip() for b in args.backends.split(",") if b.strip()]
+        if args.backends
+        else None
+    )
+    report = run_backend_sweep(
+        backends=backends, quick=args.quick, seed=args.seed, tol=args.tol
+    )
+    payload = json.dumps(report, indent=2)
+    if args.out == "-":
+        print(payload)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(format_sweep_summary(report))
+        print(f"report written to {args.out}")
+    return 0 if report["passed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["raise", "identity", "scalar", "shift"],
                     help="what to do with singular diagonal blocks "
                     "(default: raise)")
+    pv.add_argument("--backend", default=None,
+                    choices=["numpy", "binned", "scipy", "threads"],
+                    help="route the batched setup/apply through the "
+                    "repro.runtime executor backend (default: direct "
+                    "kernel path)")
     pv.add_argument("--solver", default="idr",
                     choices=["idr", "bicgstab", "gmres", "cg"])
     pv.add_argument("-s", type=int, default=4, help="IDR shadow dimension")
@@ -199,6 +233,23 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--json", metavar="PATH",
                     help="write the JSON report to PATH ('-' for stdout)")
     pf.set_defaults(fn=_cmd_verify)
+
+    pbn = sub.add_parser(
+        "bench",
+        help="runtime backend sweep + cross-check (exit 1 on divergence)",
+    )
+    pbn.add_argument("--quick", action="store_true",
+                     help="trimmed sweep for CI smoke gates")
+    pbn.add_argument("--backends",
+                     help="comma-separated backend names "
+                     "(default: all available)")
+    pbn.add_argument("--out", default="BENCH_runtime.json",
+                     help="output JSON path ('-' for stdout; default: "
+                     "BENCH_runtime.json)")
+    pbn.add_argument("--seed", type=int, default=0)
+    pbn.add_argument("--tol", type=float, default=1e-9,
+                     help="cross-check divergence tolerance")
+    pbn.set_defaults(fn=_cmd_bench)
     return p
 
 

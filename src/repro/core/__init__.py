@@ -19,7 +19,13 @@ Public surface:
   (the paper's stated future work).
 """
 
-from .batch import MAX_TILE, BatchedMatrices, BatchedVectors, round_up_tile
+from .batch import (
+    DEFAULT_BINS,
+    MAX_TILE,
+    BatchedMatrices,
+    BatchedVectors,
+    round_up_tile,
+)
 from .batched_cholesky import CholeskyFactors, cholesky_factor, cholesky_solve
 from .degradation import (
     SINGULAR_POLICIES,
@@ -40,6 +46,7 @@ from .validation import (
 )
 
 __all__ = [
+    "DEFAULT_BINS",
     "MAX_TILE",
     "BatchedMatrices",
     "BatchedVectors",

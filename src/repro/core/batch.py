@@ -29,11 +29,12 @@ and all mutating kernels work in place on the ``data`` array.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
 __all__ = [
+    "DEFAULT_BINS",
     "MAX_TILE",
     "BatchedMatrices",
     "BatchedVectors",
@@ -43,6 +44,12 @@ __all__ = [
 #: Largest supported register tile; mirrors the CUDA warp width used by the
 #: paper's kernels (one matrix row per lane, at most 32 rows).
 MAX_TILE = 32
+
+#: The warp-tile ladder of the paper's kernel mapping (Section III): a
+#: variable-size batch is dispatched as sub-batches padded to the
+#: smallest of these tiles that fits each block.  Used by the runtime
+#: planner's size binning and by :meth:`BatchedMatrices.split_by_size`.
+DEFAULT_BINS = (4, 8, 16, 32)
 
 _ALLOWED_DTYPES = (np.float32, np.float64)
 
@@ -269,6 +276,102 @@ class BatchedMatrices:
         """Useful flops of one lower+upper triangular solve per block."""
         m = self.sizes.astype(np.float64)
         return int(np.sum(2.0 * m**2))
+
+    def flops_lu_padded(self, tile: int | None = None) -> int:
+        """Flops *charged* by the uniform ``tile``-step LU loop.
+
+        Every block, whatever its active size, executes the full
+        fixed-trip-count elimination at the padded tile (the identity
+        padding is numerically inert but its flops are real work on the
+        GPU and real vector lanes here): ``nb * 2/3 tile^3``.  Defaults
+        to this batch's own tile.
+        """
+        t = self.tile if tile is None else int(tile)
+        if t < 1:
+            raise ValueError(f"tile must be positive, got {t}")
+        return int(self.nb * 2.0 * float(t) ** 3 / 3.0)
+
+    def split_by_size(
+        self, bins: Sequence[int] | None = DEFAULT_BINS
+    ) -> dict[int, np.ndarray]:
+        """Group the blocks into size bins; the runtime planner's kernel.
+
+        Parameters
+        ----------
+        bins:
+            Ascending candidate tile sizes (default: the warp ladder
+            ``(4, 8, 16, 32)``).  Each block is assigned to the
+            smallest bin that fits it.  ``None`` groups by *exact*
+            active size (one bin per distinct size).
+
+        Returns
+        -------
+        dict
+            ``{bin_tile: indices}`` where ``indices`` is the
+            increasing array of batch positions assigned to that bin
+            (stable: original order preserved within each bin).  Only
+            occupied bins appear; keys ascend.  The index arrays
+            partition ``arange(nb)``.
+        """
+        if self.nb == 0:
+            return {}
+        if bins is None:
+            uniq = np.unique(self.sizes)
+            return {
+                int(u): np.nonzero(self.sizes == u)[0] for u in uniq
+            }
+        edges = np.asarray(sorted(int(b) for b in bins), dtype=np.int64)
+        if edges.size == 0:
+            raise ValueError("bins must not be empty")
+        if edges[0] < 1:
+            raise ValueError(f"bins must be positive, got {edges[0]}")
+        if np.unique(edges).size != edges.size:
+            raise ValueError(f"bins must be distinct, got {list(edges)}")
+        if int(self.sizes.max()) > edges[-1]:
+            raise ValueError(
+                f"largest block ({int(self.sizes.max())}) exceeds the "
+                f"largest bin ({int(edges[-1])})"
+            )
+        which = np.searchsorted(edges, self.sizes)  # smallest bin >= size
+        out: dict[int, np.ndarray] = {}
+        for b, edge in enumerate(edges):
+            idx = np.nonzero(which == b)[0]
+            if idx.size:
+                out[int(edge)] = idx
+        return out
+
+    def padding_waste(
+        self, bins: Sequence[int] | None = DEFAULT_BINS
+    ) -> Mapping[int, dict]:
+        """Per-bin padding-waste accounting of the LU flop charge.
+
+        Historically only the whole-batch waste at the batch tile was
+        derivable (``flops_lu_padded() - flops_lu()``); this reports
+        where the waste lives.  For every occupied bin of
+        :meth:`split_by_size`: the number of blocks, the useful flops
+        (``sum 2/3 m^3``), the flops charged when the bin executes at
+        its own tile, and the waste (charged - useful).
+
+        Returns
+        -------
+        dict
+            ``{bin_tile: {"nb", "useful_flops", "padded_flops",
+            "waste_flops", "waste_fraction"}}``, ordered by bin tile.
+        """
+        report: dict[int, dict] = {}
+        for tile, idx in self.split_by_size(bins).items():
+            m = self.sizes[idx].astype(np.float64)
+            useful = int(np.sum(2.0 * m**3 / 3.0))
+            padded = int(idx.size * 2.0 * float(tile) ** 3 / 3.0)
+            waste = padded - useful
+            report[tile] = {
+                "nb": int(idx.size),
+                "useful_flops": useful,
+                "padded_flops": padded,
+                "waste_flops": waste,
+                "waste_fraction": waste / padded if padded else 0.0,
+            }
+        return report
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if self.nb and not self.uniform:

@@ -77,6 +77,7 @@ from ..core.degradation import (
     OnSingular,
     SingularBlockError,
 )
+from ..runtime import BatchRuntime
 from ..sparse.csr import CsrMatrix
 from .base import Preconditioner
 from .report import SetupReport
@@ -110,6 +111,20 @@ class BlockJacobiPreconditioner(Preconditioner):
         Estimate the 1-norm condition number of every surviving block
         during setup (``tile`` extra batched solves); stored in the
         ``report``.  On by default.
+    runtime, backend:
+        Route the batched factorization and solves through the
+        :mod:`repro.runtime` execution subsystem instead of direct
+        kernel calls.  ``backend`` names a registered executor backend
+        (``"binned"``, ``"numpy"``, ``"scipy"``, ``"threads"``) and
+        builds a private :class:`~repro.runtime.BatchRuntime` for it;
+        ``runtime`` shares an existing one (and with it its
+        factorization cache - the serving scenario where repeated
+        setups on the same matrix skip refactorization).  When both
+        are None (the default) the historical direct path runs; the
+        runtime path is numerically equivalent (the ``binned``/
+        ``threads`` backends are bitwise-identical to it on the
+        active blocks) and additionally records a
+        :class:`~repro.runtime.RuntimeReport` in ``runtime_report``.
 
     Attributes (after ``setup``)
     ----------------------------
@@ -122,6 +137,10 @@ class BlockJacobiPreconditioner(Preconditioner):
         :class:`~repro.precond.report.SetupReport` describing the
         setup: fallback counts, substitution actions, condition
         estimates.
+    runtime_report:
+        :class:`~repro.runtime.RuntimeReport` of the setup's
+        factorization call (None on the direct path); also attached to
+        ``report.runtime``.
     setup_seconds:
         Wall time of extraction + factorization (+ estimation).
     """
@@ -134,6 +153,8 @@ class BlockJacobiPreconditioner(Preconditioner):
         dtype=np.float64,
         on_singular: OnSingular = "raise",
         estimate_condition: bool = True,
+        runtime: BatchRuntime | None = None,
+        backend: str | None = None,
     ):
         if method not in ("lu", "gh", "ght", "gje", "cholesky"):
             raise ValueError(f"unknown block-Jacobi method {method!r}")
@@ -152,9 +173,20 @@ class BlockJacobiPreconditioner(Preconditioner):
         self.dtype = np.dtype(dtype)
         self.on_singular = on_singular
         self.estimate_condition = estimate_condition
+        if runtime is not None and backend is not None:
+            if runtime.backend.name != backend:
+                raise ValueError(
+                    f"conflicting runtime (backend "
+                    f"{runtime.backend.name!r}) and backend={backend!r}; "
+                    "pass one or the other"
+                )
+        if runtime is None and backend is not None:
+            runtime = BatchRuntime(backend=backend)
+        self._runtime = runtime
         self.block_sizes: np.ndarray | None = None
         self.info: np.ndarray | None = None
         self.report: SetupReport | None = None
+        self.runtime_report = None
         self._factor = None
         self._effective_method: str = method
         self._n = 0
@@ -237,7 +269,11 @@ class BlockJacobiPreconditioner(Preconditioner):
         chol_fallback = False
         n_nonspd = 0
         try:
-            if self.method == "cholesky":
+            if self._runtime is not None:
+                fac, effective, chol_fallback, n_nonspd = (
+                    self._runtime_factorize(blocks, policy)
+                )
+            elif self.method == "cholesky":
                 fac = cholesky_factor(blocks, overwrite=False)
                 if not fac.ok:
                     # documented policy: non-SPD blocks demote the whole
@@ -306,7 +342,36 @@ class BlockJacobiPreconditioner(Preconditioner):
             shift=shift,
             cholesky_lu_fallback=chol_fallback,
             n_nonspd=n_nonspd,
+            runtime=self.runtime_report,
         )
+
+    def _runtime_factorize(self, blocks: BatchedMatrices, policy):
+        """Factorize through the runtime executor (same policy flow as
+        the direct path, including the Cholesky->LU batch fallback)."""
+        rt = self._runtime
+        effective = self.method
+        chol_fallback = False
+        n_nonspd = 0
+        if self.method == "cholesky":
+            fac = rt.factorize(blocks, method="cholesky", on_singular=None)
+            if not fac.ok:
+                n_nonspd = int(np.count_nonzero(fac.info))
+                chol_fallback = True
+                effective = "lu"
+                warnings.warn(
+                    f"cholesky block-Jacobi: {n_nonspd} diagonal "
+                    "block(s) are not SPD; falling back to batched "
+                    "LU for the whole batch",
+                    UserWarning,
+                    stacklevel=4,
+                )
+                fac = rt.factorize(blocks, method="lu", on_singular=policy)
+        else:
+            fac = rt.factorize(
+                blocks, method=self.method, on_singular=policy
+            )
+        self.runtime_report = rt.last_report
+        return fac, effective, chol_fallback, n_nonspd
 
     def _build_index_maps(self, blocks: BatchedMatrices) -> None:
         nb, tile = blocks.nb, blocks.tile
@@ -354,6 +419,8 @@ class BlockJacobiPreconditioner(Preconditioner):
 
     def _solve_batch(self, rhs: BatchedVectors) -> BatchedVectors:
         """One batched solve with the stored factors (method dispatch)."""
+        if self._runtime is not None:
+            return self._factor.solve(rhs)
         method = self._effective_method
         if method == "lu":
             return lu_solve(self._factor, rhs)

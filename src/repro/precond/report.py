@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.degradation import ACTION_IDENTITY, ACTION_SCALAR, ACTION_SHIFT
+from ..runtime.stats import RuntimeReport
 
 __all__ = ["SetupReport"]
 
@@ -57,6 +58,11 @@ class SetupReport:
         and when estimation was disabled.
     setup_seconds:
         Wall time of extraction + factorization (+ estimation).
+    runtime:
+        The :class:`~repro.runtime.stats.RuntimeReport` of the setup's
+        factorization when it ran through the
+        :mod:`repro.runtime` executor (``runtime=``/``backend=``
+        knobs); None on the direct kernel path.
     """
 
     method: str
@@ -70,6 +76,7 @@ class SetupReport:
     n_nonspd: int = 0
     condition_estimates: np.ndarray | None = None
     setup_seconds: float = 0.0
+    runtime: RuntimeReport | None = None
 
     @property
     def n_blocks(self) -> int:
@@ -149,6 +156,21 @@ class SetupReport:
                 f"over {int(np.count_nonzero(np.isfinite(self.condition_estimates)))} "
                 "surviving block(s)"
             )
+        if self.runtime is not None:
+            rt = self.runtime
+            if rt.cache_hit:
+                lines.append(
+                    f"  runtime[{rt.backend}]: factorization served from "
+                    "cache"
+                )
+            else:
+                mono = rt.monolithic_padded_flops
+                pct = 100.0 * rt.flops_saved / mono if mono else 0.0
+                lines.append(
+                    f"  runtime[{rt.backend}]: {len(rt.bins)} size bin(s), "
+                    f"padded flops {rt.padded_flops} "
+                    f"({pct:.1f}% below monolithic)"
+                )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,60 @@
+"""repro.runtime - the execution subsystem between kernels and callers.
+
+Four parts (see DESIGN.md, "Runtime"):
+
+* :mod:`~repro.runtime.planner` - size-binned execution planning of
+  variable-size batches at the paper's warp-tile ladder (4/8/16/32),
+  with stable scatter/gather maps back to the source block order;
+* :mod:`~repro.runtime.backends` - the pluggable backend registry
+  (``numpy``, ``binned``, ``scipy``, ``threads``), one
+  ``factorize(plan)/solve(plan, rhs)`` protocol, cross-checkable via
+  :mod:`repro.verify`;
+* :mod:`~repro.runtime.cache` - the content-fingerprinted
+  factorization cache with hit/miss/eviction counters;
+* :mod:`~repro.runtime.stats` - per-stage wall time and per-bin
+  padding-waste instrumentation (:class:`RuntimeReport`).
+
+Entry point::
+
+    from repro.runtime import BatchRuntime
+
+    rt = BatchRuntime(backend="binned")       # the default
+    fac = rt.factorize(batch, method="lu")    # planned, binned, cached
+    x = fac.solve(rhs)
+    print(rt.last_report.summary())
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    BackendFactorization,
+    BackendUnavailable,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .cache import CacheStats, FactorizationCache, batch_fingerprint
+from .executor import BatchRuntime, RuntimeFactorization
+from .planner import DEFAULT_BINS, BinPlan, ExecutionPlan, plan_batch
+from .stats import BinStats, RuntimeReport
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "BackendFactorization",
+    "BackendUnavailable",
+    "BatchRuntime",
+    "BinPlan",
+    "BinStats",
+    "CacheStats",
+    "DEFAULT_BINS",
+    "ExecutionPlan",
+    "FactorizationCache",
+    "RuntimeFactorization",
+    "RuntimeReport",
+    "available_backends",
+    "batch_fingerprint",
+    "get_backend",
+    "plan_batch",
+    "register_backend",
+]

@@ -1,0 +1,166 @@
+"""Content-addressed factorization cache with LRU eviction.
+
+The heavy-traffic serving scenario of the ROADMAP re-runs the
+block-Jacobi setup on the *same* matrix over and over (every solve of a
+time-step sequence, every request against a cached system).  The
+factorization is the expensive part of setup, and it depends only on
+the extracted diagonal blocks - so a content fingerprint of the block
+batch (geometry + data hash) is a sound cache key: equal fingerprint
+implies equal input bytes implies bit-identical factors.
+
+The cache is deliberately dumb and observable: a bounded LRU mapping
+``fingerprint -> factorization handle`` with hit/miss/eviction counters
+and explicit invalidation.  It never inspects the handles it stores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..core.batch import BatchedMatrices
+
+__all__ = ["CacheStats", "FactorizationCache", "batch_fingerprint"]
+
+
+def batch_fingerprint(
+    batch: BatchedMatrices, extra: Iterable[object] = ()
+) -> str:
+    """Content fingerprint of a batch: shape tuple + data hash.
+
+    Hashes the geometry (``nb``, ``tile``, dtype), the active sizes and
+    the full padded data buffer with SHA-1.  ``extra`` mixes additional
+    discriminators into the key (the executor adds backend name,
+    method, policy and bin ladder, so one cache can serve them all
+    without collisions).
+    """
+    h = hashlib.sha1()
+    h.update(
+        f"{batch.nb}:{batch.tile}:{batch.dtype.str}|".encode()
+    )
+    h.update(batch.sizes.tobytes())
+    data = batch.data
+    if not data.flags.c_contiguous:  # pragma: no cover - container keeps it
+        import numpy as np
+
+        data = np.ascontiguousarray(data)
+    h.update(data.tobytes())
+    for item in extra:
+        h.update(f"|{item!r}".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot; ``hit_rate`` is over all lookups so far."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+    max_entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class FactorizationCache:
+    """Bounded LRU cache of factorization handles.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; inserting beyond it evicts the least recently used
+        entry (lookups refresh recency).  Must be positive.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any | None:
+        """Look up a handle; counts a hit (and refreshes recency) or a
+        miss.  Returns None on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) a handle, evicting LRU entries beyond
+        capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def invalidate(self, key: str | None = None) -> int:
+        """Drop one entry (``key``) or everything (``None``).
+
+        Returns the number of entries removed; invalidating an unknown
+        key is a no-op returning 0.
+        """
+        if key is None:
+            n = len(self._entries)
+            self._entries.clear()
+        else:
+            n = 1 if self._entries.pop(key, None) is not None else 0
+        self._invalidations += n
+        return n
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+            entries=len(self._entries),
+            max_entries=self.max_entries,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"FactorizationCache(entries={s.entries}/{s.max_entries}, "
+            f"hits={s.hits}, misses={s.misses}, evictions={s.evictions})"
+        )

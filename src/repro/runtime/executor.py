@@ -1,0 +1,238 @@
+"""The batch runtime: plan -> (cache?) -> backend dispatch -> report.
+
+:class:`BatchRuntime` is the execution subsystem between the batched
+kernels and everything that calls them (the block-Jacobi
+preconditioner, the CLI, the bench harness).  One ``factorize`` call:
+
+1. fingerprints the batch (when caching is on) and returns the cached
+   handle on a hit - the serving scenario where the same matrix is set
+   up repeatedly skips refactorization entirely;
+2. plans the size-binned execution (:mod:`repro.runtime.planner`);
+3. dispatches the plan to the selected backend
+   (:mod:`repro.runtime.backends`);
+4. emits a :class:`~repro.runtime.stats.RuntimeReport` with per-stage
+   wall time and per-bin padding-waste counters.
+
+The returned :class:`RuntimeFactorization` handle answers ``solve``
+calls (timed into the same report) and exposes the merged
+``info``/``degradation`` status with exactly the kernels' semantics, so
+callers built against the raw kernels port over unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.batch import BatchedMatrices, BatchedVectors
+from ..core.degradation import DegradationRecord, OnSingular
+from .backends import (
+    METHODS,
+    Backend,
+    BackendFactorization,
+    get_backend,
+)
+from .cache import CacheStats, FactorizationCache, batch_fingerprint
+from .planner import DEFAULT_BINS, ExecutionPlan, plan_batch
+from .stats import RuntimeReport
+
+__all__ = ["BatchRuntime", "RuntimeFactorization"]
+
+
+@dataclass
+class RuntimeFactorization:
+    """A factorized batch, ready to answer solves.
+
+    Carries the plan it was executed under, the backend's opaque state,
+    and the merged source-ordered status.  ``report`` describes the
+    call that *created* the handle (cache hits hand out the same handle
+    and describe themselves in ``BatchRuntime.last_report``).
+    """
+
+    plan: ExecutionPlan
+    backend: Backend
+    method: str
+    result: BackendFactorization
+    report: RuntimeReport
+    fingerprint: str | None = None
+    _solves: int = field(default=0, repr=False)
+
+    @property
+    def info(self) -> np.ndarray:
+        """Per-block factorization status, source order (LAPACK style)."""
+        return self.result.info
+
+    @property
+    def degradation(self) -> DegradationRecord | None:
+        return self.result.degradation
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def nb(self) -> int:
+        return self.plan.nb
+
+    def solve(self, rhs: BatchedVectors) -> BatchedVectors:
+        """Solve against every block, timed into the handle's report."""
+        if rhs.nb != self.plan.nb or rhs.tile != self.plan.source_tile:
+            raise ValueError(
+                f"rhs geometry ({rhs.nb}, {rhs.tile}) does not match the "
+                f"factorized batch ({self.plan.nb}, {self.plan.source_tile})"
+            )
+        with self.report.timer().stage("solve"):
+            out = self.backend.solve(self.result.state, self.plan, rhs)
+        self._solves += 1
+        return out
+
+
+class BatchRuntime:
+    """Size-binned, multi-backend, caching executor for batched kernels.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name (``"binned"`` - the default -,
+        ``"numpy"``, ``"scipy"``, ``"threads"``) or a ready
+        :class:`~repro.runtime.backends.Backend` instance.
+    bins:
+        Nominal bin ladder for the planner (default: the warp-tile
+        ladder 4/8/16/32); ``None`` bins by exact size.
+    tight:
+        Execute bins at the largest size present instead of the
+        nominal ceiling (default True; see the planner).
+    cache:
+        ``True`` (default) creates a private
+        :class:`~repro.runtime.cache.FactorizationCache`; ``False``
+        disables caching; an existing cache instance is shared.
+    cache_entries:
+        Capacity of the private cache when ``cache=True``.
+
+    Attributes
+    ----------
+    last_report:
+        The :class:`~repro.runtime.stats.RuntimeReport` of the most
+        recent ``factorize`` call (on cache hits this is a fresh
+        report flagged ``cache_hit=True``; the handle keeps the report
+        of the call that factorized).
+    """
+
+    def __init__(
+        self,
+        backend: str | Backend = "binned",
+        bins=DEFAULT_BINS,
+        tight: bool = True,
+        cache: bool | FactorizationCache = True,
+        cache_entries: int = 32,
+    ):
+        if isinstance(backend, Backend):
+            self.backend = backend
+        else:
+            self.backend = get_backend(backend)
+        self.bins = None if bins is None else tuple(int(b) for b in bins)
+        self.tight = bool(tight)
+        if cache is True:
+            self.cache: FactorizationCache | None = FactorizationCache(
+                max_entries=cache_entries
+            )
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.last_report: RuntimeReport | None = None
+
+    # -- execution --------------------------------------------------------
+
+    def _cache_key(
+        self, batch: BatchedMatrices, method: str, on_singular
+    ) -> str:
+        return batch_fingerprint(
+            batch,
+            extra=(
+                self.backend.name,
+                method,
+                on_singular,
+                self.bins,
+                self.tight,
+            ),
+        )
+
+    def factorize(
+        self,
+        batch: BatchedMatrices,
+        method: str = "lu",
+        on_singular: OnSingular | None = None,
+        use_cache: bool = True,
+    ) -> RuntimeFactorization:
+        """Factorize a batch through plan -> cache -> backend.
+
+        The source batch is never mutated (fingerprints stay valid and
+        callers keep their data).  Raises
+        :class:`~repro.core.degradation.SingularBlockError` under
+        ``on_singular="raise"`` with the merged source-ordered status.
+        """
+        if method not in METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        report = RuntimeReport(
+            backend=self.backend.name,
+            method=method,
+            nb=batch.nb,
+            source_tile=batch.tile,
+        )
+        timer = report.timer()
+        key = None
+        if self.cache is not None and use_cache:
+            with timer.stage("fingerprint"):
+                key = self._cache_key(batch, method, on_singular)
+            cached = self.cache.get(key)
+            if cached is not None:
+                report.cache_hit = True
+                report.bins = list(cached.report.bins)
+                self.last_report = report
+                return cached
+            report.cache_hit = False
+        with timer.stage("plan"):
+            plan = plan_batch(batch, bins=self.bins, tight=self.tight)
+        with timer.stage("factor"):
+            result = self.backend.factorize(plan, method, on_singular)
+        report.bins = self.backend.bin_stats(plan)
+        handle = RuntimeFactorization(
+            plan=plan,
+            backend=self.backend,
+            method=method,
+            result=result,
+            report=report,
+            fingerprint=key,
+        )
+        if key is not None:
+            self.cache.put(key, handle)
+        self.last_report = report
+        return handle
+
+    def solve(
+        self, fac: RuntimeFactorization, rhs: BatchedVectors
+    ) -> BatchedVectors:
+        """Convenience alias for ``fac.solve(rhs)``."""
+        return fac.solve(rhs)
+
+    # -- cache management -------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        return None if self.cache is None else self.cache.stats
+
+    def invalidate(self, key: str | None = None) -> int:
+        """Explicitly drop cached factorizations (all when ``key`` is
+        None).  No-op (returning 0) when caching is disabled."""
+        return 0 if self.cache is None else self.cache.invalidate(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = "off" if self.cache is None else repr(self.cache)
+        return (
+            f"BatchRuntime(backend={self.backend.name!r}, bins={self.bins}, "
+            f"tight={self.tight}, cache={cache})"
+        )

@@ -1,0 +1,249 @@
+"""Size-binned execution planning for variable-size batches.
+
+The paper maps every block of a variable-size batch onto one uniform
+warp tile (Section III): padding is what buys the fixed-trip-count
+loop.  Our monolithic NumPy path replicates that literally - one padded
+``(nb, 32, 32)`` loop - which charges the full ``2/3 * 32^3`` flops for
+every block, however small.  The planner recovers most of that waste by
+*binning*: the batch is split into sub-batches at the warp-tile ladder
+(4/8/16/32 by default, the same ladder the paper's kernels instantiate)
+and each sub-batch runs its own uniform loop at its own, smaller tile.
+This is the interleaved/binned dispatch used around fixed-size batched
+LU libraries (Jhurani & Mullowney; Gloster et al.), applied to the
+paper's kernels.
+
+Two refinements beyond plain binning:
+
+* **tight tiles** (default): a bin executes at the *largest active
+  size actually present* in it, not at its nominal ceiling - a bin
+  whose largest block is 20 runs a 20-step loop, not 32.  The batched
+  kernels accept any tile in ``[1, 32]``, so this is free and
+  guarantees the padded flop charge never exceeds the monolithic path
+  and is strictly lower whenever any bin's tight tile is below the
+  source tile.
+* **stable scatter/gather maps**: each bin records the original batch
+  positions of its blocks (in increasing order), and the plan can
+  route right-hand sides into the bins and merge per-bin solutions
+  back into the original block order without ever reordering the
+  caller's data.
+
+The plan is a pure description - it copies the (small) sub-batches but
+never mutates the source batch - so it can be built once and executed
+by any backend, serially or concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.batch import (
+    DEFAULT_BINS,
+    MAX_TILE,
+    BatchedMatrices,
+    BatchedVectors,
+)
+
+__all__ = ["DEFAULT_BINS", "BinPlan", "ExecutionPlan", "plan_batch"]
+
+
+@dataclass
+class BinPlan:
+    """One size bin of an execution plan.
+
+    Attributes
+    ----------
+    nominal_tile:
+        The warp-ladder ceiling this bin was assigned from (e.g. 32).
+    tile:
+        The tile the bin actually executes at: the largest active size
+        present (``tight=True``, default) or the nominal ceiling.
+    indices:
+        Original batch positions of the blocks in this bin, increasing
+        (the scatter map; ``batch.sizes[indices] <= tile``).
+    batch:
+        The repacked, identity-padded ``(len(indices), tile, tile)``
+        sub-batch (a copy - backends may destroy it).
+    """
+
+    nominal_tile: int
+    tile: int
+    indices: np.ndarray
+    batch: BatchedMatrices
+
+    @property
+    def nb(self) -> int:
+        return int(self.indices.size)
+
+    def useful_flops_lu(self) -> int:
+        return self.batch.flops_lu()
+
+    def padded_flops_lu(self) -> int:
+        return self.batch.flops_lu_padded()
+
+
+@dataclass
+class ExecutionPlan:
+    """A variable-size batch decomposed into size-binned sub-batches.
+
+    The plan owns the scatter/gather index maps between the source
+    block order and the per-bin order; ``gather_order`` concatenates
+    the bins' ``indices`` and is always a permutation of
+    ``arange(nb)``.
+    """
+
+    source: BatchedMatrices
+    bins: list[BinPlan] = field(default_factory=list)
+
+    @property
+    def nb(self) -> int:
+        return self.source.nb
+
+    @property
+    def source_tile(self) -> int:
+        return self.source.tile
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bins)
+
+    def gather_order(self) -> np.ndarray:
+        """Concatenated bin indices: position ``k`` of the bin-ordered
+        results came from source block ``gather_order()[k]``."""
+        if not self.bins:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([b.indices for b in self.bins])
+
+    def useful_flops_lu(self) -> int:
+        # summed per bin, not over the whole source: integer truncation
+        # then happens at the same granularity as padded_flops_lu, so
+        # useful <= padded <= monolithic holds exactly
+        return sum(b.useful_flops_lu() for b in self.bins)
+
+    def padded_flops_lu(self) -> int:
+        """Total LU flop charge of the planned (binned) execution."""
+        return sum(b.padded_flops_lu() for b in self.bins)
+
+    def monolithic_flops_lu(self) -> int:
+        """Flop charge of the unplanned single-loop path at the source
+        tile - the baseline the plan is trying to beat."""
+        return self.source.flops_lu_padded()
+
+    def split_rhs(self, rhs: BatchedVectors) -> list[BatchedVectors]:
+        """Route right-hand sides into the bins (one copy per bin)."""
+        if rhs.nb != self.nb:
+            raise ValueError(
+                f"rhs batch size {rhs.nb} does not match plan ({self.nb})"
+            )
+        out = []
+        for b in self.bins:
+            data = np.ascontiguousarray(rhs.data[b.indices, : b.tile])
+            out.append(BatchedVectors(data, self.source.sizes[b.indices]))
+        return out
+
+    def merge_solutions(
+        self, per_bin: Sequence[BatchedVectors]
+    ) -> BatchedVectors:
+        """Merge per-bin solutions back into source order/tile.
+
+        The inverse of :meth:`split_rhs`: entry ``i`` of the result is
+        the solution of source block ``i``, zero-padded to the source
+        tile.
+        """
+        if len(per_bin) != len(self.bins):
+            raise ValueError(
+                f"expected {len(self.bins)} per-bin solutions, "
+                f"got {len(per_bin)}"
+            )
+        dtype = (
+            per_bin[0].dtype if per_bin else self.source.dtype
+        )
+        out = np.zeros((self.nb, self.source_tile), dtype=dtype)
+        for b, sol in zip(self.bins, per_bin):
+            if sol.nb != b.nb or sol.tile != b.tile:
+                raise ValueError(
+                    f"bin solution shape ({sol.nb}, {sol.tile}) does not "
+                    f"match bin ({b.nb}, {b.tile})"
+                )
+            out[b.indices, : b.tile] = sol.data
+        return BatchedVectors(out, self.source.sizes.copy())
+
+    def scatter_per_block(self, per_bin_values: Sequence[np.ndarray],
+                          dtype=None) -> np.ndarray:
+        """Scatter per-bin per-block values (e.g. ``info`` arrays) back
+        into source block order."""
+        dt = np.int64 if dtype is None else dtype
+        out = np.zeros(self.nb, dtype=dt)
+        for b, vals in zip(self.bins, per_bin_values):
+            out[b.indices] = vals
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tiles = ", ".join(f"{b.tile}:{b.nb}" for b in self.bins)
+        return (
+            f"ExecutionPlan(nb={self.nb}, source_tile={self.source_tile}, "
+            f"bins=[{tiles}])"
+        )
+
+
+def plan_batch(
+    batch: BatchedMatrices,
+    bins: Sequence[int] | None = DEFAULT_BINS,
+    tight: bool = True,
+) -> ExecutionPlan:
+    """Plan the size-binned execution of a variable-size batch.
+
+    Parameters
+    ----------
+    batch:
+        The identity-padded source batch (never mutated).
+    bins:
+        Ascending nominal bin tiles; each block goes to the smallest
+        bin that fits it.  The default is the paper's warp-tile ladder
+        ``(4, 8, 16, 32)``.  ``None`` plans one bin per distinct
+        active size (maximal savings, more kernel launches).  Bins
+        larger than the batch needs are simply left empty; the largest
+        bin must still fit the largest block (``MAX_TILE`` caps both).
+    tight:
+        Execute each bin at the largest active size present in it
+        rather than at its nominal ceiling (see module docstring).
+
+    Returns
+    -------
+    ExecutionPlan
+        Empty batches yield a plan with no bins.
+
+    Notes
+    -----
+    The repacked sub-batches are views-turned-copies of the *leading*
+    ``tile x tile`` corner of each source slot.  With the identity
+    padding convention this corner is exactly the block identity-padded
+    to the smaller tile, so no repadding pass is needed.
+    """
+    if batch.tile > MAX_TILE:  # pragma: no cover - container enforces it
+        raise ValueError(f"batch tile {batch.tile} exceeds {MAX_TILE}")
+    plan = ExecutionPlan(source=batch)
+    if batch.nb == 0:
+        return plan
+    groups = batch.split_by_size(bins)
+    for nominal, idx in groups.items():
+        sizes = batch.sizes[idx]
+        # A nominal ceiling above the source tile (possible when the
+        # source was padded to a non-ladder tile) is clamped: the
+        # identity padding only extends to the source tile.
+        tile = min(int(sizes.max()) if tight else int(nominal), batch.tile)
+        sub = BatchedMatrices(
+            np.ascontiguousarray(batch.data[idx, :tile, :tile]),
+            sizes.copy(),
+        )
+        plan.bins.append(
+            BinPlan(
+                nominal_tile=int(nominal),
+                tile=tile,
+                indices=idx,
+                batch=sub,
+            )
+        )
+    return plan

@@ -1,0 +1,197 @@
+"""Runtime instrumentation: stage timers and padding-waste counters.
+
+Every :meth:`repro.runtime.executor.BatchRuntime.factorize` call emits
+one :class:`RuntimeReport`: which backend ran, how long each stage took
+(planning, factorization, and any solves executed against the handle),
+how the batch was binned, how many flops the binned execution charged
+versus the useful work and versus the monolithic single-tile loop, and
+whether the factorization cache answered.  The report is the layer the
+acceptance checks and the ``repro bench`` harness read - nothing in the
+numerical path depends on it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["BinStats", "RuntimeReport", "StageTimer"]
+
+
+@dataclass
+class BinStats:
+    """Padding accounting of one executed bin (LU flop convention)."""
+
+    nominal_tile: int
+    tile: int
+    nb: int
+    useful_flops: int
+    padded_flops: int
+
+    @property
+    def waste_flops(self) -> int:
+        return self.padded_flops - self.useful_flops
+
+    @property
+    def waste_fraction(self) -> float:
+        return (
+            self.waste_flops / self.padded_flops if self.padded_flops else 0.0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "nominal_tile": self.nominal_tile,
+            "tile": self.tile,
+            "nb": self.nb,
+            "useful_flops": self.useful_flops,
+            "padded_flops": self.padded_flops,
+            "waste_flops": self.waste_flops,
+            "waste_fraction": self.waste_fraction,
+        }
+
+
+class StageTimer:
+    """Accumulating wall-clock timer: ``with timer.stage("factor"): ...``.
+
+    Re-entering a stage accumulates (the solve stage runs once per
+    ``solve`` call against the same handle).
+    """
+
+    def __init__(self, seconds: dict[str, float]):
+        self._seconds = seconds
+
+    def stage(self, name: str) -> "_StageContext":
+        return _StageContext(self._seconds, name)
+
+
+class _StageContext:
+    def __init__(self, seconds: dict[str, float], name: str):
+        self._seconds = seconds
+        self._name = name
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        dt = time.perf_counter() - self._t0
+        self._seconds[self._name] = self._seconds.get(self._name, 0.0) + dt
+        return False
+
+
+@dataclass
+class RuntimeReport:
+    """What one runtime factorization (and its solves) cost.
+
+    Attributes
+    ----------
+    backend, method:
+        Which executor backend ran which factorization kernel.
+    nb, source_tile:
+        Source batch geometry.
+    bins:
+        Per-bin padding accounting, ordered by executed tile.  The
+        monolithic ``numpy`` backend reports a single bin at the
+        source tile; the per-block ``scipy`` backend reports its bins
+        with ``padded_flops == useful_flops`` (LAPACK pads nothing).
+    stage_seconds:
+        Accumulated wall time per stage: ``"plan"``, ``"fingerprint"``,
+        ``"factor"``, ``"solve"`` (present only for stages that ran).
+    cache_hit:
+        None when caching is off, else whether the factorization was
+        served from the cache (a hit skips plan + factor entirely).
+    """
+
+    backend: str
+    method: str
+    nb: int
+    source_tile: int
+    bins: list[BinStats] = field(default_factory=list)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    cache_hit: bool | None = None
+
+    def timer(self) -> StageTimer:
+        return StageTimer(self.stage_seconds)
+
+    # -- flop roll-ups ----------------------------------------------------
+
+    @property
+    def useful_flops(self) -> int:
+        return sum(b.useful_flops for b in self.bins)
+
+    @property
+    def padded_flops(self) -> int:
+        """Total LU flop charge of the execution as actually binned."""
+        return sum(b.padded_flops for b in self.bins)
+
+    @property
+    def padding_waste(self) -> int:
+        return self.padded_flops - self.useful_flops
+
+    @property
+    def monolithic_padded_flops(self) -> int:
+        """Charge of the unbinned single-loop path at the source tile."""
+        return int(self.nb * 2.0 * float(self.source_tile) ** 3 / 3.0)
+
+    @property
+    def flops_saved(self) -> int:
+        """Padded flops the binned dispatch avoided versus monolithic."""
+        return self.monolithic_padded_flops - self.padded_flops
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.stage_seconds.values()))
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "method": self.method,
+            "nb": self.nb,
+            "source_tile": self.source_tile,
+            "bins": [b.to_dict() for b in self.bins],
+            "stage_seconds": dict(self.stage_seconds),
+            "cache_hit": self.cache_hit,
+            "useful_flops": self.useful_flops,
+            "padded_flops": self.padded_flops,
+            "padding_waste": self.padding_waste,
+            "monolithic_padded_flops": self.monolithic_padded_flops,
+            "flops_saved": self.flops_saved,
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-call summary (CLI / example output)."""
+        lines = [
+            f"runtime[{self.backend}/{self.method}]: {self.nb} blocks, "
+            f"source tile {self.source_tile}"
+            + (
+                ", cache hit"
+                if self.cache_hit
+                else (", cache miss" if self.cache_hit is False else "")
+            )
+        ]
+        for b in self.bins:
+            lines.append(
+                f"  bin tile {b.tile:2d} (<= {b.nominal_tile:2d}): "
+                f"{b.nb} blocks, waste {b.waste_fraction * 100:5.1f}% "
+                f"({b.waste_flops}/{b.padded_flops} flops)"
+            )
+        if self.bins:
+            mono = self.monolithic_padded_flops
+            saved = self.flops_saved
+            pct = 100.0 * saved / mono if mono else 0.0
+            lines.append(
+                f"  padded flops {self.padded_flops} vs monolithic {mono} "
+                f"(saved {pct:.1f}%)"
+            )
+        for name in ("plan", "fingerprint", "factor", "solve"):
+            if name in self.stage_seconds:
+                lines.append(
+                    f"  {name}: {self.stage_seconds[name] * 1e3:.3f} ms"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RuntimeReport(backend={self.backend!r}, nb={self.nb}, "
+            f"bins={len(self.bins)}, cache_hit={self.cache_hit})"
+        )

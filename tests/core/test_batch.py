@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.batch import (
+    DEFAULT_BINS,
     MAX_TILE,
     BatchedMatrices,
     BatchedVectors,
@@ -128,6 +129,87 @@ class TestFlopCounts:
     def test_trsv_flops(self):
         b = BatchedMatrices.zeros(5, 16)
         assert b.flops_trsv_pair() == 5 * 2 * 16**2
+
+    def test_padded_lu_flops_charge_full_tile(self):
+        b = BatchedMatrices.identity_padded([np.eye(3), np.eye(7)], tile=8)
+        assert b.flops_lu_padded() == int(2 * 2 * 8**3 / 3)
+        assert b.flops_lu_padded(tile=16) == int(2 * 2 * 16**3 / 3)
+        assert b.flops_lu_padded() >= b.flops_lu()
+
+    def test_padded_lu_flops_reject_bad_tile(self):
+        with pytest.raises(ValueError):
+            BatchedMatrices.zeros(1, 4).flops_lu_padded(tile=0)
+
+
+class TestSplitBySize:
+    def _mixed(self):
+        return BatchedMatrices.identity_padded(
+            [np.eye(m) for m in (3, 17, 4, 9, 32, 3)], tile=32
+        )
+
+    def test_warp_ladder_assignment(self):
+        groups = self._mixed().split_by_size(DEFAULT_BINS)
+        # only occupied bins appear (no size lands in (4, 8]), ascending
+        assert list(groups) == [4, 16, 32]
+        np.testing.assert_array_equal(groups[4], [0, 2, 5])
+        np.testing.assert_array_equal(groups[16], [3])
+        np.testing.assert_array_equal(groups[32], [1, 4])
+
+    def test_indices_partition_the_batch(self):
+        b = self._mixed()
+        all_idx = np.concatenate(list(b.split_by_size().values()))
+        np.testing.assert_array_equal(np.sort(all_idx), np.arange(b.nb))
+
+    def test_exact_grouping_with_none(self):
+        groups = self._mixed().split_by_size(None)
+        assert list(groups) == [3, 4, 9, 17, 32]
+        np.testing.assert_array_equal(groups[3], [0, 5])
+
+    def test_empty_batch(self):
+        b = BatchedMatrices.from_arrays(np.zeros((0, 4, 4)))
+        assert b.split_by_size() == {}
+        assert b.padding_waste() == {}
+
+    def test_rejects_bad_bins(self):
+        b = self._mixed()
+        with pytest.raises(ValueError, match="not be empty"):
+            b.split_by_size(())
+        with pytest.raises(ValueError, match="positive"):
+            b.split_by_size((0, 8))
+        with pytest.raises(ValueError, match="distinct"):
+            b.split_by_size((8, 8))
+        with pytest.raises(ValueError, match="exceeds the"):
+            b.split_by_size((4, 16))
+
+
+class TestPaddingWaste:
+    def test_per_bin_accounting(self):
+        b = BatchedMatrices.identity_padded(
+            [np.eye(3), np.eye(4), np.eye(30)], tile=32
+        )
+        waste = b.padding_waste(DEFAULT_BINS)
+        assert set(waste) == {4, 32}
+        four = waste[4]
+        assert four["nb"] == 2
+        assert four["padded_flops"] == int(2 * 2 * 4**3 / 3)
+        assert four["useful_flops"] == int(2 * (3**3 + 4**3) / 3)
+        assert four["waste_flops"] == (
+            four["padded_flops"] - four["useful_flops"]
+        )
+        assert 0.0 <= four["waste_fraction"] < 1.0
+
+    def test_full_blocks_waste_nothing(self):
+        b = BatchedMatrices.identity_padded([np.eye(4), np.eye(4)])
+        (only,) = b.padding_waste().values()
+        assert only["waste_flops"] == 0
+        assert only["waste_fraction"] == 0.0
+
+    def test_exact_bins_waste_nothing(self):
+        b = BatchedMatrices.identity_padded(
+            [np.eye(m) for m in (3, 17, 9)], tile=32
+        )
+        for entry in b.padding_waste(None).values():
+            assert entry["waste_flops"] == 0
 
 
 class TestBatchedVectors:

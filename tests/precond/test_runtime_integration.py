@@ -1,0 +1,138 @@
+"""Block-Jacobi setup/apply routed through the repro.runtime executor.
+
+The contract: switching the preconditioner onto any runtime backend
+must not change what it computes - only how (binned dispatch, caching,
+instrumentation).  The legacy direct-kernel path stays the reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.precond import BlockJacobiPreconditioner
+from repro.runtime import BatchRuntime, available_backends
+from repro.sparse import CsrMatrix, fem_block_2d
+
+METHODS = ("lu", "gh", "ght", "gje", "cholesky")
+
+
+@pytest.fixture(scope="module")
+def fem():
+    return fem_block_2d(8, 8, 4, seed=0)
+
+
+def _singular_matrix():
+    # block [0,0;0,0] at bound 2 makes the first diagonal block singular
+    D = np.eye(8)
+    D[0, 0] = D[1, 1] = 0.0
+    D[0, 1] = D[1, 0] = 0.0
+    D[2:, 2:] += np.diag(np.arange(6) + 1.0)
+    return CsrMatrix.from_dense(D)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.filterwarnings("ignore:cholesky block-Jacobi")
+    def test_apply_matches_legacy_path(self, fem, backend, method):
+        if backend == "scipy" and method != "lu":
+            pytest.skip("scipy backend is LU-only")
+        legacy = BlockJacobiPreconditioner(method, 16).setup(fem)
+        routed = BlockJacobiPreconditioner(
+            method, 16, backend=backend
+        ).setup(fem)
+        x = np.linspace(-1, 1, fem.n_rows)
+        np.testing.assert_allclose(
+            routed.apply(x), legacy.apply(x), rtol=1e-12, atol=1e-14
+        )
+
+    def test_runtime_report_recorded(self, fem):
+        M = BlockJacobiPreconditioner("lu", 16, backend="binned").setup(fem)
+        rt = M.runtime_report
+        assert rt is not None
+        assert rt.backend == "binned"
+        assert rt.nb == M.block_sizes.size
+        assert M.report.runtime is rt
+        assert "runtime[binned]" in M.report.summary()
+
+    def test_legacy_path_records_no_runtime_report(self, fem):
+        M = BlockJacobiPreconditioner("lu", 16).setup(fem)
+        assert M.runtime_report is None
+        assert M.report.runtime is None
+
+    def test_conflicting_runtime_and_backend_rejected(self):
+        rt = BatchRuntime(backend="numpy")
+        with pytest.raises(ValueError, match="backend"):
+            BlockJacobiPreconditioner("lu", 16, runtime=rt,
+                                      backend="binned")
+
+    def test_matching_runtime_and_backend_accepted(self, fem):
+        rt = BatchRuntime(backend="binned")
+        M = BlockJacobiPreconditioner(
+            "lu", 16, runtime=rt, backend="binned"
+        ).setup(fem)
+        assert M.runtime_report is rt.last_report
+
+
+class TestRuntimeCaching:
+    def test_shared_runtime_caches_repeated_setup(self, fem):
+        rt = BatchRuntime()
+        BlockJacobiPreconditioner("lu", 16, runtime=rt).setup(fem)
+        assert rt.last_report.cache_hit is False
+        M2 = BlockJacobiPreconditioner("lu", 16, runtime=rt).setup(fem)
+        assert rt.last_report.cache_hit is True
+        assert rt.cache_stats.hits == 1
+        # the cached factors still answer applies correctly
+        legacy = BlockJacobiPreconditioner("lu", 16).setup(fem)
+        x = np.arange(float(fem.n_rows))
+        np.testing.assert_allclose(
+            M2.apply(x), legacy.apply(x), rtol=1e-12, atol=1e-14
+        )
+
+    def test_different_bound_misses(self, fem):
+        rt = BatchRuntime()
+        BlockJacobiPreconditioner("lu", 16, runtime=rt).setup(fem)
+        BlockJacobiPreconditioner("lu", 8, runtime=rt).setup(fem)
+        assert rt.cache_stats.hits == 0
+
+
+class TestRuntimeDegradation:
+    @pytest.mark.parametrize("backend", ["binned", "numpy"])
+    def test_identity_policy_matches_legacy(self, backend):
+        A = _singular_matrix()
+        legacy = BlockJacobiPreconditioner(
+            "lu", 2, on_singular="identity"
+        ).setup(A)
+        routed = BlockJacobiPreconditioner(
+            "lu", 2, on_singular="identity", backend=backend
+        ).setup(A)
+        np.testing.assert_array_equal(
+            routed.report.action, legacy.report.action
+        )
+        assert routed.report.n_identity == legacy.report.n_identity > 0
+        x = np.ones(A.n_rows)
+        np.testing.assert_allclose(routed.apply(x), legacy.apply(x))
+
+    def test_raise_policy_still_raises(self):
+        # the preconditioner converts the kernel's SingularBlockError
+        # into its documented ValueError, runtime path included
+        with pytest.raises(ValueError, match="singular"):
+            BlockJacobiPreconditioner(
+                "lu", 2, on_singular="raise", backend="binned"
+            ).setup(_singular_matrix())
+
+    def test_cholesky_fallback_through_runtime(self):
+        # indefinite but nonsingular diagonal blocks: cholesky must warn
+        # and fall back to LU, exactly like the legacy path
+        D = np.diag(np.r_[-np.ones(4), np.ones(4)])
+        D += 0.01 * np.eye(8)
+        A = CsrMatrix.from_dense(D)
+        with pytest.warns(UserWarning, match="not SPD"):
+            routed = BlockJacobiPreconditioner(
+                "cholesky", 4, backend="binned"
+            ).setup(A)
+        assert routed.report.cholesky_lu_fallback
+        assert routed.report.effective_method == "lu"
+        with pytest.warns(UserWarning, match="not SPD"):
+            legacy = BlockJacobiPreconditioner("cholesky", 4).setup(A)
+        x = np.linspace(1, 2, A.n_rows)
+        np.testing.assert_allclose(routed.apply(x), legacy.apply(x))

@@ -1,0 +1,123 @@
+"""Tests for the content-fingerprinted factorization cache."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import FactorizationCache, batch_fingerprint
+from tests.strategies import make_batch
+
+
+class TestBatchFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a = make_batch(6, 16, seed=7, dominant=True)
+        b = make_batch(6, 16, seed=7, dominant=True)
+        assert a.data is not b.data
+        assert batch_fingerprint(a) == batch_fingerprint(b)
+
+    def test_data_change_changes_fingerprint(self):
+        a = make_batch(6, 16, seed=7, dominant=True)
+        b = a.copy()
+        b.data[0, 0, 0] += 1e-14
+        assert batch_fingerprint(a) != batch_fingerprint(b)
+
+    def test_sizes_discriminate_equal_buffers(self):
+        # identical padded buffers, different active sizes
+        from repro.core import BatchedMatrices
+
+        data = np.eye(4)[None].repeat(2, axis=0)
+        a = BatchedMatrices(data.copy(), np.array([4, 4]))
+        b = BatchedMatrices(data.copy(), np.array([4, 3]))
+        assert batch_fingerprint(a) != batch_fingerprint(b)
+
+    def test_dtype_discriminates(self):
+        a = make_batch(3, 8, seed=1, dominant=True)
+        assert batch_fingerprint(a) != batch_fingerprint(
+            a.astype(np.float32)
+        )
+
+    def test_extra_discriminators(self):
+        a = make_batch(3, 8, seed=1, dominant=True)
+        assert batch_fingerprint(a, extra=("binned", "lu")) != (
+            batch_fingerprint(a, extra=("numpy", "lu"))
+        )
+        assert batch_fingerprint(a, extra=("binned", "lu")) == (
+            batch_fingerprint(a, extra=("binned", "lu"))
+        )
+
+
+class TestFactorizationCache:
+    def test_miss_then_hit(self):
+        c = FactorizationCache(max_entries=4)
+        assert c.get("k") is None
+        c.put("k", "handle")
+        assert c.get("k") == "handle"
+        s = c.stats
+        assert (s.hits, s.misses, s.entries) == (1, 1, 1)
+        assert s.hit_rate == 0.5
+        assert "k" in c
+        assert len(c) == 1
+
+    def test_lru_eviction_order(self):
+        c = FactorizationCache(max_entries=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)  # evicts "a", the least recently used
+        assert "a" not in c
+        assert c.get("b") == 2
+        assert c.stats.evictions == 1
+
+    def test_lookup_refreshes_recency(self):
+        c = FactorizationCache(max_entries=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1  # "a" becomes most recent
+        c.put("c", 3)  # so "b" is the one evicted
+        assert "a" in c
+        assert "b" not in c
+
+    def test_put_refreshes_recency(self):
+        c = FactorizationCache(max_entries=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)  # refresh, not insert
+        c.put("c", 3)
+        assert c.get("a") == 10
+        assert "b" not in c
+
+    def test_invalidate_single_key(self):
+        c = FactorizationCache()
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.invalidate("a") == 1
+        assert "a" not in c
+        assert "b" in c
+        assert c.stats.invalidations == 1
+
+    def test_invalidate_unknown_key_is_noop(self):
+        c = FactorizationCache()
+        assert c.invalidate("ghost") == 0
+        assert c.stats.invalidations == 0
+
+    def test_invalidate_all(self):
+        c = FactorizationCache()
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.invalidate() == 2
+        assert len(c) == 0
+        assert c.stats.invalidations == 2
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert FactorizationCache().stats.hit_rate == 0.0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            FactorizationCache(max_entries=0)
+
+    def test_stats_to_dict_roundtrip(self):
+        c = FactorizationCache(max_entries=3)
+        c.put("a", 1)
+        c.get("a")
+        d = c.stats.to_dict()
+        assert d["hits"] == 1
+        assert d["max_entries"] == 3
+        assert d["hit_rate"] == 1.0

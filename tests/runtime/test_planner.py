@@ -1,0 +1,174 @@
+"""Property tests for the size-binned execution planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DEFAULT_BINS, BatchedMatrices
+from repro.runtime import plan_batch
+from tests.strategies import batch_shapes, make_batch, make_rhs, seeds
+
+#: planner knobs swept by the property tests
+bin_ladders = st.sampled_from([DEFAULT_BINS, (8, 32), (32,), None])
+
+
+class TestPlanProperties:
+    @given(batch_shapes, seeds, bin_ladders, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_gather_order_is_identity_permutation(
+        self, shape, seed, bins, tight
+    ):
+        batch = make_batch(*shape, seed, dominant=True)
+        plan = plan_batch(batch, bins=bins, tight=tight)
+        order = plan.gather_order()
+        np.testing.assert_array_equal(np.sort(order), np.arange(batch.nb))
+        # stable within each bin: original order preserved
+        for b in plan.bins:
+            assert (np.diff(b.indices) > 0).all() or b.nb <= 1
+
+    @given(batch_shapes, seeds, bin_ladders, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_bins_cover_all_blocks_within_tile(
+        self, shape, seed, bins, tight
+    ):
+        batch = make_batch(*shape, seed, dominant=True)
+        plan = plan_batch(batch, bins=bins, tight=tight)
+        covered = np.zeros(batch.nb, dtype=bool)
+        for b in plan.bins:
+            assert not covered[b.indices].any()  # disjoint
+            covered[b.indices] = True
+            # every block fits the tile the bin executes at
+            assert (batch.sizes[b.indices] <= b.tile).all()
+            assert b.tile <= batch.tile
+            assert b.batch.nb == b.nb
+            assert b.batch.tile == b.tile
+        assert covered.all()
+
+    @given(batch_shapes, seeds, bin_ladders)
+    @settings(max_examples=40, deadline=None)
+    def test_tight_tile_is_largest_active_size(self, shape, seed, bins):
+        batch = make_batch(*shape, seed, dominant=True)
+        plan = plan_batch(batch, bins=bins, tight=True)
+        for b in plan.bins:
+            assert b.tile == int(batch.sizes[b.indices].max())
+
+    @given(batch_shapes, seeds, bin_ladders, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_sub_batches_carry_the_source_blocks(
+        self, shape, seed, bins, tight
+    ):
+        batch = make_batch(*shape, seed, dominant=False)
+        plan = plan_batch(batch, bins=bins, tight=tight)
+        for b in plan.bins:
+            for j, i in enumerate(b.indices):
+                np.testing.assert_array_equal(
+                    b.batch.block(j), batch.block(int(i))
+                )
+            # the repacked corner keeps the identity padding convention
+            pad = ~b.batch.active_mask()
+            eye = np.broadcast_to(np.eye(b.tile), b.batch.data.shape)
+            np.testing.assert_array_equal(b.batch.data[pad], eye[pad])
+
+    @given(batch_shapes, seeds, bin_ladders, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_split_merge_roundtrip_is_identity(
+        self, shape, seed, bins, tight
+    ):
+        batch = make_batch(*shape, seed, dominant=True)
+        rhs = make_rhs(batch, seed + 1)
+        plan = plan_batch(batch, bins=bins, tight=tight)
+        merged = plan.merge_solutions(plan.split_rhs(rhs))
+        np.testing.assert_array_equal(merged.data, rhs.data)
+        np.testing.assert_array_equal(merged.sizes, rhs.sizes)
+
+    @given(batch_shapes, seeds, bin_ladders, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_padded_flops_never_exceed_monolithic(
+        self, shape, seed, bins, tight
+    ):
+        batch = make_batch(*shape, seed, dominant=True)
+        plan = plan_batch(batch, bins=bins, tight=tight)
+        assert plan.useful_flops_lu() <= plan.padded_flops_lu()
+        assert plan.padded_flops_lu() <= plan.monolithic_flops_lu()
+        # strict whenever any bin executes below the source tile
+        if any(b.tile < batch.tile for b in plan.bins):
+            assert plan.padded_flops_lu() < plan.monolithic_flops_lu()
+
+    @given(batch_shapes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_scatter_per_block_inverts_binning(self, shape, seed):
+        batch = make_batch(*shape, seed, dominant=True)
+        plan = plan_batch(batch)
+        out = plan.scatter_per_block(
+            [batch.sizes[b.indices] for b in plan.bins]
+        )
+        np.testing.assert_array_equal(out, batch.sizes)
+
+
+class TestPlanEdgeCases:
+    def test_empty_batch_plans_no_bins(self):
+        batch = BatchedMatrices.from_arrays(np.zeros((0, 8, 8)))
+        plan = plan_batch(batch)
+        assert plan.n_bins == 0
+        assert plan.gather_order().size == 0
+        assert plan.padded_flops_lu() == 0
+        merged = plan.merge_solutions([])
+        assert merged.nb == 0
+        assert merged.tile == 8
+
+    def test_single_block_single_bin(self):
+        batch = BatchedMatrices.identity_padded([np.eye(5) * 2.0], tile=32)
+        plan = plan_batch(batch)
+        assert plan.n_bins == 1
+        (b,) = plan.bins
+        assert b.nominal_tile == 8  # smallest ladder bin fitting size 5
+        assert b.tile == 5  # tight: the active size itself
+        np.testing.assert_array_equal(b.indices, [0])
+
+    def test_exact_size_bins_when_bins_is_none(self):
+        batch = BatchedMatrices.identity_padded(
+            [np.eye(3), np.eye(7), np.eye(3)], tile=16
+        )
+        plan = plan_batch(batch, bins=None)
+        assert [b.tile for b in plan.bins] == [3, 7]
+        assert [b.nominal_tile for b in plan.bins] == [3, 7]
+        np.testing.assert_array_equal(plan.bins[0].indices, [0, 2])
+
+    def test_nominal_tile_clamped_to_source_tile(self):
+        # non-ladder source tile 20: the nominal 32 bin cannot exceed it
+        batch = BatchedMatrices.identity_padded(
+            [np.eye(18) + 1.0, np.eye(3)], tile=20
+        )
+        plan = plan_batch(batch, tight=False)
+        tops = [b for b in plan.bins if b.nominal_tile == 32]
+        assert len(tops) == 1
+        assert tops[0].tile == 20
+
+    def test_rejects_block_larger_than_biggest_bin(self):
+        batch = BatchedMatrices.identity_padded([np.eye(16)])
+        with pytest.raises(ValueError, match="exceeds the"):
+            plan_batch(batch, bins=(4, 8))
+
+    def test_split_rhs_rejects_wrong_nb(self):
+        batch = make_batch(4, 8, seed=0, dominant=True)
+        other = make_batch(5, 8, seed=1, dominant=True)
+        plan = plan_batch(batch)
+        with pytest.raises(ValueError, match="does not match plan"):
+            plan.split_rhs(make_rhs(other, 2))
+
+    def test_merge_rejects_wrong_bin_count(self):
+        batch = make_batch(6, 16, seed=3, dominant=True)
+        plan = plan_batch(batch)
+        with pytest.raises(ValueError, match="per-bin solutions"):
+            plan.merge_solutions([])
+
+    def test_merge_rejects_wrong_bin_shape(self):
+        batch = BatchedMatrices.identity_padded([np.eye(4), np.eye(4)])
+        plan = plan_batch(batch)
+        per_bin = plan.split_rhs(make_rhs(batch, 0))
+        from repro.core import BatchedVectors
+
+        bad = [BatchedVectors(np.zeros((1, 4)), np.array([4]))]
+        with pytest.raises(ValueError, match="does not match bin"):
+            plan.merge_solutions(bad)

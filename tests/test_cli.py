@@ -82,3 +82,50 @@ class TestCommands:
     def test_solve_on_singular_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["solve", "fem_b8_s1", "--on-singular", "panic"])
+
+    def test_solve_with_runtime_backend(self, capsys):
+        rc = main(["solve", "fem_b8_s1", "--bound", "16",
+                   "--backend", "binned"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "runtime[binned]" in out
+        assert "converged" in out
+
+    def test_solve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "fem_b8_s1", "--backend", "cuda"])
+
+
+class TestBenchCommand:
+    def test_quick_sweep_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        rc = main(["bench", "--quick", "--backends", "numpy,binned",
+                   "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "runtime backend sweep" in out
+        assert "PASS" in out
+        report = json.loads(out_path.read_text())
+        assert report["passed"] is True
+        assert report["meta"]["backends"] == ["numpy", "binned"]
+        names = [c["name"] for c in report["cases"]]
+        assert any(n.startswith("size/") for n in names)
+        assert any(n.startswith("batch/") for n in names)
+        assert any(n.startswith("adversarial/") for n in names)
+        for case in report["cases"]:
+            assert case["checks"]["binned"]["passed"]
+
+    def test_stdout_json(self, capsys):
+        import json
+
+        rc = main(["bench", "--quick", "--backends", "numpy",
+                   "--out", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert json.loads(out)["meta"]["reference"] == "numpy"
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unavailable backend"):
+            main(["bench", "--quick", "--backends", "cuda"])
