@@ -67,32 +67,64 @@ def _cmd_solve(args) -> int:
         IdentityPreconditioner,
         ScalarJacobiPreconditioner,
     )
-    from .solvers import bicgstab, cg, gmres, idrs
+    from .runtime import BatchRuntime
+    from .solvers import Watchdog, bicgstab, cg, gmres, idrs
 
     A = _load_problem(args)
     b = np.ones(A.n_rows)
+    chain = (
+        [s.strip() for s in args.fallback_chain.split(",") if s.strip()]
+        if args.fallback_chain
+        else None
+    )
     if args.method == "none":
         M = IdentityPreconditioner().setup(A)
     elif args.method == "scalar":
         M = ScalarJacobiPreconditioner().setup(A)
     else:
+        runtime = None
+        if chain is not None:
+            # a fallback chain implies the runtime path; the first
+            # chain entry that is not the primary becomes the fallback
+            primary = args.backend or "binned"
+            runtime = BatchRuntime(
+                backend=primary,
+                fallback=[c for c in chain if c != primary],
+            )
         M = BlockJacobiPreconditioner(
             method=args.method,
             max_block_size=args.bound,
             on_singular=args.on_singular,
-            backend=args.backend,
+            backend=None if runtime is not None else args.backend,
+            runtime=runtime,
         ).setup(A)
         print(M.report.summary())
+    watchdog = None
+    if args.watchdog:
+        rebuild = getattr(M, "rebuild", None)
+        watchdog = Watchdog(rebuild=rebuild)
     solver = {"idr": lambda: idrs(A, b, s=args.s, M=M, tol=args.tol,
-                                  maxiter=args.maxiter),
+                                  maxiter=args.maxiter,
+                                  watchdog=watchdog),
               "bicgstab": lambda: bicgstab(A, b, M=M, tol=args.tol,
-                                           maxiter=args.maxiter),
+                                           maxiter=args.maxiter,
+                                           watchdog=watchdog),
               "gmres": lambda: gmres(A, b, M=M, tol=args.tol,
-                                     maxiter=args.maxiter),
+                                     maxiter=args.maxiter,
+                                     watchdog=watchdog),
               "cg": lambda: cg(A, b, M=M, tol=args.tol,
-                               maxiter=args.maxiter)}[args.solver]
+                               maxiter=args.maxiter,
+                               watchdog=watchdog)}[args.solver]
     r = solver()
     print(r)
+    if r.watchdog is not None and (
+        r.watchdog["restarts"] or r.watchdog["resyncs"]
+    ):
+        print(
+            f"watchdog: {r.watchdog['audits']} audit(s), "
+            f"{r.watchdog['resyncs']} resync(s), "
+            f"{r.watchdog['restarts']} restart(s)"
+        )
     return 0 if r.converged else 1
 
 
@@ -126,12 +158,35 @@ def _cmd_blocks(args) -> int:
     return 0
 
 
+def _parse_chaos(value) -> int | None:
+    """``--chaos`` / ``--chaos seed=N`` / ``--chaos N`` -> sweep seed."""
+    if value is None:
+        return None
+    if value is True or value == "":
+        return 0
+    text = str(value)
+    if text.startswith("seed="):
+        text = text[len("seed="):]
+    try:
+        return int(text)
+    except ValueError:
+        raise SystemExit(
+            f"invalid --chaos argument {value!r}; expected 'seed=N'"
+        )
+
+
 def _cmd_verify(args) -> int:
     import json
 
     from .verify import run_verification
 
-    report = run_verification(quick=args.quick, seed=args.seed)
+    chaos_seed = _parse_chaos(args.chaos)
+    report = run_verification(
+        quick=args.quick,
+        seed=args.seed,
+        chaos=chaos_seed is not None,
+        chaos_seed=chaos_seed if chaos_seed is not None else 0,
+    )
     if args.json:
         payload = json.dumps(report.to_dict(), indent=2)
         if args.json == "-":
@@ -203,6 +258,15 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("-s", type=int, default=4, help="IDR shadow dimension")
     pv.add_argument("--tol", type=float, default=1e-6)
     pv.add_argument("--maxiter", type=int, default=10000)
+    pv.add_argument("--fallback-chain", metavar="B1,B2",
+                    help="comma-separated backend fallback chain for "
+                    "the setup runtime, e.g. 'numpy,scipy' (enables "
+                    "the resilient executor: quarantine, validation, "
+                    "circuit breakers)")
+    pv.add_argument("--watchdog", action="store_true",
+                    help="run the solve under the watchdog "
+                    "(true-residual audits, stagnation/divergence "
+                    "restarts with preconditioner rebuild)")
     pv.set_defaults(fn=_cmd_solve)
 
     pp = sub.add_parser("project", help="P100 GFLOPS projection")
@@ -232,6 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--seed", type=int, default=0)
     pf.add_argument("--json", metavar="PATH",
                     help="write the JSON report to PATH ('-' for stdout)")
+    pf.add_argument("--chaos", nargs="?", const=True, default=None,
+                    metavar="seed=N",
+                    help="also run the deterministic chaos sweep "
+                    "(fault injection against the resilient runtime); "
+                    "exit 1 on any silent-corruption escape")
     pf.set_defaults(fn=_cmd_verify)
 
     pbn = sub.add_parser(

@@ -187,6 +187,7 @@ class BlockJacobiPreconditioner(Preconditioner):
         self.info: np.ndarray | None = None
         self.report: SetupReport | None = None
         self.runtime_report = None
+        self._matrix: CsrMatrix | None = None
         self._factor = None
         self._effective_method: str = method
         self._n = 0
@@ -244,6 +245,7 @@ class BlockJacobiPreconditioner(Preconditioner):
         t0 = time.perf_counter()
         if matrix.n_rows != matrix.n_cols:
             raise ValueError("block-Jacobi needs a square matrix")
+        self._matrix = matrix  # kept for rebuild()
         self._n = matrix.n_rows
         if self._explicit_sizes is not None:
             sizes = self._validated_explicit_sizes(self._n)
@@ -429,6 +431,21 @@ class BlockJacobiPreconditioner(Preconditioner):
         if method == "gje":
             return gj_apply(self._factor, rhs)
         return cholesky_solve(self._factor, rhs)
+
+    def rebuild(self) -> "BlockJacobiPreconditioner":
+        """Refactorize from the matrix of the last ``setup`` call.
+
+        The solver watchdog's restart hook: when a solve stagnates or
+        diverges under a possibly-poisoned setup, this drops any cached
+        factorization of the diagonal blocks (the cache entry is the
+        prime suspect) and runs the full setup again.  A no-op target
+        for callers that never called ``setup``.
+        """
+        if getattr(self, "_matrix", None) is None:
+            raise RuntimeError("setup() must be called before rebuild()")
+        if self._runtime is not None:
+            self._runtime.invalidate()
+        return self.setup(self._matrix)
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """``y = M^{-1} x``: one batched solve over all diagonal blocks."""

@@ -109,6 +109,34 @@ class SetupReport:
         return self.n_singular == 0 and not self.cholesky_lu_fallback
 
     @property
+    def resilience_events(self) -> list[dict]:
+        """Fallback/quarantine events of the setup's runtime call
+        (empty on the direct path or a fault-free run)."""
+        if self.runtime is None:
+            return []
+        return list(self.runtime.fallback_events)
+
+    @property
+    def quarantined_bins(self) -> list[int]:
+        """Size bins the runtime quarantined to the reference backend."""
+        if self.runtime is None:
+            return []
+        return list(self.runtime.quarantined_bins)
+
+    @property
+    def degraded_execution(self) -> bool:
+        """True when the setup survived an execution fault (backend
+        fallback, bin quarantine, or a poisoned cache entry) - distinct
+        from *numerical* degradation (``n_fallbacks``)."""
+        if self.runtime is None:
+            return False
+        return bool(
+            self.runtime.fallback_events
+            or self.runtime.quarantined_bins
+            or self.runtime.cache_poisoned
+        )
+
+    @property
     def max_condition(self) -> float:
         """Largest finite condition estimate (NaN if none available)."""
         if self.condition_estimates is None:
@@ -170,6 +198,19 @@ class SetupReport:
                     f"  runtime[{rt.backend}]: {len(rt.bins)} size bin(s), "
                     f"padded flops {rt.padded_flops} "
                     f"({pct:.1f}% below monolithic)"
+                )
+            if self.degraded_execution:
+                used = rt.backend_used or rt.backend
+                lines.append(
+                    f"  resilience: {len(rt.fallback_events)} fallback "
+                    f"event(s), {len(rt.quarantined_bins)} quarantined "
+                    f"bin(s)"
+                    + (
+                        ", poisoned cache entry evicted"
+                        if rt.cache_poisoned
+                        else ""
+                    )
+                    + f"; factors produced by {used}"
                 )
         return "\n".join(lines)
 

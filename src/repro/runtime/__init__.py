@@ -12,7 +12,10 @@ Four parts (see DESIGN.md, "Runtime"):
 * :mod:`~repro.runtime.cache` - the content-fingerprinted
   factorization cache with hit/miss/eviction counters;
 * :mod:`~repro.runtime.stats` - per-stage wall time and per-bin
-  padding-waste instrumentation (:class:`RuntimeReport`).
+  padding-waste instrumentation (:class:`RuntimeReport`);
+* :mod:`~repro.runtime.resilience` - circuit breakers, the corruption
+  spot check, and the bin-level quarantine machinery behind the
+  executor's fallback chain (see DESIGN.md, "Resilience").
 
 Entry point::
 
@@ -36,6 +39,13 @@ from .backends import (
 from .cache import CacheStats, FactorizationCache, batch_fingerprint
 from .executor import BatchRuntime, RuntimeFactorization
 from .planner import DEFAULT_BINS, BinPlan, ExecutionPlan, plan_batch
+from .resilience import (
+    BreakerBoard,
+    CircuitBreaker,
+    CompositeBinBackend,
+    RuntimeExecutionError,
+    spot_check_factorization,
+)
 from .stats import BinStats, RuntimeReport
 
 __all__ = [
@@ -46,10 +56,14 @@ __all__ = [
     "BatchRuntime",
     "BinPlan",
     "BinStats",
+    "BreakerBoard",
     "CacheStats",
+    "CircuitBreaker",
+    "CompositeBinBackend",
     "DEFAULT_BINS",
     "ExecutionPlan",
     "FactorizationCache",
+    "RuntimeExecutionError",
     "RuntimeFactorization",
     "RuntimeReport",
     "available_backends",
@@ -57,4 +71,5 @@ __all__ = [
     "get_backend",
     "plan_batch",
     "register_backend",
+    "spot_check_factorization",
 ]

@@ -10,12 +10,22 @@ implies equal input bytes implies bit-identical factors.
 
 The cache is deliberately dumb and observable: a bounded LRU mapping
 ``fingerprint -> factorization handle`` with hit/miss/eviction counters
-and explicit invalidation.  It never inspects the handles it stores.
+and explicit invalidation.  It never inspects the handles it stores -
+entry *validation* (fingerprint re-check, finite-factor spot check) is
+the executor's job on hit; a validation failure is reported back as
+:meth:`FactorizationCache.evict_poisoned` so the counters tell the
+story.
+
+All operations are guarded by one :class:`threading.Lock`: a shared
+runtime is reachable from the ``threads`` backend's pool and from
+multiple request threads at once, and the ``OrderedDict`` reordering
+in ``get``/``put`` is not atomic on its own.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable
@@ -60,6 +70,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    poisoned: int = 0
     entries: int = 0
     max_entries: int = 0
 
@@ -77,6 +88,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "poisoned": self.poisoned,
             "entries": self.entries,
             "max_entries": self.max_entries,
             "hit_rate": self.hit_rate,
@@ -84,7 +96,7 @@ class CacheStats:
 
 
 class FactorizationCache:
-    """Bounded LRU cache of factorization handles.
+    """Bounded, thread-safe LRU cache of factorization handles.
 
     Parameters
     ----------
@@ -99,39 +111,45 @@ class FactorizationCache:
                 f"max_entries must be positive, got {max_entries}"
             )
         self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
         self._entries: OrderedDict[str, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._poisoned = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Any | None:
         """Look up a handle; counts a hit (and refreshes recency) or a
         miss.  Returns None on miss."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
 
     def put(self, key: str, value: Any) -> None:
         """Insert (or refresh) a handle, evicting LRU entries beyond
         capacity."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def invalidate(self, key: str | None = None) -> int:
         """Drop one entry (``key``) or everything (``None``).
@@ -139,24 +157,49 @@ class FactorizationCache:
         Returns the number of entries removed; invalidating an unknown
         key is a no-op returning 0.
         """
-        if key is None:
-            n = len(self._entries)
-            self._entries.clear()
-        else:
-            n = 1 if self._entries.pop(key, None) is not None else 0
-        self._invalidations += n
-        return n
+        with self._lock:
+            if key is None:
+                n = len(self._entries)
+                self._entries.clear()
+            else:
+                n = 1 if self._entries.pop(key, None) is not None else 0
+            self._invalidations += n
+            return n
+
+    def evict_poisoned(self, key: str) -> bool:
+        """Drop an entry that failed validation on hit.
+
+        Counted separately from explicit invalidations so poisoning
+        shows up in the stats; returns whether the key was present.
+        """
+        with self._lock:
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self._poisoned += 1
+            return present
+
+    def keys(self) -> list[str]:
+        """Current keys, LRU-first (a snapshot, not a live view)."""
+        with self._lock:
+            return list(self._entries)
+
+    def peek(self, key: str) -> Any | None:
+        """Read an entry without touching recency or the counters."""
+        with self._lock:
+            return self._entries.get(key)
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            invalidations=self._invalidations,
-            entries=len(self._entries),
-            max_entries=self.max_entries,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                poisoned=self._poisoned,
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats

@@ -6,35 +6,65 @@ preconditioner, the CLI, the bench harness).  One ``factorize`` call:
 
 1. fingerprints the batch (when caching is on) and returns the cached
    handle on a hit - the serving scenario where the same matrix is set
-   up repeatedly skips refactorization entirely;
+   up repeatedly skips refactorization entirely; in resilient mode the
+   hit is *validated* first (fingerprint re-check + finite-factor spot
+   check) and a poisoned entry is evicted and refactorized instead of
+   served;
 2. plans the size-binned execution (:mod:`repro.runtime.planner`);
 3. dispatches the plan to the selected backend
-   (:mod:`repro.runtime.backends`);
+   (:mod:`repro.runtime.backends`), surviving execution faults when
+   resilience is configured: a raising or corrupting backend first
+   gets its failing bins quarantined to the reference ``numpy``
+   backend (healthy bins keep their fast path), then the configured
+   fallback chain takes the whole batch, with a per-backend circuit
+   breaker deciding who may even be tried;
 4. emits a :class:`~repro.runtime.stats.RuntimeReport` with per-stage
-   wall time and per-bin padding-waste counters.
+   wall time, per-bin padding-waste counters, and every resilience
+   event that occurred.
 
 The returned :class:`RuntimeFactorization` handle answers ``solve``
 calls (timed into the same report) and exposes the merged
 ``info``/``degradation`` status with exactly the kernels' semantics, so
-callers built against the raw kernels port over unchanged.
+callers built against the raw kernels port over unchanged.  Semantic
+outcomes are never masked: ``on_singular="raise"`` propagates
+:class:`~repro.core.degradation.SingularBlockError` with the merged
+source-ordered status through the chain and the quarantine path alike.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..core.batch import BatchedMatrices, BatchedVectors
-from ..core.degradation import DegradationRecord, OnSingular
+from ..core.degradation import (
+    DegradationRecord,
+    OnSingular,
+    SingularBlockError,
+)
 from .backends import (
     METHODS,
     Backend,
     BackendFactorization,
+    BackendUnavailable,
+    NumpyBackend,
+    _binned_stats,
+    _merge_records,
     get_backend,
 )
 from .cache import CacheStats, FactorizationCache, batch_fingerprint
 from .planner import DEFAULT_BINS, ExecutionPlan, plan_batch
+from .resilience import (
+    COMPOSITE_BACKEND,
+    BinExecution,
+    BreakerBoard,
+    RuntimeExecutionError,
+    single_bin_plan,
+    spot_check_factorization,
+)
 from .stats import RuntimeReport
 
 __all__ = ["BatchRuntime", "RuntimeFactorization"]
@@ -48,6 +78,11 @@ class RuntimeFactorization:
     and the merged source-ordered status.  ``report`` describes the
     call that *created* the handle (cache hits hand out the same handle
     and describe themselves in ``BatchRuntime.last_report``).
+
+    In resilient mode a solve that raises or returns non-finite output
+    on healthy blocks falls back to a lazily-built reference
+    factorization (``numpy`` backend on the pristine source batch) and
+    records the event on the report.
     """
 
     plan: ExecutionPlan
@@ -56,7 +91,10 @@ class RuntimeFactorization:
     result: BackendFactorization
     report: RuntimeReport
     fingerprint: str | None = None
+    on_singular: OnSingular | None = None
+    resilient: bool = False
     _solves: int = field(default=0, repr=False)
+    _reference: tuple | None = field(default=None, repr=False)
 
     @property
     def info(self) -> np.ndarray:
@@ -75,6 +113,11 @@ class RuntimeFactorization:
     def nb(self) -> int:
         return self.plan.nb
 
+    @property
+    def solves(self) -> int:
+        """How many solves this handle has answered (reuse depth)."""
+        return self._solves
+
     def solve(self, rhs: BatchedVectors) -> BatchedVectors:
         """Solve against every block, timed into the handle's report."""
         if rhs.nb != self.plan.nb or rhs.tile != self.plan.source_tile:
@@ -83,9 +126,69 @@ class RuntimeFactorization:
                 f"factorized batch ({self.plan.nb}, {self.plan.source_tile})"
             )
         with self.report.timer().stage("solve"):
-            out = self.backend.solve(self.result.state, self.plan, rhs)
+            if not self.resilient:
+                out = self.backend.solve(self.result.state, self.plan, rhs)
+            else:
+                out = self._resilient_solve(rhs)
         self._solves += 1
+        self.report.solves += 1
         return out
+
+    # -- resilient solve path ---------------------------------------------
+
+    def _resilient_solve(self, rhs: BatchedVectors) -> BatchedVectors:
+        err: BaseException | None = None
+        out = None
+        try:
+            with np.errstate(all="ignore"):
+                out = self.backend.solve(self.result.state, self.plan, rhs)
+        except Exception as e:
+            err = e
+        if out is not None and self._solve_corrupted(out, rhs):
+            err = RuntimeExecutionError(
+                "non-finite solve output on blocks with clean info"
+            )
+            out = None
+        if out is None:
+            out = self._reference_solve(rhs)
+            self.report.solve_fallbacks += 1
+            self.report.fallback_events.append(
+                {
+                    "stage": "solve",
+                    "backend": self.backend.name,
+                    "error": repr(err),
+                    "action": "reference_solve",
+                }
+            )
+        return out
+
+    def _solve_corrupted(
+        self, out: BatchedVectors, rhs: BatchedVectors
+    ) -> bool:
+        """Non-finite output on a healthy block with finite input proves
+        the stored factors (or the solve path) are damaged."""
+        src = self.plan.source
+        mask = np.arange(src.tile)[None, :] < src.sizes[:, None]
+        rhs_finite = np.isfinite(np.where(mask, rhs.data, 0.0)).all(axis=1)
+        out_finite = np.isfinite(np.where(mask, out.data, 0.0)).all(axis=1)
+        healthy = self.result.info == 0
+        return bool((healthy & rhs_finite & ~out_finite).any())
+
+    def _reference_solve(self, rhs: BatchedVectors) -> BatchedVectors:
+        """Solve via a lazily-built reference (numpy) factorization of
+        the pristine source batch, with the handle's policy semantics
+        (``"raise"`` maps to None: the original factorization already
+        proved the batch clean)."""
+        if self._reference is None:
+            ref = NumpyBackend()
+            ref_plan = ExecutionPlan(source=self.plan.source)
+            policy = (
+                None if self.on_singular == "raise" else self.on_singular
+            )
+            ref_fac = ref.factorize(ref_plan, self.method, policy)
+            self._reference = (ref, ref_plan, ref_fac)
+        ref, ref_plan, ref_fac = self._reference
+        return ref.solve(ref_fac.state, ref_plan, rhs)
 
 
 class BatchRuntime:
@@ -109,6 +212,33 @@ class BatchRuntime:
         disables caching; an existing cache instance is shared.
     cache_entries:
         Capacity of the private cache when ``cache=True``.
+    fallback:
+        Ordered fallback chain of backend names (or instances) tried
+        when the primary backend fails on the whole batch, e.g.
+        ``("numpy", "scipy")`` for the documented
+        ``binned -> numpy -> scipy`` chain.  Unavailable backends are
+        skipped at construction.  None (default) disables the chain.
+    quarantine:
+        Retry failing/corrupted size bins in isolation (primary
+        backend first, then the reference ``numpy`` backend) instead of
+        abandoning the whole batch.  Defaults to on exactly when
+        resilience is configured (``fallback`` given or ``validate``
+        forced on).
+    validate:
+        Run the finite-factor spot check on factorization results,
+        cache hits, and solve outputs.  Defaults to match
+        ``quarantine``.
+    cache_degraded:
+        Whether handles whose ``result.ok`` is False (degraded or
+        still-singular batches) may be cached (default True, the
+        historical behaviour).  Handles produced while a chaos
+        injector, a fallback, or the quarantine path was active are
+        never cached regardless.
+    breaker_threshold, breaker_cooldown:
+        Per-backend circuit breaker: consecutive failures that trip it
+        open, and seconds before a half-open probe is allowed.
+    clock:
+        Monotonic time source for the breakers (injectable for tests).
 
     Attributes
     ----------
@@ -126,6 +256,13 @@ class BatchRuntime:
         tight: bool = True,
         cache: bool | FactorizationCache = True,
         cache_entries: int = 32,
+        fallback: Sequence[str | Backend] | None = None,
+        quarantine: bool | None = None,
+        validate: bool | None = None,
+        cache_degraded: bool = True,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        clock=time.monotonic,
     ):
         if isinstance(backend, Backend):
             self.backend = backend
@@ -141,7 +278,46 @@ class BatchRuntime:
             self.cache = None
         else:
             self.cache = cache
+        self._fallbacks: list[Backend] = []
+        if fallback is not None:
+            seen = {self.backend.name}
+            for entry in fallback:
+                try:
+                    b = entry if isinstance(entry, Backend) else get_backend(
+                        entry
+                    )
+                except BackendUnavailable:
+                    continue
+                if b.name in seen:
+                    continue
+                seen.add(b.name)
+                self._fallbacks.append(b)
+        resilient_default = fallback is not None or bool(validate)
+        self.quarantine = (
+            resilient_default if quarantine is None else bool(quarantine)
+        )
+        self.validate = (
+            (self.quarantine or fallback is not None)
+            if validate is None
+            else bool(validate)
+        )
+        self.cache_degraded = bool(cache_degraded)
+        self._breakers = BreakerBoard(
+            failure_threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown,
+            clock=clock,
+        )
+        self._reference = NumpyBackend()
         self.last_report: RuntimeReport | None = None
+
+    @property
+    def resilient(self) -> bool:
+        """Whether any resilience mechanism is configured."""
+        return bool(self._fallbacks) or self.quarantine or self.validate
+
+    @property
+    def breakers(self) -> BreakerBoard:
+        return self._breakers
 
     # -- execution --------------------------------------------------------
 
@@ -171,7 +347,9 @@ class BatchRuntime:
         The source batch is never mutated (fingerprints stay valid and
         callers keep their data).  Raises
         :class:`~repro.core.degradation.SingularBlockError` under
-        ``on_singular="raise"`` with the merged source-ordered status.
+        ``on_singular="raise"`` with the merged source-ordered status,
+        and :class:`~repro.runtime.resilience.RuntimeExecutionError`
+        when every configured execution avenue failed.
         """
         if method not in METHODS:
             raise ValueError(
@@ -190,25 +368,51 @@ class BatchRuntime:
                 key = self._cache_key(batch, method, on_singular)
             cached = self.cache.get(key)
             if cached is not None:
-                report.cache_hit = True
-                report.bins = list(cached.report.bins)
-                self.last_report = report
-                return cached
+                if not self.validate or self._validate_cached(
+                    cached, key, method, on_singular
+                ):
+                    report.cache_hit = True
+                    report.bins = list(cached.report.bins)
+                    report.backend_used = cached.report.backend_used
+                    self.last_report = report
+                    return cached
+                self.cache.evict_poisoned(key)
+                report.cache_poisoned = True
             report.cache_hit = False
         with timer.stage("plan"):
             plan = plan_batch(batch, bins=self.bins, tight=self.tight)
         with timer.stage("factor"):
-            result = self.backend.factorize(plan, method, on_singular)
-        report.bins = self.backend.bin_stats(plan)
+            result, producer, tainted = self._execute(
+                plan, method, on_singular, report
+            )
+        if producer is COMPOSITE_BACKEND:
+            report.bins = _binned_stats(plan)
+            for i, b in enumerate(report.bins):
+                if i in report.quarantined_bins:
+                    b.quarantined = True
+                    b.fallback = True
+        else:
+            report.bins = producer.bin_stats(plan)
+            if producer is not self.backend:
+                for b in report.bins:
+                    b.fallback = True
+        if self.resilient:
+            report.breakers = self._breakers.snapshot()
         handle = RuntimeFactorization(
             plan=plan,
-            backend=self.backend,
+            backend=producer,
             method=method,
             result=result,
             report=report,
             fingerprint=key,
+            on_singular=on_singular,
+            resilient=self.resilient,
         )
-        if key is not None:
+        if (
+            key is not None
+            and not tainted
+            and (self.cache_degraded or result.ok)
+        ):
             self.cache.put(key, handle)
         self.last_report = report
         return handle
@@ -218,6 +422,269 @@ class BatchRuntime:
     ) -> BatchedVectors:
         """Convenience alias for ``fac.solve(rhs)``."""
         return fac.solve(rhs)
+
+    # -- resilient execution ----------------------------------------------
+
+    def _backend_faults(self, backend: Backend) -> tuple:
+        """Per-call fault events a chaos wrapper exposes (empty for
+        real backends)."""
+        return tuple(getattr(backend, "last_faults", ()))
+
+    def _execute(
+        self,
+        plan: ExecutionPlan,
+        method: str,
+        on_singular,
+        report: RuntimeReport,
+    ) -> tuple[BackendFactorization, Backend, bool]:
+        """Run the plan to a usable factorization.
+
+        Returns ``(result, producing_backend, tainted)`` where
+        ``tainted`` means a fault was injected or a resilience path was
+        taken (such handles are never cached).  Non-resilient runtimes
+        take the single direct call, preserving historical semantics
+        exactly.
+        """
+        if not self.resilient:
+            result = self.backend.factorize(plan, method, on_singular)
+            return result, self.backend, False
+        tainted = False
+        last_err: BaseException | None = None
+        chain = [self.backend] + self._fallbacks
+        for position, backend in enumerate(chain):
+            if backend.name == "scipy" and method != "lu":
+                report.fallback_events.append(
+                    {
+                        "stage": "factorize",
+                        "backend": backend.name,
+                        "error": "method_unsupported",
+                        "skipped": True,
+                    }
+                )
+                continue
+            breaker = self._breakers.breaker(backend.name)
+            if not breaker.allow():
+                tainted = True
+                report.fallback_events.append(
+                    {
+                        "stage": "factorize",
+                        "backend": backend.name,
+                        "error": "circuit_open",
+                        "skipped": True,
+                    }
+                )
+                continue
+            try:
+                with np.errstate(all="ignore"):
+                    result = backend.factorize(plan, method, on_singular)
+            except SingularBlockError:
+                # semantic outcome, not an execution fault: the backend
+                # did its job, the batch is singular under "raise"
+                breaker.record_success()
+                raise
+            except Exception as err:
+                breaker.record_failure()
+                tainted = True
+                last_err = err
+                report.fallback_events.append(
+                    {
+                        "stage": "factorize",
+                        "backend": backend.name,
+                        "error": repr(err),
+                    }
+                )
+                if position == 0 and self.quarantine and plan.bins:
+                    out = self._quarantine_execute(
+                        plan, method, on_singular, backend, report
+                    )
+                    if out is not None:
+                        return out, COMPOSITE_BACKEND, True
+                continue
+            faults = self._backend_faults(backend)
+            if faults:
+                tainted = True
+            if self.validate:
+                bad = spot_check_factorization(
+                    backend, result.state, plan, result.info
+                )
+                if bad.any():
+                    breaker.record_failure()
+                    tainted = True
+                    report.fallback_events.append(
+                        {
+                            "stage": "factorize",
+                            "backend": backend.name,
+                            "error": "corrupted_factors",
+                            "blocks": np.nonzero(bad)[0].tolist(),
+                        }
+                    )
+                    if position == 0 and self.quarantine and plan.bins:
+                        out = self._quarantine_execute(
+                            plan, method, on_singular, backend, report
+                        )
+                        if out is not None:
+                            return out, COMPOSITE_BACKEND, True
+                    continue
+            breaker.record_success()
+            if position > 0:
+                report.backend_used = backend.name
+            return result, backend, tainted
+        raise RuntimeExecutionError(
+            f"no backend could factorize the batch (tried "
+            f"{[b.name for b in chain]}; "
+            f"{len(report.fallback_events)} fault/skip event(s) recorded)"
+        ) from last_err
+
+    def _quarantine_execute(
+        self,
+        plan: ExecutionPlan,
+        method: str,
+        on_singular,
+        primary: Backend,
+        report: RuntimeReport,
+    ) -> BackendFactorization | None:
+        """Per-bin isolation pass: healthy bins keep the primary
+        backend, failing or corrupted bins are retried on the reference
+        ``numpy`` backend.
+
+        Mirrors the degradation semantics of the shared binned
+        machinery exactly: bins execute under the substitution policy
+        (or none), ``"raise"`` is evaluated on the *merged* source-
+        ordered status at the end.  Returns None when the pass cannot
+        produce a usable state (reference retry corrupted too).
+        """
+        if (
+            primary.name == "scipy" or self._reference.name == "scipy"
+        ) and method != "lu":  # pragma: no cover - guarded upstream
+            return None
+        per_bin_policy = (
+            None if on_singular in (None, "raise") else on_singular
+        )
+        breaker = self._breakers.breaker(primary.name)
+        execs: list[BinExecution] = []
+        for bi, b in enumerate(plan.bins):
+            res = None
+            quarantined = False
+            attempts = 0
+            errors: list[str] = []
+            if breaker.allow():
+                inner = single_bin_plan(plan, b)
+                attempts += 1
+                try:
+                    with np.errstate(all="ignore"):
+                        res = primary.factorize(
+                            inner, method, per_bin_policy
+                        )
+                    if self.validate and spot_check_factorization(
+                        primary, res.state, inner, res.info
+                    ).any():
+                        errors.append("corrupted_factors")
+                        res = None
+                except Exception as err:
+                    errors.append(repr(err))
+                if res is None:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+            else:
+                errors.append("circuit_open")
+            if res is None:
+                inner = single_bin_plan(plan, b)
+                attempts += 1
+                res = self._reference.factorize(
+                    inner, method, per_bin_policy
+                )
+                if self.validate and spot_check_factorization(
+                    self._reference, res.state, inner, res.info
+                ).any():
+                    # the reference path never corrupts on its own;
+                    # this means the input data itself is unusable
+                    return None
+                quarantined = True
+                backend_for_bin: Backend = self._reference
+                report.quarantined_bins.append(bi)
+                report.fallback_events.append(
+                    {
+                        "stage": "factorize",
+                        "backend": primary.name,
+                        "bin": bi,
+                        "tile": b.tile,
+                        "error": "; ".join(errors) or "unknown",
+                        "action": "quarantined_to_numpy",
+                    }
+                )
+            else:
+                backend_for_bin = primary
+            execs.append(
+                BinExecution(
+                    backend=backend_for_bin,
+                    plan=inner,
+                    state=res.state,
+                    info=res.info,
+                    degradation=res.degradation,
+                    quarantined=quarantined,
+                    attempts=attempts,
+                    errors=errors,
+                )
+            )
+        info = plan.scatter_per_block([e.info for e in execs])
+        if on_singular == "raise" and np.any(info):
+            failed = np.nonzero(info)[0]
+            raise SingularBlockError(
+                f"{failed.size} block(s) failed the batched {method} "
+                f"factorization (first failing steps: "
+                f"info={info[failed][:8]}...); "
+                "pass on_singular='identity'|'scalar'|'shift' to degrade "
+                "gracefully instead of aborting",
+                info,
+            )
+        if on_singular is None:
+            record = None
+        elif on_singular == "raise":
+            record = DegradationRecord(
+                "raise",
+                info.copy(),
+                np.zeros(plan.nb, dtype=np.int8),
+                np.zeros(plan.nb, dtype=np.float64),
+            )
+        else:
+            record = _merge_records(
+                plan, [e.degradation for e in execs], on_singular
+            )
+            if record is None:
+                record = DegradationRecord(
+                    on_singular,
+                    info.copy(),
+                    np.zeros(plan.nb, dtype=np.int8),
+                    np.zeros(plan.nb, dtype=np.float64),
+                )
+        report.backend_used = f"{primary.name}+quarantine"
+        return BackendFactorization(
+            state=execs, info=info, degradation=record
+        )
+
+    def _validate_cached(
+        self,
+        handle: RuntimeFactorization,
+        key: str,
+        method: str,
+        on_singular,
+    ) -> bool:
+        """Entry validation on hit: the stored source must still hash to
+        the lookup key, and the stored factors must pass the finite
+        spot check.  Either failure means the entry was poisoned (or
+        mutated in place) and must not be served."""
+        try:
+            fp = self._cache_key(handle.plan.source, method, on_singular)
+        except Exception:
+            return False
+        if fp != key:
+            return False
+        bad = spot_check_factorization(
+            handle.backend, handle.result.state, handle.plan,
+            handle.result.info,
+        )
+        return not bad.any()
 
     # -- cache management -------------------------------------------------
 
@@ -232,7 +699,11 @@ class BatchRuntime:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = "off" if self.cache is None else repr(self.cache)
+        chain = "+".join(
+            [self.backend.name] + [b.name for b in self._fallbacks]
+        )
         return (
-            f"BatchRuntime(backend={self.backend.name!r}, bins={self.bins}, "
-            f"tight={self.tight}, cache={cache})"
+            f"BatchRuntime(backend={chain!r}, bins={self.bins}, "
+            f"tight={self.tight}, quarantine={self.quarantine}, "
+            f"cache={cache})"
         )

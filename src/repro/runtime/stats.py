@@ -20,13 +20,21 @@ __all__ = ["BinStats", "RuntimeReport", "StageTimer"]
 
 @dataclass
 class BinStats:
-    """Padding accounting of one executed bin (LU flop convention)."""
+    """Padding accounting of one executed bin (LU flop convention).
+
+    ``fallback``/``quarantined`` mark bins the resilient executor had
+    to move off the primary backend: ``quarantined`` bins were retried
+    on the reference backend after a failure or corruption,
+    ``fallback`` covers any off-primary execution (quarantine included).
+    """
 
     nominal_tile: int
     tile: int
     nb: int
     useful_flops: int
     padded_flops: int
+    fallback: bool = False
+    quarantined: bool = False
 
     @property
     def waste_flops(self) -> int:
@@ -47,6 +55,8 @@ class BinStats:
             "padded_flops": self.padded_flops,
             "waste_flops": self.waste_flops,
             "waste_fraction": self.waste_fraction,
+            "fallback": self.fallback,
+            "quarantined": self.quarantined,
         }
 
 
@@ -100,6 +110,27 @@ class RuntimeReport:
     cache_hit:
         None when caching is off, else whether the factorization was
         served from the cache (a hit skips plan + factor entirely).
+    backend_used:
+        The backend that actually produced the factors when the
+        resilient executor had to deviate from the configured one
+        (a fallback-chain member, or ``"<primary>+quarantine"`` for a
+        per-bin composite); None when the primary backend answered.
+    fallback_events:
+        One dict per deviation the resilient executor took: backend
+        raised / was skipped by its circuit breaker / produced
+        corrupted factors, and solve-time fallbacks.  Empty on the
+        happy path.
+    quarantined_bins:
+        Plan-order indices of bins retried on the reference backend.
+    solves, solve_fallbacks:
+        How many solves the handle answered, and how many of those had
+        to fall back to the reference factorization.
+    cache_poisoned:
+        True when a cache hit failed entry validation and the entry
+        was evicted and refactorized instead of served.
+    breakers:
+        Snapshot of the runtime's circuit breakers after the call
+        (resilient mode only).
     """
 
     backend: str
@@ -109,6 +140,13 @@ class RuntimeReport:
     bins: list[BinStats] = field(default_factory=list)
     stage_seconds: dict[str, float] = field(default_factory=dict)
     cache_hit: bool | None = None
+    backend_used: str | None = None
+    fallback_events: list[dict] = field(default_factory=list)
+    quarantined_bins: list[int] = field(default_factory=list)
+    solves: int = 0
+    solve_fallbacks: int = 0
+    cache_poisoned: bool = False
+    breakers: dict | None = None
 
     def timer(self) -> StageTimer:
         return StageTimer(self.stage_seconds)
@@ -156,6 +194,14 @@ class RuntimeReport:
             "padding_waste": self.padding_waste,
             "monolithic_padded_flops": self.monolithic_padded_flops,
             "flops_saved": self.flops_saved,
+            "solves": self.solves,
+            "solve_seconds": float(self.stage_seconds.get("solve", 0.0)),
+            "backend_used": self.backend_used,
+            "fallback_events": [dict(e) for e in self.fallback_events],
+            "quarantined_bins": list(self.quarantined_bins),
+            "solve_fallbacks": self.solve_fallbacks,
+            "cache_poisoned": self.cache_poisoned,
+            "breakers": self.breakers,
         }
 
     def summary(self) -> str:
@@ -188,6 +234,17 @@ class RuntimeReport:
                 lines.append(
                     f"  {name}: {self.stage_seconds[name] * 1e3:.3f} ms"
                 )
+        if self.fallback_events or self.quarantined_bins:
+            used = self.backend_used or self.backend
+            lines.append(
+                f"  resilience: {len(self.fallback_events)} fallback "
+                f"event(s), {len(self.quarantined_bins)} quarantined "
+                f"bin(s), produced by {used}"
+            )
+        if self.cache_poisoned:
+            lines.append(
+                "  cache: poisoned entry evicted and refactorized"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -8,9 +8,12 @@ from .cg import cg
 from .gmres import gmres
 from .idr import idrs
 from .stationary import stationary_richardson
+from .watchdog import Watchdog, WatchdogSession
 
 __all__ = [
     "SolveResult",
+    "Watchdog",
+    "WatchdogSession",
     "idrs",
     "bicgstab",
     "cg",

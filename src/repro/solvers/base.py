@@ -23,9 +23,16 @@ class SolveResult:
     ``breakdown`` is None for a regular stop (converged, or hit
     ``maxiter``); otherwise a short reason string - e.g.
     ``"nonfinite_residual"`` when a NaN/Inf residual ended the solve,
-    or a method-specific tag like ``"omega_breakdown"`` - so callers
-    can distinguish honest non-convergence from a numerical breakdown
-    without parsing logs.
+    a method-specific tag like ``"omega_breakdown"``, or a watchdog
+    verdict (``"watchdog_stagnation"``, ``"watchdog_divergence"``,
+    ``"watchdog_false_convergence"``) - so callers can distinguish
+    honest non-convergence from a numerical breakdown without parsing
+    logs.
+
+    ``watchdog`` is the :meth:`~repro.solvers.watchdog.WatchdogSession.
+    report` dict (audit/resync/restart counts and events) when the
+    solve ran under a :class:`~repro.solvers.watchdog.Watchdog`, else
+    None.  Audit matvecs are accounted there, never in ``iterations``.
     """
 
     x: np.ndarray
@@ -37,6 +44,7 @@ class SolveResult:
     setup_seconds: float = 0.0
     history: list[float] = field(default_factory=list)
     breakdown: str | None = None
+    watchdog: dict | None = None
 
     @property
     def total_seconds(self) -> float:

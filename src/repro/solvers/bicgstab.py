@@ -14,6 +14,7 @@ import numpy as np
 
 from ..precond.base import Preconditioner
 from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from .watchdog import Watchdog
 
 __all__ = ["bicgstab"]
 
@@ -26,11 +27,14 @@ def bicgstab(
     maxiter: int = 10000,
     x0: np.ndarray | None = None,
     record_history: bool = False,
+    watchdog: Watchdog | None = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with right-preconditioned BiCGSTAB.
 
     Iterations count matrix-vector products (two per BiCGSTAB cycle)
     for comparability with :func:`repro.solvers.idr.idrs`.
+    ``watchdog`` enables periodic true-residual audits with
+    resync/restart recovery (see :mod:`repro.solvers.watchdog`).
     """
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
@@ -52,6 +56,7 @@ def bicgstab(
     iters = 0
     resnorm = float(np.linalg.norm(r))
     breakdown = None
+    wd = watchdog.session(matvec, b, target) if watchdog else None
 
     while resnorm > target and iters < maxiter:
         with np.errstate(over="ignore", invalid="ignore"):
@@ -105,10 +110,35 @@ def bicgstab(
         if om == 0.0:
             breakdown = "omega_breakdown"
             break
+        if wd is not None:
+            act = wd.check(iters, resnorm, x)
+            if act.kind == "abort":
+                breakdown = act.reason
+                break
+            if act.kind in ("restart", "resync"):
+                # restart the bi-orthogonal recurrences from the
+                # audited residual (fresh shadow vector r_hat = r)
+                r = act.r_true
+                resnorm = act.resnorm
+                if not np.isfinite(resnorm):
+                    breakdown = "nonfinite_residual"
+                    break
+                if resnorm <= target:
+                    break
+                r_hat = r.copy()
+                rho_old = alpha = om = 1.0
+                v = np.zeros(n)
+                p = np.zeros(n)
 
+    converged = bool(np.isfinite(resnorm) and resnorm <= target)
+    if wd is not None and converged and breakdown is None:
+        veto = wd.final(x, resnorm)
+        if veto:
+            breakdown = veto
+            converged = False
     return SolveResult(
         x=x,
-        converged=bool(np.isfinite(resnorm) and resnorm <= target),
+        converged=converged,
         iterations=iters,
         residual_norm=resnorm,
         target_norm=normb if normb > 0 else 1.0,
@@ -116,4 +146,5 @@ def bicgstab(
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
         breakdown=breakdown,
+        watchdog=wd.report() if wd is not None else None,
     )

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..precond.base import Preconditioner
 from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from .watchdog import Watchdog
 
 __all__ = ["cg"]
 
@@ -25,11 +26,14 @@ def cg(
     maxiter: int = 10000,
     x0: np.ndarray | None = None,
     record_history: bool = False,
+    watchdog: Watchdog | None = None,
 ) -> SolveResult:
     """Solve SPD ``A x = b`` with preconditioned CG.
 
     The preconditioner must be SPD as well (block-Jacobi with Cholesky
-    or LU factors of SPD blocks qualifies).
+    or LU factors of SPD blocks qualifies).  ``watchdog`` enables
+    periodic true-residual audits with resync/restart recovery (see
+    :mod:`repro.solvers.watchdog`).
     """
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
@@ -50,6 +54,7 @@ def cg(
     iters = 0
     resnorm = float(np.linalg.norm(r))
     breakdown = None
+    wd = watchdog.session(matvec, b, target) if watchdog else None
 
     while resnorm > target and iters < maxiter:
         Ap = matvec(p)
@@ -81,10 +86,36 @@ def cg(
             break
         p = z + (rz_new / rz) * p
         rz = rz_new
+        if wd is not None:
+            act = wd.check(iters, resnorm, x)
+            if act.kind == "abort":
+                breakdown = act.reason
+                break
+            if act.kind in ("restart", "resync"):
+                # rebuild the recurrences from the audited residual
+                r = act.r_true
+                resnorm = act.resnorm
+                if not np.isfinite(resnorm):
+                    breakdown = "nonfinite_residual"
+                    break
+                if resnorm <= target:
+                    break
+                z = M.apply(r)
+                p = z.copy()
+                rz = float(r @ z)
+                if not np.isfinite(rz) or rz == 0.0:
+                    breakdown = "rz_breakdown"
+                    break
 
+    converged = bool(np.isfinite(resnorm) and resnorm <= target)
+    if wd is not None and converged and breakdown is None:
+        veto = wd.final(x, resnorm)
+        if veto:
+            breakdown = veto
+            converged = False
     return SolveResult(
         x=x,
-        converged=bool(np.isfinite(resnorm) and resnorm <= target),
+        converged=converged,
         iterations=iters,
         residual_norm=resnorm,
         target_norm=normb if normb > 0 else 1.0,
@@ -92,4 +123,5 @@ def cg(
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
         breakdown=breakdown,
+        watchdog=wd.report() if wd is not None else None,
     )

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..precond.base import Preconditioner
 from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from .watchdog import Watchdog
 
 __all__ = ["gmres"]
 
@@ -26,10 +27,14 @@ def gmres(
     maxiter: int = 10000,
     x0: np.ndarray | None = None,
     record_history: bool = False,
+    watchdog: Watchdog | None = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with GMRES(restart), right-preconditioned.
 
     ``maxiter`` caps matrix-vector products across all restart cycles.
+    ``watchdog`` checks stagnation/divergence at cycle boundaries (the
+    cycle-end residual is already the true one, so audits are free) and
+    rebuilds the preconditioner on its restarts.
     """
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
@@ -48,6 +53,7 @@ def gmres(
     history = [resnorm] if record_history else []
     iters = 0
     breakdown = None
+    wd = watchdog.session(matvec, b, target) if watchdog else None
 
     while resnorm > target and iters < maxiter:
         m = min(restart, maxiter - iters)
@@ -113,6 +119,13 @@ def gmres(
             break
         if breakdown:
             break
+        if wd is not None:
+            act = wd.check(iters, resnorm, x, r=r)
+            if act.kind == "abort":
+                breakdown = act.reason
+                break
+            # a restart rebuilt the preconditioner; the next cycle
+            # restarts from the current (true) residual anyway
 
     return SolveResult(
         x=x,
@@ -124,4 +137,5 @@ def gmres(
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
         breakdown=breakdown,
+        watchdog=wd.report() if wd is not None else None,
     )

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..precond.base import Preconditioner
 from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from .watchdog import Watchdog
 
 __all__ = ["idrs"]
 
@@ -54,6 +55,7 @@ def idrs(
     seed: int = 271828,
     record_history: bool = False,
     max_restarts: int = 5,
+    watchdog: "Watchdog | None" = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with preconditioned IDR(s).
 
@@ -80,6 +82,10 @@ def idrs(
         be answered by re-seeding the shadow space (a fresh random
         orthonormal ``P``, reset recurrences) before the solve gives up
         with ``breakdown="shadow_space_breakdown"``.
+    watchdog:
+        Optional :class:`~repro.solvers.watchdog.Watchdog`: periodic
+        true-residual audits with resync/restart recovery, on top of
+        (and independent from) the shadow-space restart machinery.
 
     Returns
     -------
@@ -123,6 +129,7 @@ def idrs(
     restarts = 0
     breakdown = None
     resnorm = float(np.linalg.norm(r))
+    wd = watchdog.session(matvec, b, target) if watchdog else None
 
     def done() -> bool:
         return resnorm <= target or iters >= maxiter
@@ -208,10 +215,36 @@ def idrs(
         if not np.isfinite(resnorm):
             breakdown = "nonfinite_residual"
             break
+        if wd is not None:
+            act = wd.check(iters, resnorm, x)
+            if act.kind == "abort":
+                breakdown = act.reason
+                break
+            if act.kind in ("restart", "resync"):
+                # rebuild the Sonneveld recurrences from the audited
+                # residual; a watchdog restart also re-seeds the shadow
+                # space (the old P steered the run into this state)
+                r = act.r_true
+                resnorm = act.resnorm
+                if not np.isfinite(resnorm):
+                    breakdown = "nonfinite_residual"
+                    break
+                if act.kind == "restart":
+                    P = fresh_shadow_space()
+                G[:] = 0.0
+                U[:] = 0.0
+                Ms = np.eye(s)
+                om = 1.0
 
+    converged = bool(np.isfinite(resnorm) and resnorm <= target)
+    if wd is not None and converged and breakdown is None:
+        veto = wd.final(x, resnorm)
+        if veto:
+            breakdown = veto
+            converged = False
     return SolveResult(
         x=x,
-        converged=bool(np.isfinite(resnorm) and resnorm <= target),
+        converged=converged,
         iterations=iters,
         residual_norm=resnorm,
         target_norm=normb if normb > 0 else 1.0,
@@ -219,4 +252,5 @@ def idrs(
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
         breakdown=breakdown,
+        watchdog=wd.report() if wd is not None else None,
     )

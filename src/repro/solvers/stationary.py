@@ -18,6 +18,7 @@ import numpy as np
 
 from ..precond.base import Preconditioner
 from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from .watchdog import Watchdog
 
 __all__ = ["stationary_richardson"]
 
@@ -31,6 +32,7 @@ def stationary_richardson(
     maxiter: int = 10000,
     x0: np.ndarray | None = None,
     record_history: bool = False,
+    watchdog: Watchdog | None = None,
 ) -> SolveResult:
     """Preconditioned Richardson iteration (= (block-)Jacobi for
     ``M = D`` and ``omega = 1``).
@@ -44,6 +46,12 @@ def stationary_richardson(
     omega:
         Damping factor; ``omega < 1`` (damped Jacobi) helps when the
         undamped iteration diverges on non-dominant problems.
+    watchdog:
+        Optional :class:`~repro.solvers.watchdog.Watchdog`; the
+        iteration already recomputes the true residual each step, so
+        only the stagnation/divergence policy (with preconditioner
+        rebuild on restart) applies - a diverging relaxation is caught
+        within one window instead of overflowing to ``maxiter``.
     """
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
@@ -62,6 +70,7 @@ def stationary_richardson(
     history = [resnorm] if record_history else []
     iters = 0
     breakdown = None
+    wd = watchdog.session(matvec, b, target) if watchdog else None
 
     while resnorm > target and iters < maxiter:
         x = x + omega * M.apply(r)
@@ -75,6 +84,13 @@ def stationary_richardson(
         if not np.isfinite(resnorm):
             breakdown = "nonfinite_residual"  # diverged: stop cleanly
             break
+        if wd is not None:
+            act = wd.check(iters, resnorm, x, r=r)
+            if act.kind == "abort":
+                breakdown = act.reason
+                break
+            # restart: the preconditioner was rebuilt; the relaxation
+            # continues from the current iterate unchanged
 
     return SolveResult(
         x=x,
@@ -86,4 +102,5 @@ def stationary_richardson(
         setup_seconds=getattr(M, "setup_seconds", 0.0),
         history=history,
         breakdown=breakdown,
+        watchdog=wd.report() if wd is not None else None,
     )

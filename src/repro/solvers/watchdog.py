@@ -1,0 +1,237 @@
+"""Solver watchdog: true-residual audits, stagnation/divergence
+detection, and bounded restart-with-rebuilt-preconditioner.
+
+The Krylov solvers in this package (except GMRES and Richardson, which
+recompute it anyway) steer by a *recurrence* residual - cheap, but it
+drifts from the true residual ``b - A x`` when the preconditioner
+application misbehaves (a corrupted factor served mid-stream, a
+degraded block doing more harm than good) or when rounding decouples
+the recurrences.  The paper's IDR(4) runs burn their full 10,000
+matvec budget in that state with no recovery.
+
+:class:`Watchdog` is the shared policy all five solvers accept: every
+``audit_every`` matvecs it recomputes the true residual (audit matvecs
+are accounted separately and do **not** inflate
+``SolveResult.iterations``), resynchronises the solver when the
+recurrence has drifted, detects stagnation (no ``1 -
+stagnation_improvement`` relative progress across a window) and
+divergence (residual blown up by ``divergence_factor``), and answers
+either with a bounded **restart** - optionally rebuilding the
+preconditioner through the ``rebuild`` callback - or, once restarts
+are exhausted, with a structured abort reason
+(``"watchdog_stagnation"`` / ``"watchdog_divergence"``).  A final
+audit (:meth:`WatchdogSession.final`) refuses to let a solve claim
+convergence when the true residual disagrees
+(``"watchdog_false_convergence"``), closing the silent-corruption
+escape hatch end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Watchdog", "WatchdogAction", "WatchdogSession"]
+
+#: how much larger than ``target`` the audited true residual may be
+#: before a "converged" verdict is vetoed as false convergence
+FALSE_CONVERGENCE_SLACK = 10.0
+
+
+@dataclass
+class WatchdogAction:
+    """What the solver must do after a check.
+
+    ``kind`` is one of ``"ok"`` (carry on), ``"resync"`` (replace the
+    recurrence residual with ``r_true`` and rebuild the method's
+    recurrence state from it), ``"restart"`` (same, after the
+    preconditioner was rebuilt), ``"abort"`` (stop with ``reason`` as
+    the breakdown string).  ``r_true``/``resnorm`` are set whenever an
+    audit computed them, so the solver never recomputes.
+    """
+
+    kind: str = "ok"
+    reason: str | None = None
+    r_true: np.ndarray | None = None
+    resnorm: float | None = None
+
+
+@dataclass
+class Watchdog:
+    """Shared watchdog policy (pass one to any solver in this package).
+
+    Parameters
+    ----------
+    audit_every:
+        Matvec interval between checks (and true-residual audits for
+        recurrence-based solvers).
+    drift_tol:
+        Relative disagreement between the recurrence residual norm and
+        the audited true norm that triggers a resync.
+    stagnation_window:
+        Matvecs per stagnation window.
+    stagnation_improvement:
+        The residual must shrink below this factor of the window's
+        starting norm within one window, or the run is stagnating.
+    divergence_factor:
+        Growth of the residual over the initial norm that counts as
+        divergence.
+    max_restarts:
+        Restarts granted before stagnation/divergence aborts the solve.
+    rebuild:
+        Optional zero-argument callback invoked on every restart -
+        typically ``preconditioner.rebuild`` so a setup poisoned
+        mid-stream is refactorized; its return value is ignored.
+    """
+
+    audit_every: int = 50
+    drift_tol: float = 0.5
+    stagnation_window: int = 250
+    stagnation_improvement: float = 0.9
+    divergence_factor: float = 1e3
+    max_restarts: int = 2
+    rebuild: Callable[[], object] | None = None
+
+    def session(
+        self, matvec: Callable[[np.ndarray], np.ndarray], b: np.ndarray,
+        target: float,
+    ) -> "WatchdogSession":
+        """Per-solve state bound to this policy."""
+        return WatchdogSession(self, matvec, b, target)
+
+
+@dataclass
+class WatchdogSession:
+    """One solve's watchdog bookkeeping (create via
+    :meth:`Watchdog.session`)."""
+
+    config: Watchdog
+    matvec: Callable[[np.ndarray], np.ndarray]
+    b: np.ndarray
+    target: float
+    audits: int = 0
+    resyncs: int = 0
+    restarts: int = 0
+    audit_matvecs: int = 0
+    aborted: str | None = None
+    _last_check: int = 0
+    _window_start: int = 0
+    _window_norm: float = np.inf
+    _initial_norm: float | None = None
+    _events: list[dict] = field(default_factory=list)
+
+    def _true_residual(self, x: np.ndarray) -> tuple[np.ndarray, float]:
+        self.audit_matvecs += 1
+        with np.errstate(over="ignore", invalid="ignore"):
+            r = self.b - self.matvec(x)
+            norm = float(np.linalg.norm(r))
+        return r, norm
+
+    def check(
+        self,
+        iters: int,
+        resnorm: float,
+        x: np.ndarray,
+        r: np.ndarray | None = None,
+    ) -> WatchdogAction:
+        """Periodic check; cheap no-op between audit intervals.
+
+        ``r`` given means the solver's residual is already the true one
+        (GMRES cycle ends, Richardson) - no audit matvec is spent.
+        """
+        if self._initial_norm is None:
+            self._initial_norm = (
+                resnorm if np.isfinite(resnorm) else float(self.target)
+            )
+            self._window_norm = resnorm
+        if iters - self._last_check < self.config.audit_every:
+            return WatchdogAction()
+        self._last_check = iters
+        self.audits += 1
+        drifted = False
+        if r is None:
+            r, true_norm = self._true_residual(x)
+            if np.isfinite(true_norm) and np.isfinite(resnorm):
+                scale = max(true_norm, resnorm, self.target)
+                drifted = (
+                    scale > 0
+                    and abs(true_norm - resnorm) / scale
+                    > self.config.drift_tol
+                )
+            resnorm = true_norm
+        # divergence beats stagnation: both are answered by a restart,
+        # but the reason string must name what actually happened
+        if not np.isfinite(resnorm) or (
+            resnorm > self.config.divergence_factor * self._initial_norm
+        ):
+            return self._recover("watchdog_divergence", x)
+        if (
+            iters - self._window_start >= self.config.stagnation_window
+        ):
+            if resnorm > self.config.stagnation_improvement * (
+                self._window_norm
+            ):
+                return self._recover("watchdog_stagnation", x)
+            self._window_start = iters
+            self._window_norm = resnorm
+        if drifted:
+            self.resyncs += 1
+            self._events.append(
+                {"at": iters, "event": "resync", "true_norm": resnorm}
+            )
+            return WatchdogAction(
+                kind="resync", r_true=r, resnorm=resnorm
+            )
+        return WatchdogAction(r_true=r, resnorm=resnorm)
+
+    def _recover(self, reason: str, x: np.ndarray) -> WatchdogAction:
+        if self.restarts >= self.config.max_restarts:
+            self.aborted = reason
+            self._events.append(
+                {"at": self._last_check, "event": "abort",
+                 "reason": reason}
+            )
+            return WatchdogAction(kind="abort", reason=reason)
+        self.restarts += 1
+        if self.config.rebuild is not None:
+            self.config.rebuild()
+        r, norm = self._true_residual(x)
+        # the rebuilt run gets a fresh stagnation window and, on
+        # divergence, a fresh growth baseline
+        self._window_start = self._last_check
+        self._window_norm = norm
+        if np.isfinite(norm):
+            self._initial_norm = max(self._initial_norm, norm)
+        self._events.append(
+            {"at": self._last_check, "event": "restart",
+             "reason": reason, "true_norm": norm}
+        )
+        return WatchdogAction(kind="restart", r_true=r, resnorm=norm)
+
+    def final(self, x: np.ndarray, resnorm: float) -> str | None:
+        """Audit a would-be "converged" verdict against the true
+        residual; returns ``"watchdog_false_convergence"`` to veto it.
+        """
+        if not (np.isfinite(resnorm) and resnorm <= self.target):
+            return None  # not claiming convergence; nothing to veto
+        _, true_norm = self._true_residual(x)
+        if true_norm <= FALSE_CONVERGENCE_SLACK * self.target:
+            return None
+        self._events.append(
+            {"event": "false_convergence", "claimed": resnorm,
+             "true_norm": true_norm}
+        )
+        return "watchdog_false_convergence"
+
+    def report(self) -> dict:
+        """Serializable summary attached to ``SolveResult.watchdog``."""
+        return {
+            "audits": self.audits,
+            "resyncs": self.resyncs,
+            "restarts": self.restarts,
+            "audit_matvecs": self.audit_matvecs,
+            "aborted": self.aborted,
+            "events": [dict(e) for e in self._events],
+        }

@@ -307,10 +307,33 @@ def _check_simt(quick: bool, seed: int) -> CheckResult:
     )
 
 
+def _check_chaos(quick: bool, seed: int) -> CheckResult:
+    """The seeded chaos sweep as a verification check.
+
+    Fails on any silent-corruption escape, unhandled exception, or
+    invisible fault - the acceptance bar of the resilience layer (see
+    :mod:`repro.chaos.scenarios`).
+    """
+    from ..chaos import run_chaos_suite
+
+    chaos = run_chaos_suite(seed=seed, quick=quick)
+    return CheckResult(
+        name="chaos", passed=chaos.passed, details=chaos.to_dict()
+    )
+
+
 def run_verification(
-    quick: bool = False, seed: int = 0
+    quick: bool = False,
+    seed: int = 0,
+    chaos: bool = False,
+    chaos_seed: int = 0,
 ) -> VerificationReport:
-    """Run the full verification sweep; see the module docstring."""
+    """Run the full verification sweep; see the module docstring.
+
+    ``chaos=True`` appends the deterministic fault-injection sweep
+    (:func:`repro.chaos.scenarios.run_chaos_suite` with
+    ``chaos_seed``) as an extra check.
+    """
     sweep = _batch_matrix(quick, seed)
     report = VerificationReport(
         mode="quick" if quick else "full", seed=seed
@@ -321,4 +344,6 @@ def run_verification(
     report.checks.append(_check_factorization(sweep, seed))
     report.checks.append(_check_differential(sweep, quick, seed))
     report.checks.append(_check_simt(quick, seed))
+    if chaos:
+        report.checks.append(_check_chaos(quick, chaos_seed))
     return report

@@ -136,3 +136,55 @@ class TestRuntimeDegradation:
             legacy = BlockJacobiPreconditioner("cholesky", 4).setup(A)
         x = np.linspace(1, 2, A.n_rows)
         np.testing.assert_allclose(routed.apply(x), legacy.apply(x))
+
+
+class TestSetupResilience:
+    def test_fallback_events_surface_on_setup_report(self, fem):
+        from repro.chaos import ChaosBackend, RaiseInjector
+        from repro.runtime.backends import get_backend
+
+        chaos = ChaosBackend(
+            get_backend("binned"), [RaiseInjector("factorize", 1.0)],
+            seed=0,
+        )
+        rt = BatchRuntime(backend=chaos, fallback=("numpy",))
+        M = BlockJacobiPreconditioner(
+            method="lu", max_block_size=8, runtime=rt
+        ).setup(fem)
+        rep = M.report
+        assert rep.degraded_execution
+        assert rep.resilience_events
+        assert "resilience" in rep.summary()
+        # the preconditioner still works: apply is finite
+        y = M.apply(np.ones(fem.n_rows))
+        assert np.isfinite(y).all()
+
+    def test_fault_free_setup_reports_clean(self, fem):
+        rt = BatchRuntime(backend="binned", fallback=("numpy",))
+        M = BlockJacobiPreconditioner(
+            method="lu", max_block_size=8, runtime=rt
+        ).setup(fem)
+        rep = M.report
+        assert not rep.degraded_execution
+        assert rep.resilience_events == []
+        assert rep.quarantined_bins == []
+        assert "resilience" not in rep.summary()
+
+    def test_rebuild_refactorizes(self, fem):
+        rt = BatchRuntime(backend="binned")
+        M = BlockJacobiPreconditioner(
+            method="lu", max_block_size=8, runtime=rt
+        ).setup(fem)
+        before = M.apply(np.ones(fem.n_rows))
+        out = M.rebuild()
+        assert out is M
+        np.testing.assert_allclose(
+            M.apply(np.ones(fem.n_rows)), before
+        )
+        # the shared runtime cache was invalidated on the way
+        assert rt.cache_stats.invalidations >= 1
+
+    def test_rebuild_before_setup_rejected(self):
+        M = BlockJacobiPreconditioner(method="lu", max_block_size=8)
+        with pytest.raises(RuntimeError, match="setup"):
+            M.rebuild()

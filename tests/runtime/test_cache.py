@@ -121,3 +121,68 @@ class TestFactorizationCache:
         assert d["hits"] == 1
         assert d["max_entries"] == 3
         assert d["hit_rate"] == 1.0
+
+
+class TestCacheResilienceApi:
+    def test_evict_poisoned_counts_separately(self):
+        c = FactorizationCache()
+        c.put("a", 1)
+        assert c.evict_poisoned("a") is True
+        assert c.evict_poisoned("a") is False  # already gone
+        assert c.stats.poisoned == 1
+        assert c.stats.invalidations == 0
+        assert len(c) == 0
+
+    def test_keys_lru_order_and_peek(self):
+        c = FactorizationCache(max_entries=4)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # a becomes most recent
+        assert c.keys() == ["b", "a"]
+        hits = c.stats.hits
+        assert c.peek("b") == 2
+        assert c.peek("ghost") is None
+        assert c.stats.hits == hits  # peek never touches counters
+        assert c.keys() == ["b", "a"]  # nor recency
+
+    def test_concurrent_hammering_stays_consistent(self):
+        # satellite: the cache is shared by runtimes across threads;
+        # hammer every operation concurrently and check the invariants
+        import threading
+
+        c = FactorizationCache(max_entries=8)
+        keys = [f"k{i}" for i in range(16)]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(wid):
+            try:
+                barrier.wait()
+                for round_ in range(200):
+                    k = keys[(wid * 7 + round_) % len(keys)]
+                    c.put(k, (wid, round_))
+                    got = c.get(k)
+                    assert got is None or isinstance(got, tuple)
+                    if round_ % 13 == 0:
+                        c.evict_poisoned(k)
+                    if round_ % 31 == 0:
+                        c.invalidate(k)
+                    if round_ % 50 == 0:
+                        c.keys()
+                        c.peek(k)
+            except Exception as e:  # pragma: no cover - failure path
+                errors.append(e)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        s = c.stats
+        assert len(c) <= 8
+        assert s.entries == len(c)
+        assert s.hits + s.misses == 8 * 200
+        assert s.entries == len(c.keys())

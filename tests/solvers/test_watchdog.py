@@ -1,0 +1,200 @@
+"""Tests for the solver watchdog (repro.solvers.watchdog): session
+unit behaviour and integration with all five solvers."""
+
+import numpy as np
+import pytest
+
+from repro.precond import BlockJacobiPreconditioner
+from repro.solvers import (
+    Watchdog,
+    bicgstab,
+    cg,
+    gmres,
+    idrs,
+    stationary_richardson,
+)
+from repro.sparse import convection_diffusion_2d, fem_block_2d, laplacian_2d
+
+KRYLOV_SOLVERS = [idrs, bicgstab, gmres, cg]
+
+
+def session_for(n=4, **kwargs):
+    """A session against the identity system (matvec = x)."""
+    b = np.ones(n)
+    wd = Watchdog(**kwargs)
+    return wd.session(lambda x: x, b, target=1e-8)
+
+
+class TestWatchdogSession:
+    def test_cheap_noop_between_audits(self):
+        s = session_for(audit_every=50)
+        x = np.zeros(4)
+        for i in range(49):
+            assert s.check(i, 1.0, x).kind == "ok"
+        assert s.audits == 0 and s.audit_matvecs == 0
+
+    def test_audit_spends_separate_matvec(self):
+        s = session_for(audit_every=10)
+        x = np.ones(4)  # true residual is zero: healthy
+        act = s.check(10, 1e-12, x)
+        assert act.kind == "ok"
+        assert s.audits == 1
+        assert s.audit_matvecs == 1
+        assert act.resnorm == 0.0
+
+    def test_explicit_residual_skips_audit_matvec(self):
+        s = session_for(audit_every=10)
+        r = np.zeros(4)
+        act = s.check(10, 0.0, np.ones(4), r=r)
+        assert act.kind == "ok"
+        assert s.audits == 1 and s.audit_matvecs == 0
+
+    def test_drift_triggers_resync(self):
+        s = session_for(audit_every=10)
+        x = np.zeros(4)  # true residual norm is 2, recurrence says 1e-30
+        s.check(0, 1.0, x)  # establishes the initial norm
+        act = s.check(10, 1e-30, x)
+        assert act.kind == "resync"
+        assert act.resnorm == pytest.approx(2.0)
+        np.testing.assert_array_equal(act.r_true, np.ones(4))
+        assert s.resyncs == 1
+
+    def test_divergence_restarts_then_aborts(self):
+        rebuilds = []
+        s = session_for(
+            audit_every=10, max_restarts=2,
+            rebuild=lambda: rebuilds.append(1),
+        )
+        x = np.ones(4)
+        s.check(0, 1.0, x)  # establishes the initial norm
+        assert s.check(10, 1e6, x, r=np.ones(4) * 1e6).kind == "restart"
+        assert s.check(20, 1e6, x, r=np.ones(4) * 1e6).kind == "restart"
+        act = s.check(30, 1e6, x, r=np.ones(4) * 1e6)
+        assert act.kind == "abort"
+        assert act.reason == "watchdog_divergence"
+        assert s.aborted == "watchdog_divergence"
+        assert len(rebuilds) == 2
+        assert s.report()["restarts"] == 2
+
+    def test_nonfinite_residual_counts_as_divergence(self):
+        s = session_for(audit_every=10, max_restarts=0)
+        act = s.check(10, np.nan, np.ones(4), r=np.full(4, np.nan))
+        assert act.kind == "abort"
+        assert act.reason == "watchdog_divergence"
+
+    def test_stagnation_detected_over_window(self):
+        s = session_for(
+            audit_every=10, stagnation_window=20, max_restarts=0
+        )
+        x = np.ones(4)
+        s.check(0, 1.0, x, r=np.ones(4))
+        s.check(10, 1.0, x, r=np.ones(4))
+        act = s.check(20, 0.99, x, r=np.ones(4) * 0.99)
+        assert act.kind == "abort"
+        assert act.reason == "watchdog_stagnation"
+
+    def test_progress_resets_the_window(self):
+        s = session_for(
+            audit_every=10, stagnation_window=20, max_restarts=0
+        )
+        x = np.ones(4)
+        s.check(0, 1.0, x, r=np.ones(4))
+        for i, norm in [(10, 0.5), (20, 0.25), (30, 0.12), (40, 0.06)]:
+            act = s.check(i, norm, x, r=np.full(4, norm))
+            assert act.kind == "ok"
+
+    def test_false_convergence_veto(self):
+        s = session_for()
+        x = np.zeros(4)  # true residual norm 2 >> 10 * 1e-8
+        assert s.final(x, 1e-12) == "watchdog_false_convergence"
+        assert s.final(x, 1.0) is None  # not claiming convergence
+        assert s.final(np.ones(4), 1e-12) is None  # genuinely converged
+
+    def test_report_shape(self):
+        s = session_for()
+        rep = s.report()
+        assert set(rep) == {
+            "audits", "resyncs", "restarts", "audit_matvecs",
+            "aborted", "events",
+        }
+
+
+class TestSolverIntegration:
+    @pytest.mark.parametrize(
+        "solver", KRYLOV_SOLVERS, ids=lambda f: f.__name__
+    )
+    def test_converges_under_watchdog(self, solver):
+        A = laplacian_2d(12, 12)
+        b = np.ones(A.n_rows)
+        r = solver(A, b, tol=1e-8, maxiter=5000, watchdog=Watchdog())
+        assert r.converged, r
+        assert r.watchdog is not None
+        assert r.watchdog["aborted"] is None
+        true = np.linalg.norm(A.matvec(r.x) - b) / np.linalg.norm(b)
+        assert true < 1e-6
+
+    def test_richardson_converges_under_watchdog(self):
+        # undamped Richardson needs the Jacobi preconditioner to
+        # contract on the Laplacian; with it the watchdog stays quiet
+        from repro.precond import ScalarJacobiPreconditioner
+
+        A = laplacian_2d(12, 12)
+        b = np.ones(A.n_rows)
+        M = ScalarJacobiPreconditioner().setup(A)
+        r = stationary_richardson(
+            A, b, M=M, omega=0.9, tol=1e-8, maxiter=20000,
+            watchdog=Watchdog(),
+        )
+        assert r.converged, r
+        assert r.watchdog["aborted"] is None
+
+    def test_no_watchdog_means_no_report(self):
+        A = laplacian_2d(8, 8)
+        r = cg(A, np.ones(A.n_rows), tol=1e-8)
+        assert r.watchdog is None
+
+    def test_audit_matvecs_not_in_iterations(self):
+        A = laplacian_2d(12, 12)
+        b = np.ones(A.n_rows)
+        plain = cg(A, b, tol=1e-10, maxiter=5000)
+        wd = Watchdog(audit_every=5)
+        audited = cg(A, b, tol=1e-10, maxiter=5000, watchdog=wd)
+        assert audited.watchdog["audit_matvecs"] > 0
+        # audits burn extra matvecs but must not inflate the iteration
+        # count the paper's tables are built on
+        assert audited.iterations <= plain.iterations + 1
+
+    def test_divergent_stationary_aborts_structured(self):
+        # Richardson on a convection-dominated operator diverges; the
+        # watchdog must stop it with a structured reason instead of
+        # letting it overflow for the full matvec budget
+        A = convection_diffusion_2d(12, 12, peclet=50.0)
+        b = np.ones(A.n_rows)
+        r = stationary_richardson(
+            A, b, maxiter=10000,
+            watchdog=Watchdog(audit_every=10, max_restarts=1),
+        )
+        assert not r.converged
+        assert r.breakdown == "watchdog_divergence"
+        assert r.iterations < 10000  # stopped early, not budget-burned
+        assert r.watchdog["aborted"] == "watchdog_divergence"
+
+    def test_restart_rebuilds_preconditioner(self):
+        A = fem_block_2d(8, 8, 3, seed=0)
+        b = np.ones(A.n_rows)
+        M = BlockJacobiPreconditioner(method="lu", max_block_size=8).setup(A)
+        rebuilds = []
+        orig_rebuild = M.rebuild
+
+        def counting_rebuild():
+            rebuilds.append(1)
+            return orig_rebuild()
+
+        wd = Watchdog(
+            audit_every=5, stagnation_window=10,
+            stagnation_improvement=1e-12,  # nothing improves this fast
+            max_restarts=1, rebuild=counting_rebuild,
+        )
+        r = idrs(A, b, s=4, M=M, tol=1e-12, maxiter=200, watchdog=wd)
+        assert rebuilds  # the restart went through the rebuild callback
+        assert r.watchdog["restarts"] >= 1

@@ -129,3 +129,34 @@ class TestBenchCommand:
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="unavailable backend"):
             main(["bench", "--quick", "--backends", "cuda"])
+
+
+class TestResilienceFlags:
+    def test_solve_with_fallback_chain(self, capsys):
+        rc = main(["solve", "fem_b8_s1", "--bound", "16",
+                   "--fallback-chain", "numpy,scipy"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "runtime[binned]" in out
+
+    def test_solve_with_watchdog(self, capsys):
+        rc = main(["solve", "fem_b8_s1", "--bound", "16", "--watchdog"])
+        assert rc == 0
+
+    def test_chaos_argument_parsing(self):
+        from repro.cli import _parse_chaos
+
+        assert _parse_chaos(None) is None
+        assert _parse_chaos(True) == 0
+        assert _parse_chaos("") == 0
+        assert _parse_chaos("seed=7") == 7
+        assert _parse_chaos("7") == 7
+        with pytest.raises(SystemExit):
+            _parse_chaos("seed=lots")
+
+    def test_verify_parser_accepts_chaos_forms(self):
+        p = build_parser()
+        assert p.parse_args(["verify", "--quick"]).chaos is None
+        assert p.parse_args(["verify", "--quick", "--chaos"]).chaos is True
+        args = p.parse_args(["verify", "--quick", "--chaos", "seed=3"])
+        assert args.chaos == "seed=3"

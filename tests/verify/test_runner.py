@@ -82,3 +82,18 @@ class TestCliVerify:
 
     def test_seed_changes_sweep_not_verdict(self):
         assert main(["verify", "--quick", "--seed", "7"]) == 0
+
+
+class TestChaosCheck:
+    def test_chaos_check_appended_and_passes(self):
+        report = run_verification(quick=True, chaos=True, chaos_seed=0)
+        assert report.passed, report.summary()
+        names = [c.name for c in report.checks]
+        assert names[-1] == "chaos"
+        chaos = report.checks[-1]
+        assert chaos.details["passed"] is True
+        assert len(chaos.details["scenarios"]) == 8
+
+    def test_chaos_off_by_default(self):
+        report = run_verification(quick=True)
+        assert "chaos" not in {c.name for c in report.checks}
