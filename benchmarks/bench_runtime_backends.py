@@ -4,8 +4,9 @@ The first performance baseline of the execution subsystem
 (``repro.runtime``): sweeps every available backend over the paper's
 SIZE and BATCH axes plus the adversarial batches, cross-checks them
 against the monolithic ``numpy`` reference, and persists both the JSON
-baseline (``results/BENCH_runtime.json``, quoted by EXPERIMENTS.md)
-and a human-readable table.
+baseline (``BENCH_runtime.json`` at the repo root - the same document
+``python -m repro bench`` writes, quoted by EXPERIMENTS.md) and a
+human-readable table.
 
 Expected shape: the ``binned`` backend's padded flop count drops
 strictly below the monolithic charge on every mixed-size batch (the
@@ -17,6 +18,7 @@ from the reference beyond rounding.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 from conftest import write_result
 from repro.bench.runtime_sweep import format_sweep_summary, run_backend_sweep
@@ -29,11 +31,10 @@ SEED = 0
 def test_runtime_backend_sweep(benchmark):
     report = run_backend_sweep(quick=False, seed=SEED)
 
-    # persist the JSON baseline next to the text tables
-    from conftest import RESULTS_DIR
-
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_runtime.json").write_text(
+    # persist the JSON baseline at the repo root - the same location
+    # (and schema) as ``python -m repro bench``
+    repo_root = Path(__file__).resolve().parents[1]
+    (repo_root / "BENCH_runtime.json").write_text(
         json.dumps(report, indent=2) + "\n"
     )
     write_result("runtime_backends.txt", format_sweep_summary(report))

@@ -24,6 +24,31 @@ from .series import BATCH_SWEEP, SIZE_SWEEP
 
 __all__ = ["run_backend_sweep", "format_sweep_summary"]
 
+#: version of the BENCH_runtime.json document layout; bump on any
+#: structural change so downstream comparisons can gate on it
+SCHEMA_VERSION = 2
+SCHEMA_NAME = "repro.bench.runtime_sweep"
+
+
+def _git_sha() -> str | None:
+    """Short commit hash of the working tree, None outside git / on
+    any failure (the bench document must never fail over provenance)."""
+    import os
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
 #: reference backend for the differential cross-check
 REFERENCE = "numpy"
 
@@ -189,21 +214,30 @@ def run_backend_sweep(
     for c in cases:
         for chk in c["checks"].values():
             worst = max(worst, chk["max_discrepancy_vs_numpy"])
-    return {
-        "meta": {
-            "harness": "repro bench (runtime backend sweep)",
-            "quick": quick,
-            "seed": seed,
-            "tol": tol,
-            "backends": backends,
-            "reference": REFERENCE,
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "cases": cases,
-        "max_discrepancy": worst,
-        "passed": passed,
-    }
+    from ..telemetry import metrics_snapshot, to_native
+
+    # the metadata block is deliberately timestamp-free: two runs of
+    # the same tree on the same machine produce diffable documents
+    return to_native(
+        {
+            "schema": {"name": SCHEMA_NAME, "version": SCHEMA_VERSION},
+            "meta": {
+                "harness": "repro bench (runtime backend sweep)",
+                "quick": quick,
+                "seed": seed,
+                "tol": tol,
+                "backends": backends,
+                "reference": REFERENCE,
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "git_sha": _git_sha(),
+            },
+            "cases": cases,
+            "max_discrepancy": worst,
+            "passed": passed,
+            "metrics": metrics_snapshot(),
+        }
+    )
 
 
 def format_sweep_summary(report: dict) -> str:

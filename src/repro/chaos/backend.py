@@ -24,6 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..runtime.backends import Backend
+from ..telemetry.metrics import get_metrics
+from ..telemetry.tracer import get_tracer
 from .faults import FaultEvent, InjectedFault, Injector
 
 __all__ = ["ChaosBackend"]
@@ -66,6 +68,16 @@ class ChaosBackend(Backend):
     def _record(self, fired: list[FaultEvent]) -> None:
         self.events.extend(fired)
         self.last_faults = tuple(fired)
+        if fired:
+            counter = get_metrics().counter(
+                "repro_chaos_faults_total",
+                "Injected faults by injector",
+            )
+            tr = get_tracer()
+            for ev in fired:
+                counter.inc(injector=ev.injector)
+                if tr.enabled:
+                    tr.event("chaos.fault", **ev.to_dict())
 
     def factorize(self, plan, method="lu", on_singular=None):
         self.calls += 1

@@ -63,12 +63,16 @@ class ChaosScenarioResult:
     seconds: float = 0.0
 
     def to_dict(self) -> dict:
-        return {
-            "name": self.name,
-            "passed": self.passed,
-            "detail": dict(self.detail),
-            "seconds": self.seconds,
-        }
+        from ..telemetry.serialize import to_native
+
+        return to_native(
+            {
+                "name": self.name,
+                "passed": self.passed,
+                "detail": dict(self.detail),
+                "seconds": self.seconds,
+            }
+        )
 
 
 @dataclass
@@ -87,12 +91,16 @@ class ChaosReport:
         return [s for s in self.scenarios if not s.passed]
 
     def to_dict(self) -> dict:
-        return {
-            "seed": self.seed,
-            "baseline_berr": self.baseline_berr,
-            "passed": self.passed,
-            "scenarios": [s.to_dict() for s in self.scenarios],
-        }
+        from ..telemetry.serialize import to_native
+
+        return to_native(
+            {
+                "seed": self.seed,
+                "baseline_berr": self.baseline_berr,
+                "passed": self.passed,
+                "scenarios": [s.to_dict() for s in self.scenarios],
+            }
+        )
 
     def summary(self) -> str:
         lines = [

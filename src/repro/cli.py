@@ -19,6 +19,18 @@ Gives downstream users the paper's workflows without writing code:
     Sweep the runtime backends (numpy/binned/scipy/threads) over the
     SIZE/BATCH axes, cross-check them against each other, and write
     ``BENCH_runtime.json``; exits nonzero on backend divergence.
+``python -m repro solve fem_b4_s0 --trace out.trace.json --metrics``
+    Any of ``solve``/``verify``/``bench`` accepts ``--trace PATH``
+    (record a hierarchical span trace, written as Chrome/Perfetto
+    trace-event JSON) and ``--metrics`` (print the metrics-registry
+    snapshot after the run).
+``python -m repro trace-summary out.trace.json --check``
+    Fold an exported trace back into the paper's Fig. 9 cost
+    decomposition (setup vs apply vs solver); ``--check`` validates
+    the trace invariants and exits nonzero on any violation.
+``python -m repro telemetry-overhead --threshold 0.02``
+    Measure the overhead of the *disabled* telemetry path against the
+    bare pre-instrumentation timer; exits nonzero above the threshold.
 """
 
 from __future__ import annotations
@@ -61,7 +73,51 @@ def _load_problem(args):
     return load_matrix(args.matrix)
 
 
+def _add_telemetry_args(parser) -> None:
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a hierarchical span trace of the "
+                        "run and write it to PATH as Chrome/Perfetto "
+                        "trace-event JSON")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics-registry snapshot "
+                        "(JSON) after the run")
+
+
+def _with_telemetry(args, run) -> int:
+    """Run a command body under the ``--trace``/``--metrics`` flags."""
+    import json
+
+    from .telemetry import (
+        Tracer,
+        metrics_snapshot,
+        set_tracer,
+        write_chrome_trace,
+    )
+
+    tracer = Tracer() if args.trace else None
+    if tracer is not None:
+        set_tracer(tracer)
+    try:
+        code = run()
+    finally:
+        if tracer is not None:
+            set_tracer(None)
+    if tracer is not None:
+        doc = write_chrome_trace(tracer, args.trace)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(doc['traceEvents'])} event(s))"
+        )
+    if args.metrics:
+        print(json.dumps(metrics_snapshot(), indent=2))
+    return code
+
+
 def _cmd_solve(args) -> int:
+    return _with_telemetry(args, lambda: _run_solve(args))
+
+
+def _run_solve(args) -> int:
     from .precond import (
         BlockJacobiPreconditioner,
         IdentityPreconditioner,
@@ -176,6 +232,10 @@ def _parse_chaos(value) -> int | None:
 
 
 def _cmd_verify(args) -> int:
+    return _with_telemetry(args, lambda: _run_verify(args))
+
+
+def _run_verify(args) -> int:
     import json
 
     from .verify import run_verification
@@ -201,6 +261,23 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    return _with_telemetry(args, lambda: _run_bench(args))
+
+
+def _default_bench_out() -> str:
+    """Repo-root ``BENCH_runtime.json``: walk up from the CWD to the
+    nearest ``pyproject.toml`` so the CLI and the benchmark harness
+    write the same file regardless of the invocation directory."""
+    from pathlib import Path
+
+    cwd = Path.cwd()
+    for p in (cwd, *cwd.parents):
+        if (p / "pyproject.toml").exists():
+            return str(p / "BENCH_runtime.json")
+    return str(cwd / "BENCH_runtime.json")
+
+
+def _run_bench(args) -> int:
     import json
 
     from .bench.runtime_sweep import format_sweep_summary, run_backend_sweep
@@ -213,15 +290,62 @@ def _cmd_bench(args) -> int:
     report = run_backend_sweep(
         backends=backends, quick=args.quick, seed=args.seed, tol=args.tol
     )
+    out = args.out or _default_bench_out()
     payload = json.dumps(report, indent=2)
-    if args.out == "-":
+    if out == "-":
         print(payload)
     else:
-        with open(args.out, "w") as fh:
+        with open(out, "w") as fh:
             fh.write(payload + "\n")
         print(format_sweep_summary(report))
-        print(f"report written to {args.out}")
+        print(f"report written to {out}")
     return 0 if report["passed"] else 1
+
+
+def _cmd_trace_summary(args) -> int:
+    from .telemetry import (
+        format_trace_summary,
+        load_trace,
+        validate_chrome_trace,
+    )
+
+    doc = load_trace(args.path)
+    print(format_trace_summary(doc, args.path))
+    if args.check:
+        problems = validate_chrome_trace(doc)
+        if problems:
+            print(f"\ntrace INVALID ({len(problems)} problem(s)):")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print("\ntrace OK")
+    return 0
+
+
+def _cmd_telemetry_overhead(args) -> int:
+    from .telemetry import measure_disabled_overhead
+
+    result = measure_disabled_overhead(
+        repeats=args.repeats,
+        nb=args.nb,
+        solves=args.solves,
+        backend=args.backend,
+    )
+    print(
+        f"disabled-telemetry overhead on {result['backend']} "
+        f"(nb={result['nb']}, {result['repeats']} repeats): "
+        f"instrumented {result['instrumented_seconds'] * 1e3:.3f} ms, "
+        f"bare {result['bare_seconds'] * 1e3:.3f} ms, "
+        f"overhead {result['overhead'] * 100:+.2f}%"
+    )
+    if result["overhead_clamped"] > args.threshold:
+        print(
+            f"FAIL: overhead exceeds threshold "
+            f"{args.threshold * 100:.1f}%"
+        )
+        return 1
+    print(f"OK: within threshold {args.threshold * 100:.1f}%")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -267,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run the solve under the watchdog "
                     "(true-residual audits, stagnation/divergence "
                     "restarts with preconditioner rebuild)")
+    _add_telemetry_args(pv)
     pv.set_defaults(fn=_cmd_solve)
 
     pp = sub.add_parser("project", help="P100 GFLOPS projection")
@@ -301,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also run the deterministic chaos sweep "
                     "(fault injection against the resilient runtime); "
                     "exit 1 on any silent-corruption escape")
+    _add_telemetry_args(pf)
     pf.set_defaults(fn=_cmd_verify)
 
     pbn = sub.add_parser(
@@ -312,13 +438,42 @@ def build_parser() -> argparse.ArgumentParser:
     pbn.add_argument("--backends",
                      help="comma-separated backend names "
                      "(default: all available)")
-    pbn.add_argument("--out", default="BENCH_runtime.json",
+    pbn.add_argument("--out", default=None,
                      help="output JSON path ('-' for stdout; default: "
-                     "BENCH_runtime.json)")
+                     "BENCH_runtime.json at the repo root)")
     pbn.add_argument("--seed", type=int, default=0)
     pbn.add_argument("--tol", type=float, default=1e-9,
                      help="cross-check divergence tolerance")
+    _add_telemetry_args(pbn)
     pbn.set_defaults(fn=_cmd_bench)
+
+    pts = sub.add_parser(
+        "trace-summary",
+        help="summarize an exported trace (Fig. 9 setup/apply split)",
+    )
+    pts.add_argument("path",
+                     help="Chrome trace-event JSON written by --trace")
+    pts.add_argument("--check", action="store_true",
+                     help="validate the trace invariants (complete X "
+                     "events, monotone timestamps, resolvable parents); "
+                     "exit 1 on any problem")
+    pts.set_defaults(fn=_cmd_trace_summary)
+
+    pto = sub.add_parser(
+        "telemetry-overhead",
+        help="measure the disabled-telemetry overhead (CI gate)",
+    )
+    pto.add_argument("--threshold", type=float, default=0.02,
+                     help="maximum tolerated relative overhead of the "
+                     "disabled path (default: 0.02 = 2%%)")
+    pto.add_argument("--repeats", type=int, default=9)
+    pto.add_argument("--nb", type=int, default=512,
+                     help="batch size of the measured workload")
+    pto.add_argument("--solves", type=int, default=4,
+                     help="batched solves per factorization")
+    pto.add_argument("--backend", default="binned",
+                     choices=["numpy", "binned", "scipy", "threads"])
+    pto.set_defaults(fn=_cmd_telemetry_overhead)
     return p
 
 

@@ -79,6 +79,7 @@ from ..core.degradation import (
 )
 from ..runtime import BatchRuntime
 from ..sparse.csr import CsrMatrix
+from ..telemetry.tracer import get_tracer
 from .base import Preconditioner
 from .report import SetupReport
 
@@ -242,22 +243,45 @@ class BlockJacobiPreconditioner(Preconditioner):
         return sizes
 
     def setup(self, matrix: CsrMatrix) -> "BlockJacobiPreconditioner":
+        tr = get_tracer()
+        if not tr.enabled:
+            return self._setup_inner(matrix, tr)
+        with tr.span(
+            "precond.setup",
+            cat="precond",
+            method=self.method,
+            n=matrix.n_rows,
+        ) as span:
+            out = self._setup_inner(matrix, tr)
+            span.set(
+                nb=int(self.block_sizes.size),
+                effective_method=self._effective_method,
+            )
+            return out
+
+    def _setup_inner(
+        self, matrix: CsrMatrix, tr
+    ) -> "BlockJacobiPreconditioner":
         t0 = time.perf_counter()
         if matrix.n_rows != matrix.n_cols:
             raise ValueError("block-Jacobi needs a square matrix")
         self._matrix = matrix  # kept for rebuild()
         self._n = matrix.n_rows
-        if self._explicit_sizes is not None:
-            sizes = self._validated_explicit_sizes(self._n)
-        else:
-            sizes = supervariable_blocking(matrix, self.max_block_size)
+        with tr.span("precond.setup.blocking", cat="precond"):
+            if self._explicit_sizes is not None:
+                sizes = self._validated_explicit_sizes(self._n)
+            else:
+                sizes = supervariable_blocking(matrix, self.max_block_size)
         self.block_sizes = sizes
-        blocks = extract_blocks(matrix, sizes, dtype=self.dtype)
+        with tr.span("precond.setup.extract", cat="precond"):
+            blocks = extract_blocks(matrix, sizes, dtype=self.dtype)
         anorm1 = self._block_1norms(blocks)
-        self._factorize(blocks)
+        with tr.span("precond.setup.factorize", cat="precond"):
+            self._factorize(blocks)
         self._build_index_maps(blocks)
         if self.estimate_condition:
-            cond = self._estimate_conditions(anorm1)
+            with tr.span("precond.setup.estimate", cat="precond"):
+                cond = self._estimate_conditions(anorm1)
         else:
             cond = None
         self.report.condition_estimates = cond
@@ -449,6 +473,13 @@ class BlockJacobiPreconditioner(Preconditioner):
 
     def apply(self, x: np.ndarray) -> np.ndarray:
         """``y = M^{-1} x``: one batched solve over all diagonal blocks."""
+        tr = get_tracer()
+        if not tr.enabled:
+            return self._apply_inner(x)
+        with tr.span("precond.apply", cat="precond", method=self.method):
+            return self._apply_inner(x)
+
+    def _apply_inner(self, x: np.ndarray) -> np.ndarray:
         if self._factor is None:
             raise RuntimeError("setup() must be called before apply()")
         x = np.asarray(x)

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.degradation import ACTION_IDENTITY, ACTION_SCALAR, ACTION_SHIFT
 from ..runtime.stats import RuntimeReport
+from ..telemetry.serialize import to_native
 
 __all__ = ["SetupReport"]
 
@@ -145,6 +146,37 @@ class SetupReport:
             np.isfinite(self.condition_estimates)
         ]
         return float(finite.max()) if finite.size else float("nan")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict of the whole report (native Python types;
+        condition estimates keep NaN as ``None``)."""
+        return to_native(
+            {
+                "method": self.method,
+                "effective_method": self.effective_method,
+                "on_singular": self.on_singular,
+                "n_blocks": self.n_blocks,
+                "block_sizes": self.block_sizes,
+                "info": self.info,
+                "action": self.action,
+                "shift": self.shift,
+                "n_singular": self.n_singular,
+                "n_fallbacks": self.n_fallbacks,
+                "n_identity": self.n_identity,
+                "n_scalar": self.n_scalar,
+                "n_shift": self.n_shift,
+                "clean": self.clean,
+                "cholesky_lu_fallback": self.cholesky_lu_fallback,
+                "n_nonspd": self.n_nonspd,
+                "condition_estimates": self.condition_estimates,
+                "max_condition": self.max_condition,
+                "setup_seconds": self.setup_seconds,
+                "degraded_execution": self.degraded_execution,
+                "runtime": (
+                    None if self.runtime is None else self.runtime.to_dict()
+                ),
+            }
+        )
 
     def summary(self) -> str:
         """Multi-line human-readable setup summary (CLI output)."""

@@ -55,6 +55,7 @@ from ..core.degradation import (
     SingularBlockError,
     substitute_singular_blocks,
 )
+from ..telemetry.tracer import get_tracer
 from .planner import ExecutionPlan
 from .stats import BinStats
 
@@ -231,9 +232,25 @@ def _factor_bins(
     per_bin_policy = (
         None if on_singular in (None, "raise") else on_singular
     )
-    facs = run(
-        lambda bin_plan: factor(bin_plan.batch, per_bin_policy, True), plan
-    )
+
+    def bin_kernel(bin_plan):
+        return factor(bin_plan.batch, per_bin_policy, True)
+
+    tr = get_tracer()
+    if tr.enabled:
+        raw_kernel = bin_kernel
+
+        def bin_kernel(bin_plan):  # noqa: F811 - traced variant
+            with tr.span(
+                f"factorize.bin[tile={bin_plan.tile}]",
+                cat="runtime",
+                tile=bin_plan.tile,
+                nb=bin_plan.nb,
+                method=method,
+            ):
+                return raw_kernel(bin_plan)
+
+    facs = run(bin_kernel, plan)
     info = plan.scatter_per_block([f.info for f in facs])
     if on_singular == "raise" and np.any(info):
         failed = np.nonzero(info)[0]

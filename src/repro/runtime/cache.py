@@ -31,8 +31,17 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..core.batch import BatchedMatrices
+from ..telemetry.metrics import get_metrics
 
 __all__ = ["CacheStats", "FactorizationCache", "batch_fingerprint"]
+
+
+def _count(event: str, n: int = 1) -> None:
+    if n:
+        get_metrics().counter(
+            "repro_cache_events_total",
+            "Factorization-cache events by kind",
+        ).inc(n, event=event)
 
 
 def batch_fingerprint(
@@ -135,14 +144,17 @@ class FactorizationCache:
                 value = self._entries[key]
             except KeyError:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return value
+                value = None
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        _count("hit" if value is not None else "miss")
+        return value
 
     def put(self, key: str, value: Any) -> None:
         """Insert (or refresh) a handle, evicting LRU entries beyond
         capacity."""
+        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -150,6 +162,9 @@ class FactorizationCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        _count("insert")
+        _count("eviction", evicted)
 
     def invalidate(self, key: str | None = None) -> int:
         """Drop one entry (``key``) or everything (``None``).
@@ -164,7 +179,8 @@ class FactorizationCache:
             else:
                 n = 1 if self._entries.pop(key, None) is not None else 0
             self._invalidations += n
-            return n
+        _count("invalidation", n)
+        return n
 
     def evict_poisoned(self, key: str) -> bool:
         """Drop an entry that failed validation on hit.
@@ -176,7 +192,8 @@ class FactorizationCache:
             present = self._entries.pop(key, None) is not None
             if present:
                 self._poisoned += 1
-            return present
+        _count("poisoned", int(present))
+        return present
 
     def keys(self) -> list[str]:
         """Current keys, LRU-first (a snapshot, not a live view)."""

@@ -65,9 +65,28 @@ from .resilience import (
     single_bin_plan,
     spot_check_factorization,
 )
+from ..telemetry.metrics import get_metrics
+from ..telemetry.tracer import get_tracer
 from .stats import RuntimeReport
 
 __all__ = ["BatchRuntime", "RuntimeFactorization"]
+
+
+def _note_fallback(report: RuntimeReport, event: dict) -> None:
+    """Record a resilience deviation on the report, the metrics
+    registry, and (when tracing) the event stream - one call site per
+    deviation keeps the three views consistent."""
+    report.fallback_events.append(event)
+    get_metrics().counter(
+        "repro_fallback_events_total",
+        "Resilient-executor deviations by stage and backend",
+    ).inc(
+        stage=str(event.get("stage", "?")),
+        backend=str(event.get("backend", "?")),
+    )
+    tr = get_tracer()
+    if tr.enabled:
+        tr.event("runtime.fallback", **event)
 
 
 @dataclass
@@ -152,13 +171,14 @@ class RuntimeFactorization:
         if out is None:
             out = self._reference_solve(rhs)
             self.report.solve_fallbacks += 1
-            self.report.fallback_events.append(
+            _note_fallback(
+                self.report,
                 {
                     "stage": "solve",
                     "backend": self.backend.name,
                     "error": repr(err),
                     "action": "reference_solve",
-                }
+                },
             )
         return out
 
@@ -361,6 +381,31 @@ class BatchRuntime:
             nb=batch.nb,
             source_tile=batch.tile,
         )
+        tr = get_tracer()
+        top = (
+            tr.begin(
+                "runtime.factorize",
+                cat="runtime",
+                backend=self.backend.name,
+                method=method,
+                nb=batch.nb,
+                tile=batch.tile,
+            )
+            if tr.enabled
+            else None
+        )
+        try:
+            handle = self._factorize_inner(
+                batch, method, on_singular, use_cache, report, top
+            )
+        finally:
+            if top is not None:
+                tr.end(top)
+        return handle
+
+    def _factorize_inner(
+        self, batch, method, on_singular, use_cache, report, top
+    ) -> RuntimeFactorization:
         timer = report.timer()
         key = None
         if self.cache is not None and use_cache:
@@ -374,11 +419,15 @@ class BatchRuntime:
                     report.cache_hit = True
                     report.bins = list(cached.report.bins)
                     report.backend_used = cached.report.backend_used
+                    if top is not None:
+                        top.set(cache_hit=True)
                     self.last_report = report
                     return cached
                 self.cache.evict_poisoned(key)
                 report.cache_poisoned = True
             report.cache_hit = False
+            if top is not None:
+                top.set(cache_hit=False)
         with timer.stage("plan"):
             plan = plan_batch(batch, bins=self.bins, tight=self.tight)
         with timer.stage("factor"):
@@ -396,6 +445,14 @@ class BatchRuntime:
             if producer is not self.backend:
                 for b in report.bins:
                     b.fallback = True
+        if report.padded_flops:
+            get_metrics().gauge(
+                "repro_padding_waste_ratio",
+                "Padded-over-useful flop waste of the last factorization",
+            ).set(
+                report.padding_waste / report.padded_flops,
+                backend=self.backend.name,
+            )
         if self.resilient:
             report.breakers = self._breakers.snapshot()
         handle = RuntimeFactorization(
@@ -453,25 +510,27 @@ class BatchRuntime:
         chain = [self.backend] + self._fallbacks
         for position, backend in enumerate(chain):
             if backend.name == "scipy" and method != "lu":
-                report.fallback_events.append(
+                _note_fallback(
+                    report,
                     {
                         "stage": "factorize",
                         "backend": backend.name,
                         "error": "method_unsupported",
                         "skipped": True,
-                    }
+                    },
                 )
                 continue
             breaker = self._breakers.breaker(backend.name)
             if not breaker.allow():
                 tainted = True
-                report.fallback_events.append(
+                _note_fallback(
+                    report,
                     {
                         "stage": "factorize",
                         "backend": backend.name,
                         "error": "circuit_open",
                         "skipped": True,
-                    }
+                    },
                 )
                 continue
             try:
@@ -486,12 +545,13 @@ class BatchRuntime:
                 breaker.record_failure()
                 tainted = True
                 last_err = err
-                report.fallback_events.append(
+                _note_fallback(
+                    report,
                     {
                         "stage": "factorize",
                         "backend": backend.name,
                         "error": repr(err),
-                    }
+                    },
                 )
                 if position == 0 and self.quarantine and plan.bins:
                     out = self._quarantine_execute(
@@ -510,13 +570,14 @@ class BatchRuntime:
                 if bad.any():
                     breaker.record_failure()
                     tainted = True
-                    report.fallback_events.append(
+                    _note_fallback(
+                        report,
                         {
                             "stage": "factorize",
                             "backend": backend.name,
                             "error": "corrupted_factors",
                             "blocks": np.nonzero(bad)[0].tolist(),
-                        }
+                        },
                     )
                     if position == 0 and self.quarantine and plan.bins:
                         out = self._quarantine_execute(
@@ -603,7 +664,12 @@ class BatchRuntime:
                 quarantined = True
                 backend_for_bin: Backend = self._reference
                 report.quarantined_bins.append(bi)
-                report.fallback_events.append(
+                get_metrics().counter(
+                    "repro_quarantined_bins_total",
+                    "Size bins retried on the reference backend",
+                ).inc(backend=primary.name)
+                _note_fallback(
+                    report,
                     {
                         "stage": "factorize",
                         "backend": primary.name,
@@ -611,7 +677,7 @@ class BatchRuntime:
                         "tile": b.tile,
                         "error": "; ".join(errors) or "unknown",
                         "action": "quarantined_to_numpy",
-                    }
+                    },
                 )
             else:
                 backend_for_bin = primary

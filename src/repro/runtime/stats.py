@@ -15,6 +15,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..telemetry.metrics import get_metrics
+from ..telemetry.serialize import to_native
+from ..telemetry.tracer import get_tracer
+
 __all__ = ["BinStats", "RuntimeReport", "StageTimer"]
 
 
@@ -47,17 +51,19 @@ class BinStats:
         )
 
     def to_dict(self) -> dict:
-        return {
-            "nominal_tile": self.nominal_tile,
-            "tile": self.tile,
-            "nb": self.nb,
-            "useful_flops": self.useful_flops,
-            "padded_flops": self.padded_flops,
-            "waste_flops": self.waste_flops,
-            "waste_fraction": self.waste_fraction,
-            "fallback": self.fallback,
-            "quarantined": self.quarantined,
-        }
+        return to_native(
+            {
+                "nominal_tile": self.nominal_tile,
+                "tile": self.tile,
+                "nb": self.nb,
+                "useful_flops": self.useful_flops,
+                "padded_flops": self.padded_flops,
+                "waste_flops": self.waste_flops,
+                "waste_fraction": self.waste_fraction,
+                "fallback": self.fallback,
+                "quarantined": self.quarantined,
+            }
+        )
 
 
 class StageTimer:
@@ -65,27 +71,50 @@ class StageTimer:
 
     Re-entering a stage accumulates (the solve stage runs once per
     ``solve`` call against the same handle).
+
+    The timer is a thin adapter over the telemetry span tracer: when
+    the global tracer is enabled, each stage additionally opens a
+    ``<prefix>.<name>`` span (default ``runtime.factor`` etc.) and
+    feeds the per-stage latency histogram.  With the null tracer the
+    only extra cost is one attribute check per stage, and the
+    ``seconds`` dict accumulation is byte-for-byte the pre-telemetry
+    behavior - including on exceptions raised inside the stage.
     """
 
-    def __init__(self, seconds: dict[str, float]):
+    def __init__(self, seconds: dict[str, float], prefix: str = "runtime"):
         self._seconds = seconds
+        self._prefix = prefix
 
     def stage(self, name: str) -> "_StageContext":
-        return _StageContext(self._seconds, name)
+        return _StageContext(self._seconds, name, self._prefix)
 
 
 class _StageContext:
-    def __init__(self, seconds: dict[str, float], name: str):
+    def __init__(self, seconds: dict[str, float], name: str, prefix: str):
         self._seconds = seconds
         self._name = name
+        self._prefix = prefix
+        self._span = None
 
     def __enter__(self):
+        tr = get_tracer()
+        if tr.enabled:
+            self._span = tr.begin(
+                f"{self._prefix}.{self._name}", cat="runtime"
+            )
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc):
         dt = time.perf_counter() - self._t0
         self._seconds[self._name] = self._seconds.get(self._name, 0.0) + dt
+        if self._span is not None:
+            get_tracer().end(self._span, error=exc[0] is not None)
+            self._span = None
+        get_metrics().histogram(
+            "repro_stage_seconds",
+            "Wall seconds per runtime stage",
+        ).observe(dt, stage=self._name)
         return False
 
 
@@ -181,28 +210,30 @@ class RuntimeReport:
         return float(sum(self.stage_seconds.values()))
 
     def to_dict(self) -> dict:
-        return {
-            "backend": self.backend,
-            "method": self.method,
-            "nb": self.nb,
-            "source_tile": self.source_tile,
-            "bins": [b.to_dict() for b in self.bins],
-            "stage_seconds": dict(self.stage_seconds),
-            "cache_hit": self.cache_hit,
-            "useful_flops": self.useful_flops,
-            "padded_flops": self.padded_flops,
-            "padding_waste": self.padding_waste,
-            "monolithic_padded_flops": self.monolithic_padded_flops,
-            "flops_saved": self.flops_saved,
-            "solves": self.solves,
-            "solve_seconds": float(self.stage_seconds.get("solve", 0.0)),
-            "backend_used": self.backend_used,
-            "fallback_events": [dict(e) for e in self.fallback_events],
-            "quarantined_bins": list(self.quarantined_bins),
-            "solve_fallbacks": self.solve_fallbacks,
-            "cache_poisoned": self.cache_poisoned,
-            "breakers": self.breakers,
-        }
+        return to_native(
+            {
+                "backend": self.backend,
+                "method": self.method,
+                "nb": self.nb,
+                "source_tile": self.source_tile,
+                "bins": [b.to_dict() for b in self.bins],
+                "stage_seconds": dict(self.stage_seconds),
+                "cache_hit": self.cache_hit,
+                "useful_flops": self.useful_flops,
+                "padded_flops": self.padded_flops,
+                "padding_waste": self.padding_waste,
+                "monolithic_padded_flops": self.monolithic_padded_flops,
+                "flops_saved": self.flops_saved,
+                "solves": self.solves,
+                "solve_seconds": float(self.stage_seconds.get("solve", 0.0)),
+                "backend_used": self.backend_used,
+                "fallback_events": [dict(e) for e in self.fallback_events],
+                "quarantined_bins": list(self.quarantined_bins),
+                "solve_fallbacks": self.solve_fallbacks,
+                "cache_poisoned": self.cache_poisoned,
+                "breakers": self.breakers,
+            }
+        )
 
     def summary(self) -> str:
         """Human-readable one-call summary (CLI / example output)."""

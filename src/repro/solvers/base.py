@@ -6,10 +6,97 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from collections import deque
+
 from ..precond.base import IdentityPreconditioner, Preconditioner
 from ..sparse.csr import CsrMatrix
+from ..telemetry.tracer import get_tracer
 
-__all__ = ["SolveResult", "as_operator", "resolve_preconditioner", "safe_norm"]
+__all__ = [
+    "HistoryRecorder",
+    "SolveResult",
+    "as_operator",
+    "resolve_preconditioner",
+    "safe_norm",
+    "traced_solve",
+]
+
+
+def traced_solve(name: str, attrs: dict, impl):
+    """Run ``impl()`` (returning a :class:`SolveResult`) under a
+    ``solver.<name>`` span when the global tracer is enabled.
+
+    The span records the requested tolerance/budget up front and the
+    outcome (converged, iterations, breakdown) on close; with the null
+    tracer the only cost is one attribute check.  Solve counts and
+    iteration totals go to the (always-on) metrics registry either way
+    - once per solve, never per iteration.
+    """
+    from ..telemetry.metrics import get_metrics
+
+    tr = get_tracer()
+    if not tr.enabled:
+        result = impl()
+    else:
+        with tr.span(f"solver.{name}", cat="solver", **attrs) as span:
+            result = impl()
+            span.set(
+                converged=result.converged,
+                iterations=result.iterations,
+                breakdown=result.breakdown,
+            )
+    m = get_metrics()
+    m.counter("repro_solves_total", "Iterative solves by solver/outcome").inc(
+        solver=name,
+        converged="true" if result.converged else "false",
+    )
+    m.counter(
+        "repro_solver_iterations_total",
+        "Matrix-vector products spent, by solver",
+    ).inc(result.iterations, solver=name)
+    return result
+
+
+class HistoryRecorder:
+    """Bounded residual-history collection for ``SolveResult.history``.
+
+    The historical behaviour (``stride=1``, ``cap=None``) records every
+    appended norm; long runs with small tolerances can accumulate
+    thousands of floats per solve.  ``stride=k`` keeps every k-th
+    sample (the first is always kept), ``cap=n`` keeps only the *last*
+    ``n`` recorded samples so the convergence tail - the part the
+    breakdown diagnostics care about - survives the bound.
+    """
+
+    def __init__(
+        self,
+        record: bool = True,
+        stride: int = 1,
+        cap: int | None = None,
+    ):
+        if stride < 1:
+            raise ValueError(f"history_stride must be >= 1, got {stride}")
+        if cap is not None and cap < 1:
+            raise ValueError(f"history_cap must be >= 1, got {cap}")
+        self.record = bool(record)
+        self.stride = int(stride)
+        self._n = 0
+        self._values: deque | list
+        if cap is None:
+            self._values = []
+        else:
+            self._values = deque(maxlen=int(cap))
+
+    def append(self, value: float) -> None:
+        if not self.record:
+            return
+        if self._n % self.stride == 0:
+            self._values.append(float(value))
+        self._n += 1
+
+    @property
+    def history(self) -> list[float]:
+        return list(self._values)
 
 
 @dataclass

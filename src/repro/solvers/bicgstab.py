@@ -13,7 +13,15 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from ..telemetry.tracer import get_tracer
+from .base import (
+    HistoryRecorder,
+    SolveResult,
+    as_operator,
+    resolve_preconditioner,
+    safe_norm,
+    traced_solve,
+)
 from .watchdog import Watchdog
 
 __all__ = ["bicgstab"]
@@ -27,6 +35,8 @@ def bicgstab(
     maxiter: int = 10000,
     x0: np.ndarray | None = None,
     record_history: bool = False,
+    history_stride: int = 1,
+    history_cap: int | None = None,
     watchdog: Watchdog | None = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with right-preconditioned BiCGSTAB.
@@ -35,7 +45,23 @@ def bicgstab(
     for comparability with :func:`repro.solvers.idr.idrs`.
     ``watchdog`` enables periodic true-residual audits with
     resync/restart recovery (see :mod:`repro.solvers.watchdog`).
+    ``history_stride``/``history_cap`` bound the recorded residual
+    history (see :class:`~repro.solvers.base.HistoryRecorder`).
     """
+    return traced_solve(
+        "bicgstab",
+        {"tol": tol, "maxiter": maxiter},
+        lambda: _bicgstab_impl(
+            A, b, M, tol, maxiter, x0, record_history, history_stride,
+            history_cap, watchdog,
+        ),
+    )
+
+
+def _bicgstab_impl(
+    A, b, M, tol, maxiter, x0, record_history, history_stride,
+    history_cap, watchdog,
+) -> SolveResult:
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
@@ -47,7 +73,9 @@ def bicgstab(
     r = b - matvec(x) if x.any() else b.copy()
     normb = np.linalg.norm(b)
     target = tol * (normb if normb > 0 else 1.0)
-    history = [float(np.linalg.norm(r))] if record_history else []
+    hist = HistoryRecorder(record_history, history_stride, history_cap)
+    hist.append(float(np.linalg.norm(r)))
+    tr = get_tracer()
 
     r_hat = r.copy()
     rho_old = alpha = om = 1.0
@@ -80,14 +108,12 @@ def bicgstab(
         if not np.isfinite(snorm):
             breakdown = "nonfinite_residual"
             resnorm = snorm
-            if record_history:
-                history.append(resnorm)
+            hist.append(resnorm)
             break
         if snorm <= target:
             x = x + alpha * phat
             resnorm = snorm
-            if record_history:
-                history.append(resnorm)
+            hist.append(resnorm)
             break
         shat = M.apply(s_vec)
         t = matvec(shat)
@@ -102,8 +128,14 @@ def bicgstab(
         r = s_vec - om * t
         rho_old = rho
         resnorm = safe_norm(r)
-        if record_history:
-            history.append(resnorm)
+        hist.append(resnorm)
+        if tr.enabled:
+            tr.event(
+                "solver.iteration",
+                solver="bicgstab",
+                i=iters,
+                resnorm=resnorm,
+            )
         if not np.isfinite(resnorm):
             breakdown = "nonfinite_residual"
             break
@@ -144,7 +176,7 @@ def bicgstab(
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
-        history=history,
+        history=hist.history,
         breakdown=breakdown,
         watchdog=wd.report() if wd is not None else None,
     )

@@ -12,7 +12,15 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from ..telemetry.tracer import get_tracer
+from .base import (
+    HistoryRecorder,
+    SolveResult,
+    as_operator,
+    resolve_preconditioner,
+    safe_norm,
+    traced_solve,
+)
 from .watchdog import Watchdog
 
 __all__ = ["cg"]
@@ -26,6 +34,8 @@ def cg(
     maxiter: int = 10000,
     x0: np.ndarray | None = None,
     record_history: bool = False,
+    history_stride: int = 1,
+    history_cap: int | None = None,
     watchdog: Watchdog | None = None,
 ) -> SolveResult:
     """Solve SPD ``A x = b`` with preconditioned CG.
@@ -33,8 +43,24 @@ def cg(
     The preconditioner must be SPD as well (block-Jacobi with Cholesky
     or LU factors of SPD blocks qualifies).  ``watchdog`` enables
     periodic true-residual audits with resync/restart recovery (see
-    :mod:`repro.solvers.watchdog`).
+    :mod:`repro.solvers.watchdog`).  ``history_stride``/``history_cap``
+    bound the recorded residual history (see
+    :class:`~repro.solvers.base.HistoryRecorder`).
     """
+    return traced_solve(
+        "cg",
+        {"tol": tol, "maxiter": maxiter},
+        lambda: _cg_impl(
+            A, b, M, tol, maxiter, x0, record_history, history_stride,
+            history_cap, watchdog,
+        ),
+    )
+
+
+def _cg_impl(
+    A, b, M, tol, maxiter, x0, record_history, history_stride,
+    history_cap, watchdog,
+) -> SolveResult:
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
@@ -46,7 +72,9 @@ def cg(
     r = b - matvec(x) if x.any() else b.copy()
     normb = np.linalg.norm(b)
     target = tol * (normb if normb > 0 else 1.0)
-    history = [float(np.linalg.norm(r))] if record_history else []
+    hist = HistoryRecorder(record_history, history_stride, history_cap)
+    hist.append(float(np.linalg.norm(r)))
+    tr = get_tracer()
 
     z = M.apply(r)
     p = z.copy()
@@ -71,8 +99,11 @@ def cg(
         x = x + alpha * p
         r = r - alpha * Ap
         resnorm = safe_norm(r)
-        if record_history:
-            history.append(resnorm)
+        hist.append(resnorm)
+        if tr.enabled:
+            tr.event(
+                "solver.iteration", solver="cg", i=iters, resnorm=resnorm
+            )
         if not np.isfinite(resnorm):
             breakdown = "nonfinite_residual"
             break
@@ -121,7 +152,7 @@ def cg(
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
-        history=history,
+        history=hist.history,
         breakdown=breakdown,
         watchdog=wd.report() if wd is not None else None,
     )

@@ -12,7 +12,15 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from ..telemetry.tracer import get_tracer
+from .base import (
+    HistoryRecorder,
+    SolveResult,
+    as_operator,
+    resolve_preconditioner,
+    safe_norm,
+    traced_solve,
+)
 from .watchdog import Watchdog
 
 __all__ = ["gmres"]
@@ -27,6 +35,8 @@ def gmres(
     maxiter: int = 10000,
     x0: np.ndarray | None = None,
     record_history: bool = False,
+    history_stride: int = 1,
+    history_cap: int | None = None,
     watchdog: Watchdog | None = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with GMRES(restart), right-preconditioned.
@@ -35,7 +45,23 @@ def gmres(
     ``watchdog`` checks stagnation/divergence at cycle boundaries (the
     cycle-end residual is already the true one, so audits are free) and
     rebuilds the preconditioner on its restarts.
+    ``history_stride``/``history_cap`` bound the recorded residual
+    history (see :class:`~repro.solvers.base.HistoryRecorder`).
     """
+    return traced_solve(
+        "gmres",
+        {"restart": restart, "tol": tol, "maxiter": maxiter},
+        lambda: _gmres_impl(
+            A, b, M, restart, tol, maxiter, x0, record_history,
+            history_stride, history_cap, watchdog,
+        ),
+    )
+
+
+def _gmres_impl(
+    A, b, M, restart, tol, maxiter, x0, record_history, history_stride,
+    history_cap, watchdog,
+) -> SolveResult:
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
@@ -50,7 +76,9 @@ def gmres(
     target = tol * (normb if normb > 0 else 1.0)
     r = b - matvec(x) if x.any() else b.copy()
     resnorm = float(np.linalg.norm(r))
-    history = [resnorm] if record_history else []
+    hist = HistoryRecorder(record_history, history_stride, history_cap)
+    hist.append(resnorm)
+    tr = get_tracer()
     iters = 0
     breakdown = None
     wd = watchdog.session(matvec, b, target) if watchdog else None
@@ -102,8 +130,14 @@ def gmres(
             g[j] = cs[j] * g[j]
             resnorm = abs(g[j + 1])
             j_used = j + 1
-            if record_history:
-                history.append(float(resnorm))
+            hist.append(float(resnorm))
+            if tr.enabled:
+                tr.event(
+                    "solver.iteration",
+                    solver="gmres",
+                    i=iters,
+                    resnorm=float(resnorm),
+                )
             if resnorm <= target or iters >= maxiter:
                 break
         # solve the small triangular system and update x
@@ -135,7 +169,7 @@ def gmres(
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
-        history=history,
+        history=hist.history,
         breakdown=breakdown,
         watchdog=wd.report() if wd is not None else None,
     )

@@ -20,7 +20,15 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from ..telemetry.tracer import get_tracer
+from .base import (
+    HistoryRecorder,
+    SolveResult,
+    as_operator,
+    resolve_preconditioner,
+    safe_norm,
+    traced_solve,
+)
 from .watchdog import Watchdog
 
 __all__ = ["idrs"]
@@ -54,6 +62,8 @@ def idrs(
     x0: np.ndarray | None = None,
     seed: int = 271828,
     record_history: bool = False,
+    history_stride: int = 1,
+    history_cap: int | None = None,
     max_restarts: int = 5,
     watchdog: "Watchdog | None" = None,
 ) -> SolveResult:
@@ -77,6 +87,9 @@ def idrs(
     x0, seed, record_history:
         Initial guess (zero by default), shadow-space seed, and whether
         to record the residual-norm history.
+    history_stride, history_cap:
+        Bound the recorded history (see
+        :class:`~repro.solvers.base.HistoryRecorder`).
     max_restarts:
         How many times an ``Ms[k, k] == 0`` shadow-space breakdown may
         be answered by re-seeding the shadow space (a fresh random
@@ -94,6 +107,20 @@ def idrs(
         ``breakdown`` set when the solve ended on a numerical
         breakdown instead of convergence or the iteration cap.
     """
+    return traced_solve(
+        "idrs",
+        {"s": s, "tol": tol, "maxiter": maxiter},
+        lambda: _idrs_impl(
+            A, b, s, M, tol, maxiter, x0, seed, record_history,
+            history_stride, history_cap, max_restarts, watchdog,
+        ),
+    )
+
+
+def _idrs_impl(
+    A, b, s, M, tol, maxiter, x0, seed, record_history, history_stride,
+    history_cap, max_restarts, watchdog,
+) -> SolveResult:
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
@@ -110,7 +137,9 @@ def idrs(
     r = b - matvec(x) if x.any() else b.copy()
     normb = np.linalg.norm(b)
     target = tol * (normb if normb > 0 else 1.0)
-    history = [float(np.linalg.norm(r))] if record_history else []
+    hist = HistoryRecorder(record_history, history_stride, history_cap)
+    hist.append(float(np.linalg.norm(r)))
+    tr = get_tracer()
 
     # shadow space: orthonormalised Gaussian block (rows of P)
     rng = np.random.default_rng(seed)
@@ -162,8 +191,7 @@ def idrs(
                 # are untouched this step; record the recomputed norm so
                 # history stays in sync with the matvec count.
                 resnorm = safe_norm(r)
-                if record_history:
-                    history.append(resnorm)
+                hist.append(resnorm)
                 if not np.isfinite(resnorm):
                     breakdown = "nonfinite_residual"
                 else:
@@ -174,8 +202,14 @@ def idrs(
             r = r - beta * G[:, k]
             x = x + beta * U[:, k]
             resnorm = safe_norm(r)
-            if record_history:
-                history.append(resnorm)
+            hist.append(resnorm)
+            if tr.enabled:
+                tr.event(
+                    "solver.iteration",
+                    solver="idrs",
+                    i=iters,
+                    resnorm=resnorm,
+                )
             if not np.isfinite(resnorm):
                 breakdown = "nonfinite_residual"
                 break
@@ -210,8 +244,11 @@ def idrs(
         x = x + om * v
         r = r - om * t
         resnorm = safe_norm(r)
-        if record_history:
-            history.append(resnorm)
+        hist.append(resnorm)
+        if tr.enabled:
+            tr.event(
+                "solver.iteration", solver="idrs", i=iters, resnorm=resnorm
+            )
         if not np.isfinite(resnorm):
             breakdown = "nonfinite_residual"
             break
@@ -250,7 +287,7 @@ def idrs(
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
-        history=history,
+        history=hist.history,
         breakdown=breakdown,
         watchdog=wd.report() if wd is not None else None,
     )

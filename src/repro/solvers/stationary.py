@@ -17,7 +17,15 @@ import time
 import numpy as np
 
 from ..precond.base import Preconditioner
-from .base import SolveResult, as_operator, resolve_preconditioner, safe_norm
+from ..telemetry.tracer import get_tracer
+from .base import (
+    HistoryRecorder,
+    SolveResult,
+    as_operator,
+    resolve_preconditioner,
+    safe_norm,
+    traced_solve,
+)
 from .watchdog import Watchdog
 
 __all__ = ["stationary_richardson"]
@@ -32,6 +40,8 @@ def stationary_richardson(
     maxiter: int = 10000,
     x0: np.ndarray | None = None,
     record_history: bool = False,
+    history_stride: int = 1,
+    history_cap: int | None = None,
     watchdog: Watchdog | None = None,
 ) -> SolveResult:
     """Preconditioned Richardson iteration (= (block-)Jacobi for
@@ -53,6 +63,20 @@ def stationary_richardson(
         rebuild on restart) applies - a diverging relaxation is caught
         within one window instead of overflowing to ``maxiter``.
     """
+    return traced_solve(
+        "richardson",
+        {"omega": omega, "tol": tol, "maxiter": maxiter},
+        lambda: _richardson_impl(
+            A, b, M, omega, tol, maxiter, x0, record_history,
+            history_stride, history_cap, watchdog,
+        ),
+    )
+
+
+def _richardson_impl(
+    A, b, M, omega, tol, maxiter, x0, record_history, history_stride,
+    history_cap, watchdog,
+) -> SolveResult:
     matvec, n = as_operator(A)
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
@@ -67,7 +91,9 @@ def stationary_richardson(
     normb = np.linalg.norm(b)
     target = tol * (normb if normb > 0 else 1.0)
     resnorm = float(np.linalg.norm(r))
-    history = [resnorm] if record_history else []
+    hist = HistoryRecorder(record_history, history_stride, history_cap)
+    hist.append(resnorm)
+    tr = get_tracer()
     iters = 0
     breakdown = None
     wd = watchdog.session(matvec, b, target) if watchdog else None
@@ -79,8 +105,14 @@ def stationary_richardson(
         # a diverging iteration overflows the norm; the finite check
         # below turns that into a clean stop
         resnorm = safe_norm(r)
-        if record_history:
-            history.append(resnorm)
+        hist.append(resnorm)
+        if tr.enabled:
+            tr.event(
+                "solver.iteration",
+                solver="richardson",
+                i=iters,
+                resnorm=resnorm,
+            )
         if not np.isfinite(resnorm):
             breakdown = "nonfinite_residual"  # diverged: stop cleanly
             break
@@ -100,7 +132,7 @@ def stationary_richardson(
         target_norm=normb if normb > 0 else 1.0,
         solve_seconds=time.perf_counter() - t_start,
         setup_seconds=getattr(M, "setup_seconds", 0.0),
-        history=history,
+        history=hist.history,
         breakdown=breakdown,
         watchdog=wd.report() if wd is not None else None,
     )

@@ -33,6 +33,9 @@ from typing import Callable
 
 import numpy as np
 
+from ..telemetry.metrics import get_metrics
+from ..telemetry.tracer import get_tracer
+
 __all__ = ["Watchdog", "WatchdogAction", "WatchdogSession"]
 
 #: how much larger than ``target`` the audited true residual may be
@@ -122,11 +125,36 @@ class WatchdogSession:
     _initial_norm: float | None = None
     _events: list[dict] = field(default_factory=list)
 
+    def _note(self, event: dict) -> None:
+        """Record a watchdog event on the session, the metrics registry,
+        and (when tracing) the event stream."""
+        self._events.append(event)
+        get_metrics().counter(
+            "repro_watchdog_events_total",
+            "Watchdog verdicts by kind",
+        ).inc(event=str(event.get("event", "?")))
+        tr = get_tracer()
+        if tr.enabled:
+            tr.event(f"watchdog.{event.get('event', '?')}", **event)
+
     def _true_residual(self, x: np.ndarray) -> tuple[np.ndarray, float]:
         self.audit_matvecs += 1
-        with np.errstate(over="ignore", invalid="ignore"):
-            r = self.b - self.matvec(x)
-            norm = float(np.linalg.norm(r))
+        get_metrics().counter(
+            "repro_watchdog_audits_total",
+            "True-residual audits performed by the watchdog",
+        ).inc()
+        tr = get_tracer()
+        span = (
+            tr.begin("watchdog.audit", cat="watchdog") if tr.enabled else None
+        )
+        norm = float("nan")
+        try:
+            with np.errstate(over="ignore", invalid="ignore"):
+                r = self.b - self.matvec(x)
+                norm = float(np.linalg.norm(r))
+        finally:
+            if span is not None:
+                tr.end(span, true_norm=norm if np.isfinite(norm) else None)
         return r, norm
 
     def check(
@@ -178,7 +206,7 @@ class WatchdogSession:
             self._window_norm = resnorm
         if drifted:
             self.resyncs += 1
-            self._events.append(
+            self._note(
                 {"at": iters, "event": "resync", "true_norm": resnorm}
             )
             return WatchdogAction(
@@ -189,7 +217,7 @@ class WatchdogSession:
     def _recover(self, reason: str, x: np.ndarray) -> WatchdogAction:
         if self.restarts >= self.config.max_restarts:
             self.aborted = reason
-            self._events.append(
+            self._note(
                 {"at": self._last_check, "event": "abort",
                  "reason": reason}
             )
@@ -204,7 +232,7 @@ class WatchdogSession:
         self._window_norm = norm
         if np.isfinite(norm):
             self._initial_norm = max(self._initial_norm, norm)
-        self._events.append(
+        self._note(
             {"at": self._last_check, "event": "restart",
              "reason": reason, "true_norm": norm}
         )
@@ -219,7 +247,7 @@ class WatchdogSession:
         _, true_norm = self._true_residual(x)
         if true_norm <= FALSE_CONVERGENCE_SLACK * self.target:
             return None
-        self._events.append(
+        self._note(
             {"event": "false_convergence", "claimed": resnorm,
              "true_norm": true_norm}
         )
@@ -227,11 +255,15 @@ class WatchdogSession:
 
     def report(self) -> dict:
         """Serializable summary attached to ``SolveResult.watchdog``."""
-        return {
-            "audits": self.audits,
-            "resyncs": self.resyncs,
-            "restarts": self.restarts,
-            "audit_matvecs": self.audit_matvecs,
-            "aborted": self.aborted,
-            "events": [dict(e) for e in self._events],
-        }
+        from ..telemetry.serialize import to_native
+
+        return to_native(
+            {
+                "audits": self.audits,
+                "resyncs": self.resyncs,
+                "restarts": self.restarts,
+                "audit_matvecs": self.audit_matvecs,
+                "aborted": self.aborted,
+                "events": [dict(e) for e in self._events],
+            }
+        )

@@ -1,0 +1,88 @@
+"""repro.telemetry - unified observability for the whole pipeline.
+
+Three pillars (see DESIGN.md, "Telemetry"):
+
+* :mod:`~repro.telemetry.tracer` - the hierarchical span tracer
+  (``precond.setup`` -> ``precond.setup.extract`` ->
+  ``factorize.bin[tile=16]``) with injectable clock, thread-safe
+  collection and a zero-cost disabled path (:data:`NULL_TRACER`);
+* :mod:`~repro.telemetry.metrics` - the always-on metrics registry
+  (counters/gauges/fixed-bucket histograms) with snapshot-dict and
+  Prometheus text exposition;
+* :mod:`~repro.telemetry.export` / :mod:`~repro.telemetry.summary` -
+  Chrome trace-event / Perfetto JSON and JSONL exporters, plus the
+  Fig-9-style ``trace-summary`` roll-up.
+
+Enable tracing for a scope::
+
+    from repro.telemetry import tracing, write_chrome_trace
+
+    with tracing() as tr:
+        M = BlockJacobiPreconditioner(backend="binned").setup(A)
+        result = idrs(A, b, M=M)
+    write_chrome_trace(tr, "out.trace.json")
+
+Everything in :mod:`repro` is instrumented against the *global* tracer
+(:func:`get_tracer`), which defaults to the allocation-free null
+tracer - undisturbed hot paths cost one attribute check.
+"""
+
+from .export import (
+    metrics_snapshot,
+    to_chrome_trace,
+    trace_events_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from .overhead import measure_disabled_overhead
+from .serialize import to_native
+from .summary import format_trace_summary, load_trace, summarize_trace
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "format_trace_summary",
+    "get_metrics",
+    "get_tracer",
+    "load_trace",
+    "measure_disabled_overhead",
+    "metrics_snapshot",
+    "set_metrics",
+    "set_tracer",
+    "summarize_trace",
+    "to_chrome_trace",
+    "to_native",
+    "trace_events_to_jsonl",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

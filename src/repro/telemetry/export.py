@@ -1,0 +1,238 @@
+"""Exporters: Chrome trace-event JSON, JSONL event log, metrics dump.
+
+The span tracer collects; these functions persist.  The Chrome /
+Perfetto ``traceEvents`` document (load it at ``ui.perfetto.dev`` or
+``chrome://tracing``) uses complete ``"X"`` events for spans and
+``"i"`` instant events for point occurrences (solver iterations,
+fault injections, watchdog verdicts).  ``validate_chrome_trace``
+re-checks the invariants the CI trace-smoke job gates on: monotone
+non-negative timestamps per thread, complete (balanced) X events, and
+parent references that resolve to real spans.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import get_metrics
+from .serialize import to_native
+from .tracer import Span, Tracer
+
+__all__ = [
+    "metrics_snapshot",
+    "to_chrome_trace",
+    "trace_events_to_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+#: pid used for every event (single-process tracer)
+_PID = 1
+
+
+def _span_event(span: Span) -> dict:
+    end = span.end if span.end is not None else span.start
+    args = dict(to_native(span.attrs))
+    args["span_id"] = span.span_id
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    return {
+        "name": span.name,
+        "cat": span.cat,
+        "ph": "X",
+        "ts": round(span.start * 1e6, 3),
+        "dur": round(max(end - span.start, 0.0) * 1e6, 3),
+        "pid": _PID,
+        "tid": span.tid,
+        "args": args,
+    }
+
+
+def _instant_event(ev: dict) -> dict:
+    args = dict(to_native(ev["attrs"]))
+    if ev.get("parent_id") is not None:
+        args["parent_id"] = ev["parent_id"]
+    return {
+        "name": ev["name"],
+        "cat": "repro",
+        "ph": "i",
+        "ts": round(ev["ts"] * 1e6, 3),
+        "pid": _PID,
+        "tid": ev["tid"],
+        "s": "t",  # thread-scoped instant
+        "args": args,
+    }
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Convert collected spans/events into a Chrome trace document.
+
+    Spans still open at export time are emitted with zero duration so
+    the document stays loadable (and the validator flags nothing: a
+    zero-length X event is still complete).
+    """
+    events = [_span_event(s) for s in tracer.spans()]
+    events += [_span_event(s) for s in tracer.open_spans()]
+    events += [_instant_event(e) for e in tracer.events()]
+    events.sort(key=lambda e: (e["tid"], e["ts"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.telemetry"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> dict:
+    """Write the Chrome trace JSON to ``path`` and return the document."""
+    doc = to_chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def trace_events_to_jsonl(tracer: Tracer) -> list[str]:
+    """One JSON object per line: every span and instant event, in
+    timestamp order (the machine-grep-friendly sibling of the Chrome
+    document)."""
+    rows = []
+    for s in tracer.spans():
+        rows.append(
+            {
+                "type": "span",
+                "name": s.name,
+                "ts": s.start,
+                "dur": (s.end if s.end is not None else s.start) - s.start,
+                "tid": s.tid,
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "attrs": to_native(s.attrs),
+            }
+        )
+    for e in tracer.events():
+        rows.append(
+            {
+                "type": "event",
+                "name": e["name"],
+                "ts": e["ts"],
+                "tid": e["tid"],
+                "parent_id": e.get("parent_id"),
+                "attrs": to_native(e["attrs"]),
+            }
+        )
+    rows.sort(key=lambda r: r["ts"])
+    return [json.dumps(r) for r in rows]
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write the JSONL event log; returns the number of lines."""
+    lines = trace_events_to_jsonl(tracer)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def metrics_snapshot() -> dict:
+    """JSON-safe snapshot of the global metrics registry."""
+    return to_native(get_metrics().snapshot())
+
+
+def write_prometheus(path: str) -> str:
+    """Write the Prometheus text exposition of the global registry."""
+    text = get_metrics().prometheus_text()
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Validate a Chrome trace document; returns a list of problems
+    (empty = valid).
+
+    Checks (the CI ``trace-smoke`` gate):
+
+    * the document carries a ``traceEvents`` list;
+    * every event is a complete ``X``, instant ``i``, or metadata
+      ``M`` record with finite, non-negative ``ts`` (and ``dur`` for
+      X) - i.e. no unbalanced B/E pairs can hide here;
+    * per ``(pid, tid)``, timestamps are monotone in file order;
+    * every ``args.parent_id`` resolves to an emitted span whose
+      interval contains the child (allowing float rounding slack).
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("trace is empty")
+    spans: dict[int, dict] = {}
+    last_ts: dict[tuple, float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event #{i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph in ("B", "E"):
+            problems.append(
+                f"event #{i} ({ev.get('name')!r}) uses begin/end "
+                "phase; this exporter only emits complete X events"
+            )
+            continue
+        if ph not in ("X", "i", "I", "M"):
+            problems.append(
+                f"event #{i} ({ev.get('name')!r}) has unknown "
+                f"phase {ph!r}"
+            )
+            continue
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(
+                f"event #{i} ({ev.get('name')!r}) has bad ts {ts!r}"
+            )
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        if ts < last_ts.get(key, 0.0):
+            problems.append(
+                f"event #{i} ({ev.get('name')!r}) breaks timestamp "
+                f"monotonicity on tid {key[1]}"
+            )
+        last_ts[key] = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"event #{i} ({ev.get('name')!r}) has bad dur "
+                    f"{dur!r}"
+                )
+                continue
+            args = ev.get("args") or {}
+            sid = args.get("span_id")
+            if sid is not None:
+                spans[sid] = ev
+    for sid, ev in spans.items():
+        parent_id = (ev.get("args") or {}).get("parent_id")
+        if parent_id is None:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"span {ev.get('name')!r} references unknown parent "
+                f"{parent_id}"
+            )
+            continue
+        # containment with a microsecond of rounding slack
+        slack = 1.0
+        if ev["ts"] + slack < parent["ts"] or (
+            ev["ts"] + ev["dur"]
+            > parent["ts"] + parent["dur"] + slack
+        ):
+            problems.append(
+                f"span {ev.get('name')!r} escapes its parent "
+                f"{parent.get('name')!r} interval"
+            )
+    return problems

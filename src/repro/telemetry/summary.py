@@ -1,0 +1,157 @@
+"""``python -m repro trace-summary``: read a Chrome trace back into the
+paper's cost decomposition.
+
+Figure 9 splits total solve time into preconditioner *setup* (blocking,
+extraction, batched factorization) and *application* inside the solver
+iteration; this tool recovers exactly that split from an exported
+trace, plus a per-span-name roll-up (count, total, self time) so a
+regression in any stage is visible without opening the Perfetto UI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+__all__ = ["format_trace_summary", "load_trace", "summarize_trace"]
+
+
+def load_trace(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _x_events(doc: dict) -> list[dict]:
+    return [
+        e
+        for e in doc.get("traceEvents", [])
+        if isinstance(e, dict) and e.get("ph") == "X"
+    ]
+
+
+def summarize_trace(doc: dict) -> dict:
+    """Aggregate a Chrome trace document.
+
+    Returns a dict with:
+
+    * ``by_name``: per span name - count, total/self microseconds;
+    * ``roots``: top-level span names in first-seen order;
+    * ``split``: the Fig-9-style decomposition - ``setup``, ``apply``,
+      ``solver`` (solver span total minus the apply time nested in
+      it), and ``other`` wall time, all in microseconds;
+    * ``events``: instant-event counts by name.
+    """
+    spans = _x_events(doc)
+    by_id = {
+        e["args"]["span_id"]: e
+        for e in spans
+        if isinstance(e.get("args"), dict) and "span_id" in e["args"]
+    }
+    child_dur: dict[int, float] = defaultdict(float)
+    for e in by_id.values():
+        pid = e["args"].get("parent_id")
+        if pid is not None:
+            child_dur[pid] += e.get("dur", 0.0)
+    by_name: dict[str, dict] = {}
+    roots: list[str] = []
+    for e in spans:
+        name = e.get("name", "?")
+        args = e.get("args") or {}
+        rec = by_name.setdefault(
+            name, {"count": 0, "total_us": 0.0, "self_us": 0.0}
+        )
+        rec["count"] += 1
+        dur = float(e.get("dur", 0.0))
+        rec["total_us"] += dur
+        sid = args.get("span_id")
+        rec["self_us"] += max(
+            dur - (child_dur.get(sid, 0.0) if sid is not None else 0.0),
+            0.0,
+        )
+        if args.get("parent_id") is None and name not in roots:
+            roots.append(name)
+
+    def total(prefix: str) -> float:
+        return sum(
+            rec["total_us"]
+            for name, rec in by_name.items()
+            if name == prefix or name.startswith(prefix + ".")
+        )
+
+    setup_us = by_name.get("precond.setup", {}).get("total_us", 0.0)
+    apply_us = by_name.get("precond.apply", {}).get("total_us", 0.0)
+    solver_us = sum(
+        rec["total_us"]
+        for name, rec in by_name.items()
+        if name.startswith("solver.")
+    )
+    wall_us = 0.0
+    if spans:
+        t0 = min(e["ts"] for e in spans)
+        t1 = max(e["ts"] + e.get("dur", 0.0) for e in spans)
+        wall_us = t1 - t0
+    events: dict[str, int] = defaultdict(int)
+    for e in doc.get("traceEvents", []):
+        if isinstance(e, dict) and e.get("ph") in ("i", "I"):
+            events[e.get("name", "?")] += 1
+    return {
+        "by_name": by_name,
+        "roots": roots,
+        "split": {
+            "setup_us": setup_us,
+            "apply_us": apply_us,
+            "solver_us": solver_us,
+            "solver_excl_apply_us": max(solver_us - apply_us, 0.0),
+            "wall_us": wall_us,
+            "runtime_total_us": total("runtime"),
+        },
+        "events": dict(events),
+    }
+
+
+def format_trace_summary(doc: dict, path: str = "") -> str:
+    """Human-readable summary (the CLI's output)."""
+    s = summarize_trace(doc)
+    by_name = s["by_name"]
+    lines = []
+    title = f"trace summary{f' [{path}]' if path else ''}"
+    lines.append(title)
+    lines.append("=" * len(title))
+    split = s["split"]
+    wall_ms = split["wall_us"] / 1e3
+    lines.append(
+        f"wall time {wall_ms:.3f} ms over {sum(r['count'] for r in by_name.values())} "
+        f"span(s), {sum(s['events'].values())} instant event(s)"
+    )
+    lines.append("")
+    lines.append("setup vs apply (Fig. 9 decomposition):")
+    for label, key in (
+        ("preconditioner setup", "setup_us"),
+        ("preconditioner apply", "apply_us"),
+        ("solver (excl. apply)", "solver_excl_apply_us"),
+    ):
+        us = split[key]
+        pct = 100.0 * us / split["wall_us"] if split["wall_us"] else 0.0
+        lines.append(f"  {label:<22} {us / 1e3:10.3f} ms  {pct:5.1f}%")
+    lines.append("")
+    lines.append("per-span roll-up (total incl. children / self):")
+    width = max((len(n) for n in by_name), default=4)
+    lines.append(
+        f"  {'span':<{width}}  {'count':>6}  {'total ms':>10}  "
+        f"{'self ms':>10}"
+    )
+    for name in sorted(
+        by_name, key=lambda n: -by_name[n]["total_us"]
+    ):
+        rec = by_name[name]
+        lines.append(
+            f"  {name:<{width}}  {rec['count']:>6}  "
+            f"{rec['total_us'] / 1e3:>10.3f}  "
+            f"{rec['self_us'] / 1e3:>10.3f}"
+        )
+    if s["events"]:
+        lines.append("")
+        lines.append("instant events:")
+        for name in sorted(s["events"], key=lambda n: -s["events"][n]):
+            lines.append(f"  {name:<{width}}  {s['events'][name]:>6}")
+    return "\n".join(lines)

@@ -1,0 +1,349 @@
+"""Hierarchical span tracer with a zero-cost disabled path.
+
+The paper's whole argument is a time decomposition (Figs. 4-9 split
+block-Jacobi setup and application into extraction, batched GETRF and
+batched TRSV), so the reproduction needs one shared clock and one span
+tree across every layer - preconditioner setup, runtime dispatch,
+per-bin kernel calls, solver iterations, watchdog audits - instead of
+the ad-hoc timers each subsystem grew on its own.
+
+Design rules:
+
+* **One global tracer**, default :data:`NULL_TRACER`.  Hot paths do
+  ``tr = get_tracer()`` once and either ``with tr.span(...)`` (setup
+  paths) or guard per-iteration emissions with ``if tr.enabled:``
+  (solver loops).  The null tracer's ``span`` returns one shared
+  no-op context manager - the disabled path allocates nothing and
+  records nothing.
+* **Injectable monotonic clock** (same pattern as the circuit
+  breakers): tests drive a fake clock and assert exact durations.
+* **Thread-safe collection**: spans nest per thread (a thread-local
+  stack provides parenting); finished spans and instant events append
+  under one lock, so the ``threads`` backend's pool and concurrent
+  serving threads can all trace into the same collector.
+* Spans carry **attributes** (backend, tile, nb, cache_hit,
+  fault-taint, ...) settable at open time and en route (``span.set``).
+
+Timestamps are seconds relative to the tracer's construction; the
+Chrome-trace exporter converts to microseconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+
+class Span:
+    """One open (then finished) span.
+
+    Mutated only by the opening thread until :meth:`Tracer.end` seals
+    it; after that it is read-only and safe to share.
+    """
+
+    __slots__ = (
+        "name",
+        "cat",
+        "start",
+        "end",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "tid",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        start: float,
+        span_id: int,
+        parent_id: int | None,
+        tid: int,
+        attrs: dict,
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.end: float | None = None
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tid = tid
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Instant event parented to this span."""
+        self._tracer._emit_event(name, self.span_id, attrs)
+
+    # context-manager protocol so ``with tracer.span(...) as sp:`` works
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.end(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"Span({self.name!r}, {state}, attrs={self.attrs})"
+
+
+class _NullSpan:
+    """The shared do-nothing span of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+    def event(self, name, **attrs):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op returning shared
+    singletons, so instrumented hot loops pay (at most) one attribute
+    check and one method call."""
+
+    enabled = False
+
+    def span(self, name, cat="repro", **attrs):
+        return _NULL_SPAN
+
+    def begin(self, name, cat="repro", **attrs):
+        return _NULL_SPAN
+
+    def end(self, span, **attrs):
+        return None
+
+    def event(self, name, **attrs):
+        return None
+
+    def spans(self):
+        return []
+
+    def events(self):
+        return []
+
+    def open_spans(self):
+        return []
+
+    def clear(self):
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collecting tracer: hierarchical spans + instant events.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (injectable for tests); defaults to
+        :func:`time.perf_counter`.  All recorded timestamps are
+        relative to the clock reading at construction.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._finished: list[Span] = []
+        self._events: list[dict] = []
+        self._open: dict[int, Span] = {}
+        self._ids = itertools.count(1)
+        self._tids: dict[int, int] = {}
+
+    # -- internals ---------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def _stack(self) -> list[Span]:
+        st = getattr(self._local, "stack", None)
+        if st is None:
+            st = []
+            self._local.stack = st
+        return st
+
+    def _tid(self) -> int:
+        """Small stable per-thread id (0 for the first thread seen)."""
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._tids:
+                self._tids[ident] = len(self._tids)
+            return self._tids[ident]
+
+    def _emit_event(
+        self, name: str, parent_id: int | None, attrs: dict
+    ) -> None:
+        ev = {
+            "name": name,
+            "ts": self._now(),
+            "tid": self._tid(),
+            "parent_id": parent_id,
+            "attrs": attrs,
+        }
+        with self._lock:
+            self._events.append(ev)
+
+    # -- span API ----------------------------------------------------------
+
+    def begin(self, name: str, cat: str = "repro", **attrs) -> Span:
+        """Open a span without a ``with`` block (pair with :meth:`end`).
+
+        Nesting follows the opening thread: the span's parent is the
+        innermost span currently open on this thread.
+        """
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(
+            self,
+            name,
+            cat,
+            self._now(),
+            span_id,
+            parent_id,
+            self._tid(),
+            dict(attrs),
+        )
+        stack.append(span)
+        with self._lock:
+            self._open[span_id] = span
+        return span
+
+    def end(self, span: Span, **attrs) -> None:
+        """Seal a span (idempotent); closes any deeper spans left open
+        on the same thread first, so the tree stays balanced even when
+        an exception skipped an inner ``end``."""
+        if not isinstance(span, Span) or span.end is not None:
+            return
+        stack = self._stack()
+        while stack:
+            top = stack.pop()
+            top.end = self._now()
+            if attrs and top is span:
+                top.attrs.update(attrs)
+            with self._lock:
+                self._open.pop(top.span_id, None)
+                self._finished.append(top)
+            if top is span:
+                return
+        # span was opened on another thread or already unwound: seal it
+        span.end = self._now()
+        if attrs:
+            span.attrs.update(attrs)
+        with self._lock:
+            self._open.pop(span.span_id, None)
+            self._finished.append(span)
+
+    def span(self, name: str, cat: str = "repro", **attrs) -> Span:
+        """``with tracer.span("precond.setup", backend="binned"): ...``"""
+        return self.begin(name, cat, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Instant event parented to the current thread's open span."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        self._emit_event(name, parent_id, attrs)
+
+    # -- collection --------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Finished spans, in completion order (a snapshot)."""
+        with self._lock:
+            return list(self._finished)
+
+    def open_spans(self) -> list[Span]:
+        """Spans still open anywhere (exporters close them soft)."""
+        with self._lock:
+            return list(self._open.values())
+
+    def events(self) -> list[dict]:
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._events.clear()
+            self._open.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"Tracer(spans={len(self._finished)}, "
+                f"open={len(self._open)}, events={len(self._events)})"
+            )
+
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-global tracer (the null tracer unless enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` globally (None restores the null tracer)."""
+    global _tracer
+    _tracer = NULL_TRACER if tracer is None else tracer
+    return _tracer
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Scoped enablement: install a tracer, restore the old one after.
+
+    >>> with tracing() as tr:
+    ...     run_workload()
+    >>> write_chrome_trace(tr, "out.trace.json")
+    """
+    tr = Tracer() if tracer is None else tracer
+    previous = get_tracer()
+    set_tracer(tr)
+    try:
+        yield tr
+    finally:
+        set_tracer(previous)

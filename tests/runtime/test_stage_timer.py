@@ -1,0 +1,113 @@
+"""StageTimer edge cases and its equivalence with the span tracer.
+
+The timer is the adapter between the runtime's historical
+``stage_seconds`` dict and the telemetry spans; these tests pin the
+adapter contract: accumulation semantics are unchanged (re-entrancy,
+exceptions), and when a tracer is installed every stage shows up as a
+``<prefix>.<name>`` span whose duration matches the accumulated time.
+"""
+
+import pytest
+
+from repro.runtime.stats import StageTimer
+from repro.telemetry import get_metrics, set_tracer, tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    set_tracer(None)
+    get_metrics().reset()
+    yield
+    set_tracer(None)
+    get_metrics().reset()
+
+
+class TestAccumulation:
+    def test_reentrant_stages_accumulate(self):
+        seconds = {}
+        timer = StageTimer(seconds)
+        with timer.stage("solve"):
+            pass
+        first = seconds["solve"]
+        with timer.stage("solve"):
+            pass
+        assert seconds["solve"] > first  # added, not overwritten
+        assert list(seconds) == ["solve"]
+
+    def test_exception_inside_stage_still_records(self):
+        seconds = {}
+        timer = StageTimer(seconds)
+        with pytest.raises(RuntimeError):
+            with timer.stage("factor"):
+                raise RuntimeError("boom")
+        assert seconds["factor"] > 0.0
+
+    def test_independent_stage_names(self):
+        seconds = {}
+        timer = StageTimer(seconds)
+        with timer.stage("plan"):
+            pass
+        with timer.stage("factor"):
+            pass
+        assert set(seconds) == {"plan", "factor"}
+
+
+class TestSpanEquivalence:
+    def test_stage_opens_prefixed_span(self):
+        seconds = {}
+        with tracing() as tr:
+            with StageTimer(seconds).stage("factor"):
+                pass
+        (span,) = tr.spans()
+        assert span.name == "runtime.factor"
+        assert span.cat == "runtime"
+        assert span.attrs.get("error") is False
+
+    def test_custom_prefix(self):
+        seconds = {}
+        with tracing() as tr:
+            with StageTimer(seconds, prefix="custom").stage("x"):
+                pass
+        assert tr.spans()[0].name == "custom.x"
+
+    def test_span_duration_close_to_accumulated_seconds(self):
+        seconds = {}
+        with tracing() as tr:
+            with StageTimer(seconds).stage("factor"):
+                sum(range(10000))
+        (span,) = tr.spans()
+        # the span brackets the dict timing; they agree to within the
+        # overhead of the two extra clock reads
+        assert span.duration >= 0.0
+        assert abs(span.duration - seconds["factor"]) < 0.01
+
+    def test_exception_marks_span_errored(self):
+        seconds = {}
+        with tracing() as tr:
+            with pytest.raises(ValueError):
+                with StageTimer(seconds).stage("factor"):
+                    raise ValueError("x")
+        (span,) = tr.spans()
+        assert span.attrs["error"] is True
+        assert seconds["factor"] > 0.0
+
+    def test_disabled_tracer_records_no_spans_same_seconds(self):
+        plain = {}
+        with StageTimer(plain).stage("factor"):
+            pass
+        with tracing() as tr:
+            traced = {}
+            with StageTimer(traced).stage("factor"):
+                pass
+        assert set(plain) == set(traced)
+        assert len(tr.spans()) == 1  # only the traced run produced one
+
+
+class TestLatencyHistogram:
+    def test_stage_feeds_histogram_always(self):
+        # metrics are always-on: no tracer needed
+        seconds = {}
+        with StageTimer(seconds).stage("factor"):
+            pass
+        snap = get_metrics().histogram("repro_stage_seconds").snapshot()
+        assert snap["stage=factor"]["count"] == 1

@@ -1,0 +1,20 @@
+"""Telemetry test fixtures: isolate the global tracer and registry.
+
+Every test in this package runs against a pristine null tracer and an
+empty metrics registry, and restores both afterwards - the telemetry
+globals are process-wide, so a leaked tracer would silently slow (and
+couple) every other test.
+"""
+
+import pytest
+
+from repro.telemetry import get_metrics, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    set_tracer(None)
+    get_metrics().reset()
+    yield
+    set_tracer(None)
+    get_metrics().reset()

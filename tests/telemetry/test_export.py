@@ -1,0 +1,159 @@
+"""Exporter tests: Chrome trace shape, validator, JSONL, Prometheus."""
+
+import json
+
+from repro.telemetry import (
+    Tracer,
+    get_metrics,
+    metrics_snapshot,
+    to_chrome_trace,
+    trace_events_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _sample_tracer():
+    clock = FakeClock()
+    tr = Tracer(clock=clock)
+    with tr.span("precond.setup", backend="binned"):
+        clock.advance(0.010)
+        with tr.span("precond.setup.extract"):
+            clock.advance(0.002)
+        tr.event("solver.iteration", i=1, resnorm=0.5)
+        clock.advance(0.001)
+    return tr
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_sample_tracer())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(xs) == 2 and len(instants) == 1
+        outer = next(e for e in xs if e["name"] == "precond.setup")
+        inner = next(
+            e for e in xs if e["name"] == "precond.setup.extract"
+        )
+        # microsecond conversion from the fake clock
+        assert outer["ts"] == 0.0 and outer["dur"] == 13000.0
+        assert inner["ts"] == 10000.0 and inner["dur"] == 2000.0
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["args"]["backend"] == "binned"
+        assert instants[0]["s"] == "t"
+
+    def test_open_spans_export_with_zero_duration(self):
+        tr = Tracer(clock=FakeClock())
+        tr.begin("left.open")
+        doc = to_chrome_trace(tr)
+        (ev,) = doc["traceEvents"]
+        assert ev["ph"] == "X" and ev["dur"] == 0.0
+        assert validate_chrome_trace(doc) == []
+
+    def test_sample_trace_validates_clean(self):
+        assert validate_chrome_trace(to_chrome_trace(_sample_tracer())) == []
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        doc = write_chrome_trace(_sample_tracer(), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+
+
+class TestValidator:
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents missing or not a list"
+        ]
+
+    def test_empty_trace_flagged(self):
+        assert "trace is empty" in validate_chrome_trace(
+            {"traceEvents": []}
+        )
+
+    def test_begin_end_phases_rejected(self):
+        doc = {
+            "traceEvents": [
+                {"name": "b", "ph": "B", "ts": 0, "pid": 1, "tid": 0}
+            ]
+        }
+        (problem,) = validate_chrome_trace(doc)
+        assert "begin/end" in problem
+
+    def test_monotonicity_violation(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 5.0, "dur": 1.0,
+                 "pid": 1, "tid": 0},
+                {"name": "b", "ph": "X", "ts": 1.0, "dur": 1.0,
+                 "pid": 1, "tid": 0},
+            ]
+        }
+        assert any(
+            "monotonicity" in p for p in validate_chrome_trace(doc)
+        )
+
+    def test_unknown_parent(self):
+        doc = {
+            "traceEvents": [
+                {"name": "child", "ph": "X", "ts": 0.0, "dur": 1.0,
+                 "pid": 1, "tid": 0,
+                 "args": {"span_id": 2, "parent_id": 99}},
+            ]
+        }
+        assert any(
+            "unknown parent" in p for p in validate_chrome_trace(doc)
+        )
+
+    def test_child_escaping_parent(self):
+        doc = {
+            "traceEvents": [
+                {"name": "parent", "ph": "X", "ts": 0.0, "dur": 10.0,
+                 "pid": 1, "tid": 0, "args": {"span_id": 1}},
+                {"name": "child", "ph": "X", "ts": 5.0, "dur": 50.0,
+                 "pid": 1, "tid": 0,
+                 "args": {"span_id": 2, "parent_id": 1}},
+            ]
+        }
+        assert any("escapes" in p for p in validate_chrome_trace(doc))
+
+
+class TestJsonl:
+    def test_lines_sorted_by_timestamp(self, tmp_path):
+        tr = _sample_tracer()
+        lines = trace_events_to_jsonl(tr)
+        rows = [json.loads(ln) for ln in lines]
+        assert [r["ts"] for r in rows] == sorted(r["ts"] for r in rows)
+        types = {r["type"] for r in rows}
+        assert types == {"span", "event"}
+        path = tmp_path / "out.jsonl"
+        assert write_jsonl(tr, str(path)) == len(lines)
+        assert path.read_text().strip().count("\n") == len(lines) - 1
+
+
+class TestMetricsExport:
+    def test_snapshot_is_json_safe(self):
+        get_metrics().counter("c").inc()
+        json.dumps(metrics_snapshot())
+
+    def test_write_prometheus(self, tmp_path):
+        get_metrics().counter("repro_test_total").inc(2)
+        path = tmp_path / "metrics.prom"
+        text = write_prometheus(str(path))
+        assert path.read_text() == text
+        assert "repro_test_total 2" in text

@@ -1,0 +1,141 @@
+"""Metrics registry unit tests: instruments, snapshot, Prometheus."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", "cache hits")
+        c.inc()
+        c.inc(2.0)
+        c.inc(event="miss")
+        assert c.value() == 3.0
+        assert c.value(event="miss") == 1.0
+        assert c.total() == 4.0
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        g = MetricsRegistry().gauge("waste")
+        g.set(0.25, backend="binned")
+        g.inc(0.25, backend="binned")
+        assert g.value(backend="binned") == 0.5
+        assert g.value(backend="numpy") == 0.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_and_overflow(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.1, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()[""]
+        # boundary values land in their bucket (le semantics)
+        assert snap["buckets"] == {"0.1": 2, "1.0": 1, "+Inf": 1}
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.65)
+
+    def test_labelled_series_are_independent(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        h.observe(0.5, stage="factor")
+        h.observe(2.0, stage="solve")
+        snap = h.snapshot()
+        assert snap["stage=factor"]["buckets"]["1.0"] == 1
+        assert snap["stage=solve"]["buckets"]["+Inf"] == 1
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_snapshot_shape_and_json_safety(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help c").inc(event="hit")
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert set(snap) == {"c", "g", "h"}
+        assert snap["c"] == {
+            "kind": "counter",
+            "help": "help c",
+            "values": {"event=hit": 1.0},
+        }
+        json.dumps(snap)  # fully serialisable
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_global_swap(self):
+        original = get_metrics()
+        fresh = set_metrics(None)
+        try:
+            assert fresh is get_metrics()
+            assert fresh is not original
+            assert set_metrics(original) is original
+        finally:
+            set_metrics(original)
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_cache_events_total", "Cache events").inc(
+            3, event="hit"
+        )
+        reg.gauge("repro_padding_waste_ratio").set(0.25, backend="binned")
+        h = reg.histogram("repro_stage_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05, stage="factor")
+        h.observe(0.5, stage="factor")
+        text = reg.prometheus_text()
+        assert "# HELP repro_cache_events_total Cache events" in text
+        assert "# TYPE repro_cache_events_total counter" in text
+        assert 'repro_cache_events_total{event="hit"} 3' in text
+        assert (
+            'repro_padding_waste_ratio{backend="binned"} 0.25' in text
+        )
+        # cumulative buckets: le="1" includes the le="0.1" count
+        # (integral bounds render without the trailing .0)
+        assert (
+            'repro_stage_seconds_bucket{stage="factor",le="0.1"} 1'
+            in text
+        )
+        assert (
+            'repro_stage_seconds_bucket{stage="factor",le="1"} 2'
+            in text
+        )
+        assert (
+            'repro_stage_seconds_bucket{stage="factor",le="+Inf"} 2'
+            in text
+        )
+        assert 'repro_stage_seconds_count{stage="factor"} 2' in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_exposes_empty(self):
+        assert MetricsRegistry().prometheus_text() == ""

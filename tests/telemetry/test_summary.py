@@ -1,0 +1,74 @@
+"""trace-summary roll-up tests against a hand-built fake-clock trace."""
+
+from repro.telemetry import (
+    Tracer,
+    format_trace_summary,
+    summarize_trace,
+    to_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _solve_like_trace():
+    """setup 10 ms; solver 30 ms containing 2 x 5 ms applies."""
+    clock = FakeClock()
+    tr = Tracer(clock=clock)
+    with tr.span("precond.setup"):
+        clock.advance(0.010)
+    with tr.span("solver.idrs"):
+        for i in range(2):
+            with tr.span("precond.apply"):
+                clock.advance(0.005)
+            tr.event("solver.iteration", i=i, resnorm=0.1)
+            clock.advance(0.010)
+    return to_chrome_trace(tr)
+
+
+class TestSummarize:
+    def test_fig9_split(self):
+        s = summarize_trace(_solve_like_trace())
+        split = s["split"]
+        assert split["setup_us"] == 10000.0
+        assert split["apply_us"] == 10000.0
+        assert split["solver_us"] == 30000.0
+        assert split["solver_excl_apply_us"] == 20000.0
+        assert split["wall_us"] == 40000.0
+
+    def test_roots_in_first_seen_order(self):
+        s = summarize_trace(_solve_like_trace())
+        assert s["roots"] == ["precond.setup", "solver.idrs"]
+
+    def test_self_time_subtracts_children(self):
+        s = summarize_trace(_solve_like_trace())
+        idrs = s["by_name"]["solver.idrs"]
+        assert idrs["total_us"] == 30000.0
+        assert idrs["self_us"] == 20000.0  # minus the two applies
+
+    def test_event_counts(self):
+        s = summarize_trace(_solve_like_trace())
+        assert s["events"] == {"solver.iteration": 2}
+
+    def test_empty_document(self):
+        s = summarize_trace({"traceEvents": []})
+        assert s["split"]["wall_us"] == 0.0
+        assert s["by_name"] == {} and s["roots"] == []
+
+
+class TestFormat:
+    def test_contains_decomposition_and_rollup(self):
+        text = format_trace_summary(_solve_like_trace(), "x.json")
+        assert "trace summary [x.json]" in text
+        assert "Fig. 9" in text
+        assert "preconditioner setup" in text
+        assert "solver.idrs" in text
+        assert "solver.iteration" in text

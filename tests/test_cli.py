@@ -160,3 +160,83 @@ class TestResilienceFlags:
         assert p.parse_args(["verify", "--quick", "--chaos"]).chaos is True
         args = p.parse_args(["verify", "--quick", "--chaos", "seed=3"])
         assert args.chaos == "seed=3"
+
+
+class TestTelemetryFlags:
+    def test_solve_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import (
+            NULL_TRACER,
+            get_tracer,
+            validate_chrome_trace,
+        )
+
+        path = tmp_path / "out.trace.json"
+        rc = main(["solve", "fem_b8_s1", "--bound", "16",
+                   "--trace", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"trace written to {path}" in out
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "precond.setup" in names
+        assert any(n.startswith("solver.") for n in names)
+        # the global tracer was restored after the command
+        assert get_tracer() is NULL_TRACER
+
+    def test_solve_metrics_prints_snapshot(self, capsys):
+        import json
+
+        rc = main(["solve", "fem_b8_s1", "--bound", "16", "--metrics"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        start = out.index("{")
+        snap = json.loads(out[start:])
+        assert "repro_solves_total" in snap
+
+    def test_trace_summary_check(self, tmp_path, capsys):
+        path = tmp_path / "out.trace.json"
+        assert main(["solve", "fem_b8_s1", "--bound", "16",
+                     "--trace", str(path)]) == 0
+        capsys.readouterr()
+        rc = main(["trace-summary", str(path), "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fig. 9" in out
+        assert "trace OK" in out
+
+    def test_trace_summary_check_fails_on_invalid(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.trace.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"name": "b", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+        ]}))
+        rc = main(["trace-summary", str(path), "--check"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "INVALID" in out
+
+    def test_telemetry_overhead_smoke(self, capsys):
+        # tiny workload, generous threshold: exercises the gate wiring,
+        # not the perf claim (CI runs the real thresholded version)
+        rc = main(["telemetry-overhead", "--repeats", "1", "--nb", "16",
+                   "--solves", "1", "--threshold", "100"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK: within threshold" in out
+
+    def test_bench_embeds_schema_and_metrics(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        rc = main(["bench", "--quick", "--backends", "numpy",
+                   "--out", str(out_path)])
+        capsys.readouterr()
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"]["name"] == "repro.bench.runtime_sweep"
+        assert "metrics" in report
+        assert "git_sha" in report["meta"]
