@@ -11,8 +11,10 @@ human-readable table.
 Expected shape: the ``binned`` backend's padded flop count drops
 strictly below the monolithic charge on every mixed-size batch (the
 planner's raison d'etre), the per-block ``scipy`` backend reports zero
-padding waste but pays per-block call overhead, and no backend diverges
-from the reference beyond rounding.
+padding waste but pays per-block call overhead, no backend diverges
+from the reference beyond rounding, and on the small uniform size bins
+(4/8/16) the explicit-inverse GEMV apply beats the TRSV apply
+wall-clock (schema v3's ``apply_modes`` block).
 """
 
 from __future__ import annotations
@@ -57,6 +59,24 @@ def test_runtime_backend_sweep(benchmark):
         # and the numpy path is charged exactly the monolithic amount
         mono = case["backends"]["numpy"]
         assert mono["padded_flops"] == mono["monolithic_padded_flops"]
+
+    # the apply-mode gate: on the uniform SIZE bins the paper's GJE
+    # trade-off targets (4/8/16), the explicit-inverse GEMV apply must
+    # beat the TRSV apply wall-clock on the numpy reference backend
+    for m in (4, 8, 16):
+        case = next(
+            c for c in report["cases"] if c["name"] == f"size/m={m}"
+        )
+        modes = case["backends"]["numpy"]["apply_modes"]
+        assert modes is not None, f"numpy backend reported no inverse at m={m}"
+        assert modes["inverse_apply_seconds"] < modes["factor_apply_seconds"], (
+            f"inverse apply lost to TRSV at m={m}: "
+            f"{modes['inverse_apply_seconds']:.3e}s vs "
+            f"{modes['factor_apply_seconds']:.3e}s"
+        )
+    # the per-block scipy backend cannot invert; the document records
+    # that explicitly rather than omitting the key
+    assert report["cases"][0]["backends"]["scipy"]["apply_modes"] is None
 
     # timing anchor: the binned factorization of a large mixed batch
     batch = random_batch(4000, size_range=(1, 32), kind="diag_dominant",

@@ -7,6 +7,18 @@ against the ``numpy`` reference on every case, random *and*
 adversarial.  The result is a JSON document (``BENCH_runtime.json``)
 that doubles as the repo's perf baseline and as a CI smoke gate: any
 backend divergence beyond tolerance fails the run.
+
+Schema history
+--------------
+* v3: every per-backend case entry gains an ``apply_modes`` block
+  (``null`` for backends that cannot build explicit inverses):
+  best-of-N apply wall seconds of the factor (TRSV) path versus the
+  explicit-inverse GEMV path on the same LU factors, the invert-stage
+  setup cost, and the resulting apply ``speedup``.  Consumers that
+  ignore unknown keys read v3 documents as v2; tools diffing
+  documents across versions must gate on ``schema.version``.
+* v2: initial versioned layout (timings, flop/waste counters,
+  differential checks, metrics snapshot, git provenance).
 """
 
 from __future__ import annotations
@@ -26,7 +38,7 @@ __all__ = ["run_backend_sweep", "format_sweep_summary"]
 
 #: version of the BENCH_runtime.json document layout; bump on any
 #: structural change so downstream comparisons can gate on it
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 SCHEMA_NAME = "repro.bench.runtime_sweep"
 
 
@@ -72,6 +84,50 @@ def _discrepancy(a: BatchedVectors, b: BatchedVectors) -> float:
     return float(np.max(d)) if d.size else 0.0
 
 
+#: best-of repeats of each apply-mode timing (apply is microseconds-
+#: scale, so the min over a few runs is the honest steady-state number)
+_APPLY_REPEATS = 5
+
+
+def _best_apply(fac, rhs: BatchedVectors, repeats: int = _APPLY_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fac.solve(rhs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_apply_modes(
+    rt: BatchRuntime,
+    fac,
+    batch: BatchedMatrices,
+    rhs: BatchedVectors,
+) -> dict | None:
+    """Time TRSV-apply vs explicit-inverse GEMV-apply on the same LU.
+
+    None for backends that cannot invert (their documents record the
+    gap explicitly rather than omitting the key).
+    """
+    if not getattr(rt.backend, "supports_invert", False):
+        return None
+    fac_inv = rt.factorize(
+        batch, method="lu", use_cache=False, apply_mode="inverse"
+    )
+    if fac_inv.effective_apply_mode != "inverse":
+        return None
+    t_factor = _best_apply(fac, rhs)
+    t_inverse = _best_apply(fac_inv, rhs)
+    return {
+        "factor_apply_seconds": t_factor,
+        "inverse_apply_seconds": t_inverse,
+        "invert_seconds": rt.last_report.stage_seconds.get("invert", 0.0),
+        "speedup": (
+            t_factor / t_inverse if t_inverse > 0.0 else float("inf")
+        ),
+    }
+
+
 def _time_backend(
     rt: BatchRuntime, batch: BatchedMatrices, rhs: BatchedVectors
 ) -> tuple[dict, BatchedVectors]:
@@ -94,6 +150,7 @@ def _time_backend(
         "gflops_useful": (
             useful / (t1 - t0) / 1e9 if t1 > t0 else 0.0
         ),
+        "apply_modes": _time_apply_modes(rt, fac, batch, rhs),
     }
     return entry, sol
 
@@ -247,7 +304,7 @@ def format_sweep_summary(report: dict) -> str:
     backends = report["meta"]["backends"]
     headers = ["case", "nb"]
     for b in backends:
-        headers += [f"{b} ms", f"{b} waste%"]
+        headers += [f"{b} ms", f"{b} waste%", f"{b} apply x"]
     rows = []
     for c in report["cases"]:
         row = [c["name"], c["nb"]]
@@ -258,9 +315,11 @@ def format_sweep_summary(report: dict) -> str:
                 if e["padded_flops"]
                 else 0.0
             )
+            modes = e.get("apply_modes")
             row += [
                 f"{e['factor_seconds'] * 1e3:.2f}",
                 f"{waste:.1f}",
+                f"{modes['speedup']:.2f}" if modes else "-",
             ]
         rows.append(row)
     status = "PASS" if report["passed"] else "FAIL"

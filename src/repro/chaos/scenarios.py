@@ -145,10 +145,19 @@ def _problem(seed: int, quick: bool):
     return A, b
 
 
-def _run_pipeline(A, b, runtime: BatchRuntime, maxiter: int = 2000):
+def _run_pipeline(
+    A,
+    b,
+    runtime: BatchRuntime,
+    maxiter: int = 2000,
+    apply_mode: str = "factor",
+):
     """Block-Jacobi setup + IDR(4) solve through the given runtime."""
     M = BlockJacobiPreconditioner(
-        method="lu", max_block_size=8, runtime=runtime
+        method="lu",
+        max_block_size=8,
+        apply_mode=apply_mode,
+        runtime=runtime,
     ).setup(A)
     result = idrs(A, b, s=4, M=M, tol=1e-9, maxiter=maxiter)
     return M, result
@@ -162,12 +171,13 @@ def _judge(
     baseline_berr: float,
     require_events: bool = True,
     chaos: ChaosBackend | None = None,
+    apply_mode: str = "factor",
 ) -> ChaosScenarioResult:
     """Run one scenario and hold it to the acceptance bar."""
     t0 = time.perf_counter()
     detail: dict = {}
     try:
-        M, result = _run_pipeline(A, b, runtime)
+        M, result = _run_pipeline(A, b, runtime, apply_mode=apply_mode)
     except Exception as err:  # any escape is an automatic failure
         return ChaosScenarioResult(
             name,
@@ -377,5 +387,34 @@ def run_chaos_suite(seed: int = 0, quick: bool = True) -> ChaosReport:
     report.scenarios.append(
         _judge("solve-faults", A, b, rt, baseline_berr, chaos=chaos)
     )
+
+    # 8. explicit-inverse apply on a backend that cannot invert: the
+    # chaos proxy forwards only factorize/solve, so the factors come
+    # from it but ``apply_mode="inverse"`` cannot be honored - the
+    # runtime must demote to the TRSV path *visibly* (a stage="invert"
+    # fallback event), never silently
+    rt, chaos = _chaos_runtime(
+        [LatencyInjector("factorize", seconds=0.001)], seed
+    )
+    res = _judge(
+        "inverse-apply-demotion", A, b, rt, baseline_berr,
+        require_events=False, chaos=chaos, apply_mode="inverse",
+    )
+    if res.passed:
+        rep = rt.last_report
+        res.detail["effective_apply_mode"] = rep.effective_apply_mode
+        invert_events = [
+            e
+            for e in rep.fallback_events
+            if e.get("stage") == "invert"
+        ]
+        res.detail["invert_events"] = len(invert_events)
+        if rep.effective_apply_mode != "factor" or not invert_events:
+            res.passed = False
+            res.detail["error"] = (
+                "inverse apply on a non-invert backend was not "
+                "visibly demoted to the factor path"
+            )
+    report.scenarios.append(res)
 
     return report

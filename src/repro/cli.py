@@ -151,6 +151,7 @@ def _run_solve(args) -> int:
             method=args.method,
             max_block_size=args.bound,
             on_singular=args.on_singular,
+            apply_mode=args.apply_mode,
             backend=None if runtime is not None else args.backend,
             runtime=runtime,
         ).setup(A)
@@ -368,6 +369,12 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["lu", "gh", "ght", "gje", "cholesky",
                              "scalar", "none"])
     pv.add_argument("--bound", type=int, default=32)
+    pv.add_argument("--apply-mode", default="factor",
+                    choices=["factor", "inverse", "auto"],
+                    help="preconditioner apply path: native triangular "
+                         "solves (factor), explicit-inverse batched GEMV "
+                         "(inverse), or per-bin measured choice (auto; "
+                         "runtime path only)")
     pv.add_argument("--on-singular", default="raise",
                     choices=["raise", "identity", "scalar", "shift"],
                     help="what to do with singular diagonal blocks "
@@ -398,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("kind", choices=[
         "lu_factor", "lu_solve", "gh_factor", "gh_solve",
         "ght_factor", "ght_solve", "cublas_factor", "cublas_solve",
+        "inverse_apply",
     ])
     pp.add_argument("-m", "--size", type=int, default=32)
     pp.add_argument("-n", "--batch", type=int, default=40000)

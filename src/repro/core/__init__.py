@@ -14,6 +14,10 @@ Public surface:
 * :func:`~repro.core.batched_gauss_jordan.gj_invert` /
   :func:`~repro.core.batched_gauss_jordan.gj_apply` - inversion-based
   alternative.
+* :func:`~repro.core.explicit_inverse.invert_factors` /
+  :func:`~repro.core.explicit_inverse.inverse_apply` - the explicit
+  inverse apply mode: any factorization converted into contiguous
+  ``(nb, tile, tile)`` inverses applied by one batched GEMV.
 * :func:`~repro.core.batched_cholesky.cholesky_factor` /
   :func:`~repro.core.batched_cholesky.cholesky_solve` - the SPD variant
   (the paper's stated future work).
@@ -36,6 +40,12 @@ from .degradation import (
 from .batched_gauss_huard import GHFactors, gh_factor, gh_solve
 from .batched_gauss_jordan import GJInverse, gj_apply, gj_invert
 from .batched_lu import LUFactors, lu_factor, lu_reconstruct
+from .explicit_inverse import (
+    GJEInverseState,
+    batched_gauss_jordan,
+    inverse_apply,
+    invert_factors,
+)
 from .batched_trsv import lower_unit_solve, lu_solve, upper_solve
 from .random_batches import random_batch, random_rhs
 from .validation import (
@@ -67,6 +77,10 @@ __all__ = [
     "GJInverse",
     "gj_invert",
     "gj_apply",
+    "GJEInverseState",
+    "batched_gauss_jordan",
+    "invert_factors",
+    "inverse_apply",
     "CholeskyFactors",
     "cholesky_factor",
     "cholesky_solve",

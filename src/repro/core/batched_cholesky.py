@@ -57,6 +57,10 @@ class CholeskyFactors:
         return self.factors.tile
 
     @property
+    def sizes(self) -> np.ndarray:
+        return self.factors.sizes
+
+    @property
     def ok(self) -> bool:
         return bool((self.info == 0).all())
 
@@ -115,7 +119,10 @@ def _chol_core(A: np.ndarray):
     info = np.zeros(nb, dtype=np.int64)
     for k in range(tile):
         dkk = A[:, k, k].copy()
-        bad = dkk <= 0
+        # NaN compares False against 0, so `dkk <= 0` would let a NaN
+        # diagonal through with info == 0; require a finite positive
+        # pivot instead.
+        bad = ~((dkk > 0) & np.isfinite(dkk))
         np.copyto(info, k + 1, where=(info == 0) & bad)
         ok = ~bad
         root = np.ones_like(dkk)

@@ -177,6 +177,10 @@ def _gh_core(A: np.ndarray):
         #    hold exact zeros in active rows) are never preferred.
         row = np.abs(A[:, k, :])
         row[:, :k] = -1.0
+        # argmax treats NaN as maximal: map NaN candidates to +inf so
+        # the lowest contaminated column wins and is flagged as
+        # singular below instead of being selected silently.
+        np.copyto(row, np.inf, where=np.isnan(row))
         jpiv = row.argmax(axis=1)
         # exchange columns k <-> jpiv and the permutation record
         swap = jpiv != k
@@ -190,7 +194,7 @@ def _gh_core(A: np.ndarray):
             colperm[barange, k] = np.where(swap, pj, pk)
             colperm[barange, jpiv] = np.where(swap, pk, pj)
         pivot = A[:, k, k]
-        singular = pivot == 0
+        singular = (pivot == 0) | ~np.isfinite(pivot)
         np.copyto(info, k + 1, where=(info == 0) & singular)
         inv_pivot = np.ones_like(pivot)
         np.divide(1.0, pivot, out=inv_pivot, where=~singular)

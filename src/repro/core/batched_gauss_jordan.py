@@ -126,6 +126,10 @@ def _gj_core(A: np.ndarray):
         # active columns and are never preferred; ties break low).
         col = np.abs(A[:, :, k])
         col[:, :k] = -1.0
+        # argmax treats NaN as maximal: map NaN candidates to +inf so
+        # the lowest contaminated row wins and is flagged as singular
+        # below instead of being selected silently.
+        np.copyto(col, np.inf, where=np.isnan(col))
         ipiv = col.argmax(axis=1)
         piv[:, k] = ipiv
         # swap rows k <-> ipiv
@@ -134,7 +138,7 @@ def _gj_core(A: np.ndarray):
         A[:, k, :] = rp
         A[barange, ipiv, :] = rk
         pivot = A[:, k, k].copy()
-        singular = pivot == 0
+        singular = (pivot == 0) | ~np.isfinite(pivot)
         np.copyto(info, k + 1, where=(info == 0) & singular)
         inv_pivot = np.ones_like(pivot)
         np.divide(1.0, pivot, out=inv_pivot, where=~singular)

@@ -218,11 +218,16 @@ def _factor_implicit(A: np.ndarray):
         # -- pivot selection (lines 6-9): masked argmax over column k.
         col = np.abs(A[:, :, k])
         col[pivoted] = -1.0  # exclude rows already chosen as pivots
+        # NaN candidates would win argmax (NumPy treats NaN as maximal)
+        # and be selected *silently* with info == 0; map them to +inf so
+        # the lowest contaminated row wins deterministically (matching
+        # the explicit variant's tie break) and flag it below.
+        np.copyto(col, np.inf, where=np.isnan(col))
         ipiv = col.argmax(axis=1)
         pivot_val = A[barange, ipiv, k]
         steps[barange, ipiv] = k
         pivoted[barange, ipiv] = True
-        singular = pivot_val == 0
+        singular = (pivot_val == 0) | ~np.isfinite(pivot_val)
         np.copyto(info, k + 1, where=(info == 0) & singular)
         # -- Gauss transformation (lines 12-15) on unpivoted rows only.
         # Padding rows are unpivoted during the first `size` steps but
@@ -251,6 +256,10 @@ def _factor_explicit(A: np.ndarray):
         # Pivot search restricted to rows k..tile-1 (rows above are done).
         col = np.abs(A[:, :, k])
         col[:, :k] = -1.0
+        # NaN candidates poison col.max (making `tied` all-False, so
+        # argmin silently picks row 0); map them to +inf so the lowest
+        # contaminated original row wins and is flagged as singular.
+        np.copyto(col, np.inf, where=np.isnan(col))
         # Exact-magnitude ties break to the lowest ORIGINAL row index
         # (which perm tracks), not the lowest current position: earlier
         # swaps reorder tied rows, and the implicit scheme - whose rows
@@ -260,7 +269,7 @@ def _factor_explicit(A: np.ndarray):
         tied = col == col.max(axis=1)[:, None]
         ipiv = np.where(tied, perm, tile).argmin(axis=1)
         pivot_val = A[barange, ipiv, k]
-        singular = pivot_val == 0
+        singular = (pivot_val == 0) | ~np.isfinite(pivot_val)
         np.copyto(info, k + 1, where=(info == 0) & singular)
         # Explicit row exchange of rows k and ipiv (lines 8-9).  On the
         # GPU this step keeps 30 of 32 lanes idle - the cost the implicit
@@ -286,7 +295,7 @@ def _factor_nopivot(A: np.ndarray):
     rows = np.arange(tile)
     for k in range(tile):
         pivot_val = A[:, k, k].copy()
-        singular = pivot_val == 0
+        singular = (pivot_val == 0) | ~np.isfinite(pivot_val)
         np.copyto(info, k + 1, where=(info == 0) & singular)
         below = rows[None, :] > k
         inv_pivot = np.ones_like(pivot_val)

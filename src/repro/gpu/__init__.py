@@ -21,6 +21,7 @@ from .closed_forms import (
     expected_counts,
     gh_factor_counts,
     gh_solve_counts,
+    inverse_apply_counts,
     lu_factor_counts,
     lu_solve_counts,
     strided_sectors,
@@ -63,6 +64,7 @@ __all__ = [
     "lu_solve_counts",
     "gh_factor_counts",
     "gh_solve_counts",
+    "inverse_apply_counts",
     "contiguous_sectors",
     "strided_sectors",
 ]

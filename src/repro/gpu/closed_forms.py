@@ -42,6 +42,7 @@ __all__ = [
     "lu_solve_counts",
     "gh_factor_counts",
     "gh_solve_counts",
+    "inverse_apply_counts",
     "expected_counts",
 ]
 
@@ -198,6 +199,44 @@ def gh_solve_counts(m: int, es: int, transposed: bool) -> KernelStats:
             + 2  # sub + div on the single finalising lane
             + 2 * k  # upward elimination on lanes < k
         )
+    return s
+
+
+def inverse_apply_counts(m: int, es: int) -> KernelStats:
+    """Expected counters of the explicit-inverse GEMV apply.
+
+    The ``apply_mode="inverse"`` path replaces the TRSV sweeps with
+    ``y = D^{-1} x``: load the ``m x m`` inverse column-major
+    (coalesced exactly like the LU factor columns), broadcast one
+    ``x_j`` per column and accumulate one predicated FMA - ``m``
+    *independent* broadcast+FMA pairs with no pivot-record load, no
+    reciprocal, and no cross-step dependency.  Contrast with
+    :func:`lu_solve_counts`: same ``2 m^2`` useful flops, but the
+    TRSV pays ``3m - 1`` dependent shuffles and ``m`` divisions where
+    the GEMV pays ``m`` independent shuffles and none - which is the
+    whole apply-mode trade (Section II-B of the paper's GJE
+    discussion).
+
+    This kind has no warp realisation in :mod:`repro.gpu.warp_lu` (the
+    NumPy runtime executes it as one einsum per bin), so unlike the
+    factor/solve kinds it is priced from this closed form directly
+    rather than replay-verified; the runtime-level benchmark
+    (``BENCH_runtime.json``) is its measured counterpart.
+    """
+    s = KernelStats()
+    sol_tx = contiguous_sectors(0, m, es)
+    col_tx = sum(contiguous_sectors(j * m, m, es) for j in range(m))
+    # loads: x, then one inverse column per accumulation step
+    s.global_load_instructions = 1 + m
+    s.global_load_transactions = sol_tx + col_tx
+    s.bytes_loaded = m * es + m * m * es
+    s.global_store_instructions = 1
+    s.global_store_transactions = sol_tx
+    s.bytes_stored = m * es
+    # one x_j broadcast + one FMA per column; no divisions
+    s.shuffles = m
+    s.arith_instructions = m
+    s.flops = 2 * m * m
     return s
 
 

@@ -67,6 +67,23 @@ def project_kernel(
         return cublas_getrf_timing(m, nb, device, dtype)
     if kind == "cublas_solve":
         return cublas_getrs_timing(m, nb, device, dtype)
+    if kind == "inverse_apply":
+        # The explicit-inverse GEMV apply has no warp realisation to
+        # replay (the runtime executes it as one einsum per bin), so it
+        # is priced straight from its closed form - same register
+        # budget as the LU apply (rhs element + column staging).
+        from .closed_forms import inverse_apply_counts
+        from .profiles import _value_regs
+
+        es = np.dtype(dtype).itemsize
+        return time_batched_kernel(
+            inverse_apply_counts(m, es),
+            nb,
+            useful_flops_per_problem=2.0 * m * m,
+            regs_per_thread=_value_regs(4, es),
+            device=device,
+            dtype=dtype,
+        )
     if kind not in KERNEL_KINDS:
         raise ValueError(f"unknown kernel kind {kind!r}")
     es = np.dtype(dtype).itemsize

@@ -77,7 +77,8 @@ from ..core.degradation import (
     OnSingular,
     SingularBlockError,
 )
-from ..runtime import BatchRuntime
+from ..core.explicit_inverse import inverse_apply, invert_factors
+from ..runtime import APPLY_MODES, BatchRuntime
 from ..sparse.csr import CsrMatrix
 from ..telemetry.tracer import get_tracer
 from .base import Preconditioner
@@ -112,6 +113,18 @@ class BlockJacobiPreconditioner(Preconditioner):
         Estimate the 1-norm condition number of every surviving block
         during setup (``tile`` extra batched solves); stored in the
         ``report``.  On by default.
+    apply_mode:
+        How ``apply`` answers: ``"factor"`` (default) runs the
+        method's native solve against the stored factors;
+        ``"inverse"`` additionally builds explicit per-block inverses
+        during setup (identity-RHS solves through the factors; a
+        re-wrap for ``method="gje"``, whose factors already *are*
+        inverses) so every apply collapses to one batched GEMV;
+        ``"auto"`` lets the runtime's autotuner measure both paths per
+        bin and keep the winner (on the direct path, where no tuner
+        runs, ``"auto"`` resolves to ``"inverse"``).  The effective
+        mode actually in force is recorded in the setup report -
+        backends that cannot invert fall back to ``"factor"``.
     runtime, backend:
         Route the batched factorization and solves through the
         :mod:`repro.runtime` execution subsystem instead of direct
@@ -154,6 +167,7 @@ class BlockJacobiPreconditioner(Preconditioner):
         dtype=np.float64,
         on_singular: OnSingular = "raise",
         estimate_condition: bool = True,
+        apply_mode: str = "factor",
         runtime: BatchRuntime | None = None,
         backend: str | None = None,
     ):
@@ -166,6 +180,11 @@ class BlockJacobiPreconditioner(Preconditioner):
                 f"unknown on_singular policy {on_singular!r}; expected "
                 f"one of {SINGULAR_POLICIES}"
             )
+        if apply_mode not in APPLY_MODES:
+            raise ValueError(
+                f"unknown apply_mode {apply_mode!r}; expected one of "
+                f"{APPLY_MODES}"
+            )
         self.method = method
         self.max_block_size = max_block_size
         self._explicit_sizes = (
@@ -174,6 +193,7 @@ class BlockJacobiPreconditioner(Preconditioner):
         self.dtype = np.dtype(dtype)
         self.on_singular = on_singular
         self.estimate_condition = estimate_condition
+        self.apply_mode = apply_mode
         if runtime is not None and backend is not None:
             if runtime.backend.name != backend:
                 raise ValueError(
@@ -190,7 +210,9 @@ class BlockJacobiPreconditioner(Preconditioner):
         self.runtime_report = None
         self._matrix: CsrMatrix | None = None
         self._factor = None
+        self._inverse = None
         self._effective_method: str = method
+        self._effective_apply_mode: str = "factor"
         self._n = 0
         self._gather: np.ndarray | None = None
         self._valid: np.ndarray | None = None
@@ -357,6 +379,17 @@ class BlockJacobiPreconditioner(Preconditioner):
             shift = np.zeros(nb, dtype=np.float64)
         self._factor = fac
         self._effective_method = effective
+        self._inverse = None
+        effective_apply = "factor"
+        if self._runtime is not None:
+            effective_apply = getattr(fac, "effective_apply_mode", "factor")
+        elif self.apply_mode != "factor" and fac.ok:
+            # Direct path: no per-bin tuner exists here, so "auto"
+            # resolves to "inverse" (the setup premium is the point of
+            # opting in).  For "gje" this is a zero-copy re-wrap.
+            self._inverse = invert_factors(fac)
+            effective_apply = "inverse"
+        self._effective_apply_mode = effective_apply
         self.info = info
         self.report = SetupReport(
             method=self.method,
@@ -368,6 +401,8 @@ class BlockJacobiPreconditioner(Preconditioner):
             shift=shift,
             cholesky_lu_fallback=chol_fallback,
             n_nonspd=n_nonspd,
+            apply_mode=self.apply_mode,
+            effective_apply_mode=effective_apply,
             runtime=self.runtime_report,
         )
 
@@ -379,7 +414,12 @@ class BlockJacobiPreconditioner(Preconditioner):
         chol_fallback = False
         n_nonspd = 0
         if self.method == "cholesky":
-            fac = rt.factorize(blocks, method="cholesky", on_singular=None)
+            fac = rt.factorize(
+                blocks,
+                method="cholesky",
+                on_singular=None,
+                apply_mode=self.apply_mode,
+            )
             if not fac.ok:
                 n_nonspd = int(np.count_nonzero(fac.info))
                 chol_fallback = True
@@ -391,10 +431,18 @@ class BlockJacobiPreconditioner(Preconditioner):
                     UserWarning,
                     stacklevel=4,
                 )
-                fac = rt.factorize(blocks, method="lu", on_singular=policy)
+                fac = rt.factorize(
+                    blocks,
+                    method="lu",
+                    on_singular=policy,
+                    apply_mode=self.apply_mode,
+                )
         else:
             fac = rt.factorize(
-                blocks, method=self.method, on_singular=policy
+                blocks,
+                method=self.method,
+                on_singular=policy,
+                apply_mode=self.apply_mode,
             )
         self.runtime_report = rt.last_report
         return fac, effective, chol_fallback, n_nonspd
@@ -447,6 +495,8 @@ class BlockJacobiPreconditioner(Preconditioner):
         """One batched solve with the stored factors (method dispatch)."""
         if self._runtime is not None:
             return self._factor.solve(rhs)
+        if self._inverse is not None:
+            return inverse_apply(self._inverse, rhs)
         method = self._effective_method
         if method == "lu":
             return lu_solve(self._factor, rhs)
@@ -476,7 +526,12 @@ class BlockJacobiPreconditioner(Preconditioner):
         tr = get_tracer()
         if not tr.enabled:
             return self._apply_inner(x)
-        with tr.span("precond.apply", cat="precond", method=self.method):
+        with tr.span(
+            "precond.apply",
+            cat="precond",
+            method=self.method,
+            apply_mode=self._effective_apply_mode,
+        ):
             return self._apply_inner(x)
 
     def _apply_inner(self, x: np.ndarray) -> np.ndarray:

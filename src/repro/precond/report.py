@@ -57,6 +57,11 @@ class SetupReport:
         1-norm condition estimates ``||D_i||_1 * ||D_i^{-1}||_1`` of the
         surviving (non-substituted) blocks; NaN for substituted blocks
         and when estimation was disabled.
+    apply_mode, effective_apply_mode:
+        The apply mode requested at construction and the one actually
+        in force after setup (``"factor"`` when the explicit inverse
+        could not be built, ``"mixed"`` when the runtime autotuner
+        kept it on some bins only).
     setup_seconds:
         Wall time of extraction + factorization (+ estimation).
     runtime:
@@ -77,6 +82,8 @@ class SetupReport:
     n_nonspd: int = 0
     condition_estimates: np.ndarray | None = None
     setup_seconds: float = 0.0
+    apply_mode: str = "factor"
+    effective_apply_mode: str = "factor"
     runtime: RuntimeReport | None = None
 
     @property
@@ -171,6 +178,8 @@ class SetupReport:
                 "condition_estimates": self.condition_estimates,
                 "max_condition": self.max_condition,
                 "setup_seconds": self.setup_seconds,
+                "apply_mode": self.apply_mode,
+                "effective_apply_mode": self.effective_apply_mode,
                 "degraded_execution": self.degraded_execution,
                 "runtime": (
                     None if self.runtime is None else self.runtime.to_dict()
@@ -207,6 +216,11 @@ class SetupReport:
         else:
             lines.append(
                 f"  degradation[{self.on_singular}]: all blocks factorized"
+            )
+        if self.apply_mode != "factor":
+            lines.append(
+                f"  apply mode: {self.apply_mode} requested, "
+                f"{self.effective_apply_mode} in force"
             )
         if self.condition_estimates is not None and np.isfinite(
             self.max_condition

@@ -27,17 +27,19 @@ Entry point::
     print(rt.last_report.summary())
 """
 
+from .autotune import ApplyModeTuning, BinTuning, tune_apply_mode
 from .backends import (
     BACKENDS,
     Backend,
     BackendFactorization,
+    BackendInverse,
     BackendUnavailable,
     available_backends,
     get_backend,
     register_backend,
 )
 from .cache import CacheStats, FactorizationCache, batch_fingerprint
-from .executor import BatchRuntime, RuntimeFactorization
+from .executor import APPLY_MODES, BatchRuntime, RuntimeFactorization
 from .planner import DEFAULT_BINS, BinPlan, ExecutionPlan, plan_batch
 from .resilience import (
     BreakerBoard,
@@ -49,11 +51,15 @@ from .resilience import (
 from .stats import BinStats, RuntimeReport
 
 __all__ = [
+    "APPLY_MODES",
+    "ApplyModeTuning",
     "BACKENDS",
     "Backend",
     "BackendFactorization",
+    "BackendInverse",
     "BackendUnavailable",
     "BatchRuntime",
+    "BinTuning",
     "BinPlan",
     "BinStats",
     "BreakerBoard",
@@ -72,4 +78,5 @@ __all__ = [
     "plan_batch",
     "register_backend",
     "spot_check_factorization",
+    "tune_apply_mode",
 ]

@@ -26,6 +26,14 @@ can cross-check them against each other:
     the heavy ufuncs, bins are independent).  Bitwise-identical
     results to ``"binned"``.
 
+Backends additionally advertise an ``invert`` capability
+(``supports_invert``): building explicit block inverses from an
+existing factorization state so the preconditioner apply becomes one
+batched GEMM/GEMV per bin (``apply_mode="inverse"``).  The NumPy-based
+backends support it; the per-block ``scipy`` anchor does not (its
+LAPACK handles stay opaque), and the executor falls back to the
+factorization apply path with a recorded event.
+
 Degradation (``on_singular``) is honoured by every backend with the
 same semantics as the kernels themselves: ``"raise"`` aborts with a
 :class:`~repro.core.degradation.SingularBlockError` carrying the
@@ -55,6 +63,11 @@ from ..core.degradation import (
     SingularBlockError,
     substitute_singular_blocks,
 )
+from ..core.explicit_inverse import (
+    GJEInverseState,
+    inverse_apply,
+    invert_factors,
+)
 from ..telemetry.tracer import get_tracer
 from .planner import ExecutionPlan
 from .stats import BinStats
@@ -63,6 +76,7 @@ __all__ = [
     "BACKENDS",
     "Backend",
     "BackendFactorization",
+    "BackendInverse",
     "BackendUnavailable",
     "available_backends",
     "get_backend",
@@ -109,6 +123,26 @@ def _kernel_pair(method: str) -> tuple[Callable, Callable]:
 
 
 @dataclass
+class BackendInverse:
+    """Explicit-inverse apply states produced by ``Backend.invert``.
+
+    ``states`` mirrors the backend's factorization state layout: one
+    :class:`~repro.core.explicit_inverse.GJEInverseState` for the
+    monolithic ``numpy`` backend, a per-bin list for the binned
+    backends.  A ``None`` entry in the list means that bin stays on the
+    factorization apply path (the autotuner disables losing bins this
+    way); ``apply_inverse`` falls back to the factor solve for them.
+    """
+
+    states: GJEInverseState | list[GJEInverseState | None]
+
+    def units(self) -> list[GJEInverseState | None]:
+        """The states as a flat list, whatever the layout."""
+        s = self.states
+        return list(s) if isinstance(s, list) else [s]
+
+
+@dataclass
 class BackendFactorization:
     """What a backend hands back: opaque state + source-ordered status.
 
@@ -131,6 +165,9 @@ class Backend:
     """Protocol base: subclass, set ``name``, register."""
 
     name: str = "?"
+    #: whether this backend can build explicit inverses for the
+    #: ``apply_mode="inverse"`` path (``invert``/``apply_inverse``)
+    supports_invert: bool = False
 
     def factorize(
         self,
@@ -150,6 +187,28 @@ class Backend:
 
     def bin_stats(self, plan: ExecutionPlan) -> list[BinStats]:
         """Padding accounting of how *this* backend executes the plan."""
+        raise NotImplementedError
+
+    def invert(
+        self, state: object, plan: ExecutionPlan
+    ) -> BackendInverse:
+        """Build explicit inverses from a factorization state.
+
+        Only meaningful when ``supports_invert`` is True; the executor
+        checks the flag and falls back to the factorization apply path
+        otherwise.
+        """
+        raise NotImplementedError
+
+    def apply_inverse(
+        self,
+        inv: BackendInverse,
+        state: object,
+        plan: ExecutionPlan,
+        rhs: BatchedVectors,
+    ) -> BatchedVectors:
+        """Apply explicit inverses (``state`` backs the factor-path
+        fallback for units whose inverse was disabled)."""
         raise NotImplementedError
 
 
@@ -298,6 +357,31 @@ def _solve_bins(
     )
 
 
+def _invert_bins(state: object) -> BackendInverse:
+    """Per-bin explicit inverses from a binned factorization state."""
+    _, facs = state
+    return BackendInverse(states=[invert_factors(f) for f in facs])
+
+
+def _apply_inverse_bins(
+    inv: BackendInverse,
+    state: object,
+    plan: ExecutionPlan,
+    rhs: BatchedVectors,
+) -> BatchedVectors:
+    """Per-bin GEMV apply; bins with a disabled inverse (None entry)
+    run the factorization solve instead."""
+    method, facs = state
+    _, solve = _kernel_pair(method)
+    per_bin = plan.split_rhs(rhs)
+    return plan.merge_solutions(
+        [
+            inverse_apply(s, r) if s is not None else solve(f, r)
+            for s, f, r in zip(inv.states, facs, per_bin)
+        ]
+    )
+
+
 def _binned_stats(plan: ExecutionPlan) -> list[BinStats]:
     return [
         BinStats(
@@ -319,6 +403,7 @@ class NumpyBackend(Backend):
     """Monolithic vectorised execution at the source tile (legacy path)."""
 
     name = "numpy"
+    supports_invert = True
 
     def factorize(self, plan, method="lu", on_singular=None):
         factor, _ = _kernel_pair(method)
@@ -333,6 +418,15 @@ class NumpyBackend(Backend):
         method, fac = state
         _, solve = _kernel_pair(method)
         return solve(fac, rhs)
+
+    def invert(self, state, plan):
+        _, fac = state
+        return BackendInverse(states=invert_factors(fac))
+
+    def apply_inverse(self, inv, state, plan, rhs):
+        if inv.states is None:
+            return self.solve(state, plan, rhs)
+        return inverse_apply(inv.states, rhs)
 
     def bin_stats(self, plan):
         src = plan.source
@@ -354,6 +448,7 @@ class BinnedBackend(Backend):
     """Per-bin padded execution of the plan (the runtime default)."""
 
     name = "binned"
+    supports_invert = True
 
     def factorize(self, plan, method="lu", on_singular=None):
         return _factor_bins(
@@ -366,6 +461,12 @@ class BinnedBackend(Backend):
     def solve(self, state, plan, rhs):
         return _solve_bins(state, plan, rhs)
 
+    def invert(self, state, plan):
+        return _invert_bins(state)
+
+    def apply_inverse(self, inv, state, plan, rhs):
+        return _apply_inverse_bins(inv, state, plan, rhs)
+
     def bin_stats(self, plan):
         return _binned_stats(plan)
 
@@ -375,6 +476,7 @@ class ThreadsBackend(Backend):
     """Binned execution with bins fanned out over a thread pool."""
 
     name = "threads"
+    supports_invert = True
 
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers
@@ -404,6 +506,22 @@ class ThreadsBackend(Backend):
                     pool.map(lambda fr: solve(*fr), zip(facs, per_bin))
                 )
         return plan.merge_solutions(sols)
+
+    def invert(self, state, plan):
+        _, facs = state
+        if len(facs) <= 1:
+            return _invert_bins(state)
+        # the 2m^3-flop inversion is the expensive half of the trade;
+        # fan it out like the factorization itself
+        with ThreadPoolExecutor(
+            max_workers=self.max_workers or len(facs)
+        ) as pool:
+            return BackendInverse(
+                states=list(pool.map(invert_factors, facs))
+            )
+
+    def apply_inverse(self, inv, state, plan, rhs):
+        return _apply_inverse_bins(inv, state, plan, rhs)
 
     def bin_stats(self, plan):
         return _binned_stats(plan)

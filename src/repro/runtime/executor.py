@@ -55,6 +55,7 @@ from .backends import (
     _merge_records,
     get_backend,
 )
+from .autotune import tune_apply_mode
 from .cache import CacheStats, FactorizationCache, batch_fingerprint
 from .planner import DEFAULT_BINS, ExecutionPlan, plan_batch
 from .resilience import (
@@ -69,7 +70,12 @@ from ..telemetry.metrics import get_metrics
 from ..telemetry.tracer import get_tracer
 from .stats import RuntimeReport
 
-__all__ = ["BatchRuntime", "RuntimeFactorization"]
+__all__ = ["APPLY_MODES", "BatchRuntime", "RuntimeFactorization"]
+
+#: how a handle answers solves: via the stored factorization
+#: (triangular sweeps), via explicit inverses (one batched GEMV per
+#: bin), or measured per bin at setup time
+APPLY_MODES = ("factor", "inverse", "auto")
 
 
 def _note_fallback(report: RuntimeReport, event: dict) -> None:
@@ -112,6 +118,9 @@ class RuntimeFactorization:
     fingerprint: str | None = None
     on_singular: OnSingular | None = None
     resilient: bool = False
+    apply_mode: str = "factor"
+    effective_apply_mode: str = "factor"
+    inverse: object | None = None
     _solves: int = field(default=0, repr=False)
     _reference: tuple | None = field(default=None, repr=False)
 
@@ -144,23 +153,42 @@ class RuntimeFactorization:
                 f"rhs geometry ({rhs.nb}, {rhs.tile}) does not match the "
                 f"factorized batch ({self.plan.nb}, {self.plan.source_tile})"
             )
+        mode = (
+            self.effective_apply_mode
+            if self.inverse is not None
+            else "factor"
+        )
+        t0 = time.perf_counter()
         with self.report.timer().stage("solve"):
             if not self.resilient:
-                out = self.backend.solve(self.result.state, self.plan, rhs)
+                out = self._mode_solve(rhs, mode)
             else:
-                out = self._resilient_solve(rhs)
+                out = self._resilient_solve(rhs, mode)
+        get_metrics().histogram(
+            "repro_apply_seconds",
+            "Wall seconds per preconditioner apply, by apply mode",
+        ).observe(time.perf_counter() - t0, mode=mode)
         self._solves += 1
         self.report.solves += 1
         return out
 
+    def _mode_solve(self, rhs: BatchedVectors, mode: str) -> BatchedVectors:
+        if mode != "factor" and self.inverse is not None:
+            return self.backend.apply_inverse(
+                self.inverse, self.result.state, self.plan, rhs
+            )
+        return self.backend.solve(self.result.state, self.plan, rhs)
+
     # -- resilient solve path ---------------------------------------------
 
-    def _resilient_solve(self, rhs: BatchedVectors) -> BatchedVectors:
+    def _resilient_solve(
+        self, rhs: BatchedVectors, mode: str = "factor"
+    ) -> BatchedVectors:
         err: BaseException | None = None
         out = None
         try:
             with np.errstate(all="ignore"):
-                out = self.backend.solve(self.result.state, self.plan, rhs)
+                out = self._mode_solve(rhs, mode)
         except Exception as e:
             err = e
         if out is not None and self._solve_corrupted(out, rhs):
@@ -168,6 +196,29 @@ class RuntimeFactorization:
                 "non-finite solve output on blocks with clean info"
             )
             out = None
+        if out is None and mode != "factor":
+            # the inverse path failed or produced garbage: quarantine
+            # the apply onto the factorization (TRSV) path before
+            # escalating to the reference factorization
+            _note_fallback(
+                self.report,
+                {
+                    "stage": "solve",
+                    "backend": self.backend.name,
+                    "error": repr(err),
+                    "action": "inverse_to_factor",
+                },
+            )
+            try:
+                with np.errstate(all="ignore"):
+                    out = self._mode_solve(rhs, "factor")
+            except Exception as e:
+                err = e
+            if out is not None and self._solve_corrupted(out, rhs):
+                err = RuntimeExecutionError(
+                    "non-finite solve output on blocks with clean info"
+                )
+                out = None
         if out is None:
             out = self._reference_solve(rhs)
             self.report.solve_fallbacks += 1
@@ -342,7 +393,11 @@ class BatchRuntime:
     # -- execution --------------------------------------------------------
 
     def _cache_key(
-        self, batch: BatchedMatrices, method: str, on_singular
+        self,
+        batch: BatchedMatrices,
+        method: str,
+        on_singular,
+        apply_mode: str = "factor",
     ) -> str:
         return batch_fingerprint(
             batch,
@@ -352,6 +407,7 @@ class BatchRuntime:
                 on_singular,
                 self.bins,
                 self.tight,
+                apply_mode,
             ),
         )
 
@@ -361,6 +417,7 @@ class BatchRuntime:
         method: str = "lu",
         on_singular: OnSingular | None = None,
         use_cache: bool = True,
+        apply_mode: str = "factor",
     ) -> RuntimeFactorization:
         """Factorize a batch through plan -> cache -> backend.
 
@@ -370,16 +427,32 @@ class BatchRuntime:
         ``on_singular="raise"`` with the merged source-ordered status,
         and :class:`~repro.runtime.resilience.RuntimeExecutionError`
         when every configured execution avenue failed.
+
+        ``apply_mode`` selects how the returned handle answers solves:
+        ``"factor"`` (default, the triangular/factor apply),
+        ``"inverse"`` (explicit per-bin inverses applied by one batched
+        GEMV - built in an extra timed ``invert`` stage), or ``"auto"``
+        (both paths measured per bin, the faster one kept).  When the
+        producing backend cannot build inverses (``scipy``, a chaos
+        wrapper, the quarantine composite) or singular blocks stayed
+        unresolved, the handle falls back to the factor apply and the
+        deviation is recorded on the report.
         """
         if method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        if apply_mode not in APPLY_MODES:
+            raise ValueError(
+                f"unknown apply_mode {apply_mode!r}; expected one of "
+                f"{APPLY_MODES}"
             )
         report = RuntimeReport(
             backend=self.backend.name,
             method=method,
             nb=batch.nb,
             source_tile=batch.tile,
+            apply_mode=apply_mode,
         )
         tr = get_tracer()
         top = (
@@ -396,7 +469,8 @@ class BatchRuntime:
         )
         try:
             handle = self._factorize_inner(
-                batch, method, on_singular, use_cache, report, top
+                batch, method, on_singular, use_cache, apply_mode,
+                report, top,
             )
         finally:
             if top is not None:
@@ -404,21 +478,28 @@ class BatchRuntime:
         return handle
 
     def _factorize_inner(
-        self, batch, method, on_singular, use_cache, report, top
+        self, batch, method, on_singular, use_cache, apply_mode,
+        report, top,
     ) -> RuntimeFactorization:
         timer = report.timer()
         key = None
         if self.cache is not None and use_cache:
             with timer.stage("fingerprint"):
-                key = self._cache_key(batch, method, on_singular)
+                key = self._cache_key(
+                    batch, method, on_singular, apply_mode
+                )
             cached = self.cache.get(key)
             if cached is not None:
                 if not self.validate or self._validate_cached(
-                    cached, key, method, on_singular
+                    cached, key, method, on_singular, apply_mode
                 ):
                     report.cache_hit = True
                     report.bins = list(cached.report.bins)
                     report.backend_used = cached.report.backend_used
+                    report.effective_apply_mode = (
+                        cached.effective_apply_mode
+                    )
+                    report.apply_tuning = cached.report.apply_tuning
                     if top is not None:
                         top.set(cache_hit=True)
                     self.last_report = report
@@ -455,6 +536,9 @@ class BatchRuntime:
             )
         if self.resilient:
             report.breakers = self._breakers.snapshot()
+        inverse, effective_mode = self._build_inverse(
+            plan, producer, result, apply_mode, report, timer
+        )
         handle = RuntimeFactorization(
             plan=plan,
             backend=producer,
@@ -464,6 +548,9 @@ class BatchRuntime:
             fingerprint=key,
             on_singular=on_singular,
             resilient=self.resilient,
+            apply_mode=apply_mode,
+            effective_apply_mode=effective_mode,
+            inverse=inverse,
         )
         if (
             key is not None
@@ -479,6 +566,56 @@ class BatchRuntime:
     ) -> BatchedVectors:
         """Convenience alias for ``fac.solve(rhs)``."""
         return fac.solve(rhs)
+
+    def _build_inverse(
+        self, plan, producer, result, apply_mode, report, timer
+    ):
+        """Explicit-inverse construction (+ tuning) for the handle.
+
+        Returns ``(inverse, effective_mode)``.  Falls back to the
+        factor apply - with a recorded deviation - whenever the
+        producing backend cannot invert (scipy, chaos wrappers, the
+        quarantine composite) or singular blocks stayed unresolved.
+        """
+        report.effective_apply_mode = "factor"
+        if apply_mode == "factor":
+            return None, "factor"
+        reason = None
+        if producer is COMPOSITE_BACKEND:
+            reason = "quarantined_composite"
+        elif not getattr(producer, "supports_invert", False):
+            reason = "backend_no_invert"
+        elif not result.ok:
+            reason = "unresolved_singular_blocks"
+        if reason is not None:
+            _note_fallback(
+                report,
+                {
+                    "stage": "invert",
+                    "backend": getattr(producer, "name", "?"),
+                    "error": reason,
+                    "action": "factor_apply",
+                },
+            )
+            return None, "factor"
+        with timer.stage("invert"):
+            inverse = producer.invert(result.state, plan)
+        effective = "inverse"
+        if apply_mode == "auto":
+            with timer.stage("tune"):
+                tuning = tune_apply_mode(
+                    result.state,
+                    inverse,
+                    invert_seconds=report.stage_seconds.get(
+                        "invert", 0.0
+                    ),
+                )
+            report.apply_tuning = tuning.to_dict()
+            effective = tuning.mode
+            if effective == "factor":
+                inverse = None
+        report.effective_apply_mode = effective
+        return inverse, effective
 
     # -- resilient execution ----------------------------------------------
 
@@ -735,13 +872,17 @@ class BatchRuntime:
         key: str,
         method: str,
         on_singular,
+        apply_mode: str = "factor",
     ) -> bool:
         """Entry validation on hit: the stored source must still hash to
-        the lookup key, and the stored factors must pass the finite
-        spot check.  Either failure means the entry was poisoned (or
-        mutated in place) and must not be served."""
+        the lookup key, the stored factors must pass the finite spot
+        check, and any stored explicit inverses must still be finite.
+        Any failure means the entry was poisoned (or mutated in place)
+        and must not be served."""
         try:
-            fp = self._cache_key(handle.plan.source, method, on_singular)
+            fp = self._cache_key(
+                handle.plan.source, method, on_singular, apply_mode
+            )
         except Exception:
             return False
         if fp != key:
@@ -750,7 +891,15 @@ class BatchRuntime:
             handle.backend, handle.result.state, handle.plan,
             handle.result.info,
         )
-        return not bad.any()
+        if bad.any():
+            return False
+        if handle.inverse is not None:
+            for state in handle.inverse.units():
+                if state is not None and not np.isfinite(
+                    state.inverses.data
+                ).all():
+                    return False
+        return True
 
     # -- cache management -------------------------------------------------
 

@@ -157,6 +157,15 @@ class RuntimeReport:
     cache_poisoned:
         True when a cache hit failed entry validation and the entry
         was evicted and refactorized instead of served.
+    apply_mode, effective_apply_mode:
+        The apply mode requested for the handle and the one actually
+        in force (``"factor"`` when the inverse could not be built or
+        the autotuner rejected it everywhere; ``"mixed"`` when the
+        autotuner kept it on some bins only).
+    apply_tuning:
+        Per-bin measurements of the ``apply_mode="auto"`` tuner
+        (:meth:`~repro.runtime.autotune.ApplyModeTuning.to_dict`);
+        None unless auto mode ran.
     breakers:
         Snapshot of the runtime's circuit breakers after the call
         (resilient mode only).
@@ -176,6 +185,9 @@ class RuntimeReport:
     solve_fallbacks: int = 0
     cache_poisoned: bool = False
     breakers: dict | None = None
+    apply_mode: str = "factor"
+    effective_apply_mode: str = "factor"
+    apply_tuning: dict | None = None
 
     def timer(self) -> StageTimer:
         return StageTimer(self.stage_seconds)
@@ -232,6 +244,9 @@ class RuntimeReport:
                 "solve_fallbacks": self.solve_fallbacks,
                 "cache_poisoned": self.cache_poisoned,
                 "breakers": self.breakers,
+                "apply_mode": self.apply_mode,
+                "effective_apply_mode": self.effective_apply_mode,
+                "apply_tuning": self.apply_tuning,
             }
         )
 
@@ -260,11 +275,18 @@ class RuntimeReport:
                 f"  padded flops {self.padded_flops} vs monolithic {mono} "
                 f"(saved {pct:.1f}%)"
             )
-        for name in ("plan", "fingerprint", "factor", "solve"):
+        for name in (
+            "plan", "fingerprint", "factor", "invert", "tune", "solve",
+        ):
             if name in self.stage_seconds:
                 lines.append(
                     f"  {name}: {self.stage_seconds[name] * 1e3:.3f} ms"
                 )
+        if self.apply_mode != "factor":
+            lines.append(
+                f"  apply mode: {self.apply_mode} requested, "
+                f"{self.effective_apply_mode} in force"
+            )
         if self.fallback_events or self.quarantined_bins:
             used = self.backend_used or self.backend
             lines.append(

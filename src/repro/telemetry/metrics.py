@@ -44,8 +44,28 @@ def _label_str(key: tuple) -> str:
     return ",".join(f"{k}={v}" for k, v in key)
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text-format spec.
+
+    Inside the double-quoted label value, backslash, double quote and
+    line feed must appear as ``\\\\``, ``\\"`` and ``\\n`` - anything
+    else produces an unparseable exposition.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text: backslash and line feed only (spec rules)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(key: tuple, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in key]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in key]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -273,7 +293,7 @@ class MetricsRegistry:
         lines = []
         for name, inst in sorted(instruments.items()):
             if inst.help:
-                lines.append(f"# HELP {name} {inst.help}")
+                lines.append(f"# HELP {name} {_escape_help(inst.help)}")
             lines.append(f"# TYPE {name} {inst.kind}")
             lines.extend(inst.expose())
         return "\n".join(lines) + ("\n" if lines else "")

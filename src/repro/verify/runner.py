@@ -33,6 +33,14 @@ metrology of this package and aggregates structured pass/fail findings:
     Warp kernels replayed on the SIMT machine match the closed-form
     instruction/transaction counts and the NumPy reference factors.
 
+``apply_modes``
+    The explicit-inverse apply (GEMV against inverses built from the
+    LU factors) agrees with the triangular-solve apply on every
+    adversarial batch, block by block, within a condition-scaled
+    forward bound ``C m kappa eps`` (blocks whose bound exceeds 0.5
+    carry no forward accuracy either way and are skipped, not
+    excused).
+
 Everything is deterministic in ``seed``.  ``quick=True`` trims the
 sweep for CI entry gates (~seconds); the full mode widens tiles and
 adds float32.
@@ -307,6 +315,60 @@ def _check_simt(quick: bool, seed: int) -> CheckResult:
     )
 
 
+def _check_apply_modes(sweep, seed: int) -> CheckResult:
+    """Differential oracle: inverse apply vs triangular-solve apply.
+
+    Both paths start from the *same* LU factors, so their solutions
+    differ only by the conditioning-amplified rounding of the extra
+    inverse formation + GEMV.  Per block, forward agreement is held to
+    ``C m kappa(A) eps`` with the exact condition number; blocks whose
+    bound is vacuous (> 0.5) are skipped and counted.
+    """
+    from ..core.explicit_inverse import inverse_apply, invert_factors
+
+    failures = {}
+    skipped = 0
+    compared = 0
+    for name, (batch, _) in sweep.items():
+        fac = lu_factor(batch)
+        if not fac.ok:
+            failures[name] = {"error": "unexpected singular block"}
+            continue
+        rhs = _rhs(batch, seed + 41)
+        x_factor = lu_solve(fac, rhs)
+        x_inverse = inverse_apply(invert_factors(fac), rhs)
+        m = batch.sizes.astype(np.float64)
+        kappa = np.array(
+            [
+                np.linalg.cond(batch.block(i))
+                for i in range(batch.nb)
+            ]
+        )
+        bound = _BOUND_C * m * kappa * _eps(batch)
+        scale = np.max(np.abs(x_factor.data), axis=1)
+        scale[scale == 0.0] = 1.0
+        diff = np.max(np.abs(x_inverse.data - x_factor.data), axis=1) / scale
+        comparable = bound <= 0.5
+        skipped += int(np.count_nonzero(~comparable))
+        compared += int(np.count_nonzero(comparable))
+        over = comparable & (diff > bound)
+        if over.any():
+            failures[name] = {
+                "blocks": np.nonzero(over)[0].tolist(),
+                "diff_max": float(diff[over].max()),
+                "bound_min": float(bound[over].min()),
+            }
+    return CheckResult(
+        name="apply_modes",
+        passed=not failures,
+        details={
+            "failures": failures,
+            "blocks_compared": compared,
+            "blocks_skipped_ill_conditioned": skipped,
+        },
+    )
+
+
 def _check_chaos(quick: bool, seed: int) -> CheckResult:
     """The seeded chaos sweep as a verification check.
 
@@ -344,6 +406,7 @@ def run_verification(
     report.checks.append(_check_factorization(sweep, seed))
     report.checks.append(_check_differential(sweep, quick, seed))
     report.checks.append(_check_simt(quick, seed))
+    report.checks.append(_check_apply_modes(sweep, seed))
     if chaos:
         report.checks.append(_check_chaos(quick, chaos_seed))
     return report

@@ -1,0 +1,225 @@
+"""Runtime-level tests of ``apply_mode``: explicit-inverse GEMV apply
+through the executor - equivalence vs the TRSV path, caching of the
+inverse states (poison-aware), the per-bin autotuner, and the visible
+fallback semantics for backends that cannot invert.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.random_batches import random_batch, random_rhs
+from repro.runtime import APPLY_MODES, BatchRuntime
+from repro.telemetry.metrics import get_metrics, set_metrics
+from repro.verify.adversarial import mixed_size_batch, pivot_tie_batch
+
+from tests.strategies import make_batch, make_rhs
+
+SEED = 7
+
+INVERTING_BACKENDS = ("numpy", "binned", "threads")
+
+
+def _reference(batch, rhs, **kw):
+    rt = BatchRuntime(backend="numpy", cache=False)
+    return rt.factorize(batch, **kw).solve(rhs)
+
+
+class TestApplyModeEquivalence:
+    @pytest.mark.parametrize("backend", INVERTING_BACKENDS)
+    @pytest.mark.parametrize("mode", ["inverse", "auto"])
+    def test_matches_factor_path_on_mixed_batch(self, backend, mode):
+        batch = make_batch(20, 16, SEED, dominant=True)
+        rhs = make_rhs(batch, SEED + 1)
+        ref = _reference(batch, rhs)
+        rt = BatchRuntime(backend=backend, cache=False)
+        fac = rt.factorize(batch, apply_mode=mode)
+        sol = fac.solve(rhs)
+        np.testing.assert_allclose(
+            sol.data, ref.data, rtol=1e-9, atol=1e-12
+        )
+        assert fac.apply_mode == mode
+        assert fac.effective_apply_mode in ("inverse", "factor", "mixed")
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: mixed_size_batch(16, tile=8, seed=SEED,
+                                     kind="diag_dominant"),
+            lambda: pivot_tie_batch(8, size=8, seed=SEED),
+        ],
+        ids=["mixed_size", "pivot_tie"],
+    )
+    def test_adversarial_batches(self, make):
+        batch = make()
+        rhs = random_rhs(batch, seed=SEED)
+        ref = _reference(batch, rhs)
+        rt = BatchRuntime(backend="binned", cache=False)
+        sol = rt.factorize(batch, apply_mode="inverse").solve(rhs)
+        np.testing.assert_allclose(
+            sol.data, ref.data, rtol=1e-8, atol=1e-11
+        )
+
+    @pytest.mark.parametrize("policy", ["identity", "scalar", "shift"])
+    def test_singular_blocks_under_each_policy(self, policy):
+        batch = make_batch(10, 8, SEED, dominant=True)
+        batch.data[3, : batch.sizes[3], : batch.sizes[3]] = 0.0
+        rhs = make_rhs(batch, SEED + 2)
+        ref = _reference(batch, rhs, on_singular=policy)
+        rt = BatchRuntime(backend="binned", cache=False)
+        fac = rt.factorize(
+            batch, on_singular=policy, apply_mode="inverse"
+        )
+        assert fac.effective_apply_mode == "inverse"
+        sol = fac.solve(rhs)
+        np.testing.assert_allclose(
+            sol.data, ref.data, rtol=1e-9, atol=1e-12
+        )
+
+    def test_unresolved_singular_blocks_fall_back_to_factor(self):
+        batch = make_batch(6, 8, SEED, dominant=True)
+        batch.data[1, : batch.sizes[1], : batch.sizes[1]] = 0.0
+        rt = BatchRuntime(backend="binned", cache=False)
+        fac = rt.factorize(batch, on_singular=None, apply_mode="inverse")
+        assert not fac.ok
+        assert fac.effective_apply_mode == "factor"
+        events = rt.last_report.fallback_events
+        assert any(
+            e.get("stage") == "invert"
+            and e.get("error") == "unresolved_singular_blocks"
+            for e in events
+        )
+
+    def test_invalid_mode_rejected(self):
+        rt = BatchRuntime(backend="numpy", cache=False)
+        batch = make_batch(3, 4, SEED, dominant=True)
+        with pytest.raises(ValueError, match="apply_mode"):
+            rt.factorize(batch, apply_mode="bogus")
+        assert "inverse" in APPLY_MODES
+
+
+class TestNonInvertingBackends:
+    def test_scipy_demotes_visibly(self):
+        batch = make_batch(8, 8, SEED, dominant=True)
+        rhs = make_rhs(batch, SEED + 3)
+        rt = BatchRuntime(backend="scipy", cache=False)
+        fac = rt.factorize(batch, apply_mode="inverse")
+        assert fac.effective_apply_mode == "factor"
+        events = rt.last_report.fallback_events
+        assert any(
+            e.get("stage") == "invert"
+            and e.get("error") == "backend_no_invert"
+            for e in events
+        )
+        ref = _reference(batch, rhs)
+        np.testing.assert_allclose(
+            fac.solve(rhs).data, ref.data, rtol=1e-9, atol=1e-12
+        )
+
+
+class TestInverseCache:
+    def test_round_trip_preserves_inverse_mode(self):
+        batch = make_batch(12, 8, SEED, dominant=True)
+        rhs = make_rhs(batch, SEED + 4)
+        rt = BatchRuntime(backend="binned")
+        first = rt.factorize(batch, apply_mode="inverse")
+        sol1 = first.solve(rhs)
+        second = rt.factorize(batch, apply_mode="inverse")
+        assert rt.last_report.cache_hit is True
+        assert second.effective_apply_mode == "inverse"
+        assert second.inverse is not None
+        np.testing.assert_array_equal(second.solve(rhs).data, sol1.data)
+
+    def test_mode_is_part_of_the_cache_key(self):
+        batch = make_batch(5, 8, SEED, dominant=True)
+        rt = BatchRuntime(backend="binned")
+        rt.factorize(batch, apply_mode="factor")
+        rt.factorize(batch, apply_mode="inverse")
+        # different modes must not collide: the second call is a miss
+        assert rt.last_report.cache_hit is False
+
+    def test_poisoned_inverse_is_evicted_and_rebuilt(self):
+        batch = make_batch(8, 8, SEED, dominant=True)
+        rhs = make_rhs(batch, SEED + 5)
+        rt = BatchRuntime(backend="binned", validate=True)
+        fac = rt.factorize(batch, apply_mode="inverse")
+        ref = fac.solve(rhs).data.copy()
+        # corrupt one cached inverse in place (a decayed cache entry)
+        unit = next(u for u in fac.inverse.units() if u is not None)
+        unit.inverses.data[0, 0, 0] = np.nan
+        fresh = rt.factorize(batch, apply_mode="inverse")
+        assert rt.last_report.cache_poisoned
+        assert fresh.effective_apply_mode == "inverse"
+        sol = fresh.solve(rhs)
+        assert np.isfinite(sol.data).all()
+        np.testing.assert_allclose(sol.data, ref, rtol=1e-12)
+
+
+class TestAutotune:
+    def test_auto_records_per_bin_measurements(self):
+        batch = make_batch(24, 16, SEED, dominant=True)
+        rt = BatchRuntime(backend="binned", cache=False)
+        fac = rt.factorize(batch, apply_mode="auto")
+        tuning = rt.last_report.apply_tuning
+        assert tuning is not None
+        assert tuning["mode"] == fac.effective_apply_mode
+        assert tuning["mode"] in ("inverse", "factor", "mixed")
+        assert len(tuning["bins"]) >= 1
+        for b in tuning["bins"]:
+            assert b["mode"] in ("inverse", "factor")
+            assert b["factor_seconds"] >= 0.0
+            assert b["inverse_seconds"] >= 0.0
+            assert b["speedup"] > 0.0
+        assert tuning["break_even_applies"] > 0.0
+        assert "tune" in rt.last_report.stage_seconds
+
+    def test_auto_result_still_correct(self):
+        batch = make_batch(24, 16, SEED + 1, dominant=True)
+        rhs = make_rhs(batch, SEED + 6)
+        ref = _reference(batch, rhs)
+        rt = BatchRuntime(backend="binned", cache=False)
+        sol = rt.factorize(batch, apply_mode="auto").solve(rhs)
+        np.testing.assert_allclose(
+            sol.data, ref.data, rtol=1e-9, atol=1e-12
+        )
+
+
+class TestResilientApply:
+    def test_broken_inverse_falls_back_to_factor_path(self):
+        batch = make_batch(10, 8, SEED, dominant=True)
+        rhs = make_rhs(batch, SEED + 7)
+        ref = _reference(batch, rhs)
+        rt = BatchRuntime(backend="binned", fallback=("numpy",), cache=False)
+        fac = rt.factorize(batch, apply_mode="inverse")
+        assert fac.effective_apply_mode == "inverse"
+        # sabotage the inverse states: NaN output on clean blocks is
+        # what the corruption detector exists to catch
+        for u in fac.inverse.units():
+            if u is not None:
+                u.inverses.data[...] = np.nan
+        sol = fac.solve(rhs)
+        np.testing.assert_allclose(
+            sol.data, ref.data, rtol=1e-9, atol=1e-12
+        )
+        events = rt.last_report.fallback_events
+        assert any(
+            e.get("action") == "inverse_to_factor" for e in events
+        )
+
+
+class TestTelemetry:
+    def test_apply_latency_histogram_labels_mode(self):
+        original = get_metrics()
+        set_metrics(None)
+        try:
+            batch = make_batch(6, 8, SEED, dominant=True)
+            rhs = make_rhs(batch, SEED + 8)
+            rt = BatchRuntime(backend="binned", cache=False)
+            rt.factorize(batch, apply_mode="inverse").solve(rhs)
+            rt.factorize(batch, apply_mode="factor").solve(rhs)
+            snap = get_metrics().snapshot()
+            assert snap.get("repro_apply_seconds") is not None
+            text = get_metrics().prometheus_text()
+            assert 'mode="inverse"' in text
+            assert 'mode="factor"' in text
+        finally:
+            set_metrics(original)

@@ -139,3 +139,52 @@ class TestPrometheus:
 
     def test_empty_registry_exposes_empty(self):
         assert MetricsRegistry().prometheus_text() == ""
+
+    def test_hostile_label_values_are_escaped(self):
+        """Backslashes, quotes and newlines in label values used to be
+        emitted raw, producing an unparseable (or worse, silently
+        misparsed) exposition document."""
+        reg = MetricsRegistry()
+        hostile = 'bin[tile=4"\n]'
+        reg.counter("repro_bin_events_total", "Bin events").inc(
+            1, bin=hostile, path="C:\\tmp"
+        )
+        text = reg.prometheus_text()
+        # escaped per the text-format spec: \ -> \\, " -> \", LF -> \n
+        assert (
+            'repro_bin_events_total{bin="bin[tile=4\\"\\n]",'
+            'path="C:\\\\tmp"} 1' in text
+        )
+        # the raw newline must not survive anywhere
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_hostile_help_text_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_g", "line one\nline two \\ backslash").set(1.0)
+        text = reg.prometheus_text()
+        assert (
+            "# HELP repro_g line one\\nline two \\\\ backslash" in text
+        )
+
+    def test_exposition_round_trips_line_format(self):
+        """Every non-comment line must match the exposition grammar:
+        ``name{label="value",...} number`` with no unescaped quotes or
+        newlines inside label values."""
+        import re
+
+        reg = MetricsRegistry()
+        reg.counter("repro_c", 'help with "quotes"').inc(
+            2, k='v"\n\\', other="plain"
+        )
+        reg.histogram("repro_h", buckets=(1.0,)).observe(0.5, b='x"y')
+        line_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\\n])*",?)*\})?'
+            r' [0-9eE.+-]+(\.[0-9]+)?$|^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{.*\})? \+Inf$'
+        )
+        for line in reg.prometheus_text().splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert line_re.match(line), f"malformed exposition line: {line!r}"

@@ -22,6 +22,7 @@ class TestRunVerification:
             "factorization",
             "differential",
             "simt",
+            "apply_modes",
         }
 
     def test_report_round_trips_through_json(self):
@@ -92,7 +93,7 @@ class TestChaosCheck:
         assert names[-1] == "chaos"
         chaos = report.checks[-1]
         assert chaos.details["passed"] is True
-        assert len(chaos.details["scenarios"]) == 8
+        assert len(chaos.details["scenarios"]) == 9
 
     def test_chaos_off_by_default(self):
         report = run_verification(quick=True)
