@@ -10,6 +10,12 @@ backend divergence beyond tolerance fails the run.
 
 Schema history
 --------------
+* v4: top-level ``interleaved_vs_binned`` block: per-tile (4/8/16/32)
+  best-of-N factorize wall seconds of the ``binned`` (AoS) dispatch
+  versus the ``interleaved`` (SoA) layout on uniform batches, plus the
+  resulting ``speedup`` - the paper's layout question answered per
+  size bin on this host.  Consumers that ignore unknown keys read v4
+  documents as v3.
 * v3: every per-backend case entry gains an ``apply_modes`` block
   (``null`` for backends that cannot build explicit inverses):
   best-of-N apply wall seconds of the factor (TRSV) path versus the
@@ -38,7 +44,7 @@ __all__ = ["run_backend_sweep", "format_sweep_summary"]
 
 #: version of the BENCH_runtime.json document layout; bump on any
 #: structural change so downstream comparisons can gate on it
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 SCHEMA_NAME = "repro.bench.runtime_sweep"
 
 
@@ -126,6 +132,52 @@ def _time_apply_modes(
             t_factor / t_inverse if t_inverse > 0.0 else float("inf")
         ),
     }
+
+
+#: uniform tiles of the interleaved-vs-binned layout comparison - one
+#: row per size bin of the default planner
+_LAYOUT_TILES = (4, 8, 16, 32)
+
+#: best-of repeats of each layout factorize timing
+_LAYOUT_REPEATS = 3
+
+
+def _time_layouts(quick: bool, seed: int) -> list[dict]:
+    """Per-tile factorize seconds: binned (AoS) vs interleaved (SoA).
+
+    Uniform batches, one per planner size bin, so each row times
+    exactly one bin's sweep in each layout; ``speedup`` > 1 means the
+    interleaved layout won that tile on this host.
+    """
+    nb = 128 if quick else 1024
+    rows = []
+    for tile in _LAYOUT_TILES:
+        batch = random_batch(
+            nb, size=tile, kind="diag_dominant", seed=seed + tile
+        )
+        seconds = {}
+        for name in ("binned", "interleaved"):
+            rt = BatchRuntime(backend=name, cache=False)
+            best = float("inf")
+            for _ in range(_LAYOUT_REPEATS):
+                t0 = time.perf_counter()
+                rt.factorize(batch, method="lu", use_cache=False)
+                best = min(best, time.perf_counter() - t0)
+            seconds[name] = best
+        rows.append(
+            {
+                "tile": tile,
+                "nb": nb,
+                "binned_seconds": seconds["binned"],
+                "interleaved_seconds": seconds["interleaved"],
+                "speedup": (
+                    seconds["binned"] / seconds["interleaved"]
+                    if seconds["interleaved"] > 0.0
+                    else float("inf")
+                ),
+            }
+        )
+    return rows
 
 
 def _time_backend(
@@ -290,6 +342,7 @@ def run_backend_sweep(
                 "git_sha": _git_sha(),
             },
             "cases": cases,
+            "interleaved_vs_binned": _time_layouts(quick, seed),
             "max_discrepancy": worst,
             "passed": passed,
             "metrics": metrics_snapshot(),
@@ -323,7 +376,7 @@ def format_sweep_summary(report: dict) -> str:
             ]
         rows.append(row)
     status = "PASS" if report["passed"] else "FAIL"
-    return format_table(
+    out = format_table(
         headers,
         rows,
         title=(
@@ -331,3 +384,20 @@ def format_sweep_summary(report: dict) -> str:
             f"[{status}, max divergence {report['max_discrepancy']:.2e}]"
         ),
     )
+    layout = report.get("interleaved_vs_binned")
+    if layout:
+        out += "\n\n" + format_table(
+            ["tile", "nb", "binned ms", "interleaved ms", "speedup"],
+            [
+                [
+                    r["tile"],
+                    r["nb"],
+                    f"{r['binned_seconds'] * 1e3:.2f}",
+                    f"{r['interleaved_seconds'] * 1e3:.2f}",
+                    f"{r['speedup']:.2f}",
+                ]
+                for r in layout
+            ],
+            title="interleaved (SoA) vs binned (AoS) factorize",
+        )
+    return out

@@ -417,4 +417,71 @@ def run_chaos_suite(seed: int = 0, quick: bool = True) -> ChaosReport:
             )
     report.scenarios.append(res)
 
+    # 9. faults inside the interleaved sweeps: NaN corruption of the
+    # SoA factor bins must be caught by the spot check and the damaged
+    # bins quarantined onto the reference ``numpy`` backend - and the
+    # merged source-ordered ``info`` must stay bit-identical to a
+    # fault-free run (integer status is never allowed to drift, however
+    # the bins were re-executed)
+    chaos9 = ChaosBackend(
+        get_backend("interleaved"),
+        [CorruptBinsInjector(rate=1.0, mode="nan", max_bins=2)],
+        seed=seed,
+    )
+    rt = BatchRuntime(backend=chaos9, fallback=CHAIN)
+    res = _judge(
+        "interleaved-sweep-quarantine", A, b, rt, baseline_berr,
+        chaos=chaos9,
+    )
+    if res.passed:
+        rep = rt.last_report
+        if not rep.quarantined_bins:
+            res.passed = False
+            res.detail["error"] = (
+                "corrupted interleaved bins were not quarantined"
+            )
+    if res.passed:
+        # bit-identical merged info: a probe batch with two genuinely
+        # singular blocks, factorized under identity degradation
+        # through the fault-injected interleaved backend, must report
+        # the exact integer status of the clean reference
+        from ..core.random_batches import random_batch
+
+        probe = random_batch(
+            24, size_range=(1, 8), kind="diag_dominant", seed=seed + 17
+        )
+        for i in (3, 11):
+            m = int(probe.sizes[i])
+            probe.data[i, :m, :m] = 0.0
+        ref_fac = BatchRuntime(backend="numpy", cache=False).factorize(
+            probe, on_singular="identity"
+        )
+        chaos9b = ChaosBackend(
+            get_backend("interleaved"),
+            [CorruptBinsInjector(rate=1.0, mode="nan", max_bins=2)],
+            seed=seed,
+        )
+        rt9b = BatchRuntime(backend=chaos9b, fallback=CHAIN, cache=False)
+        fac = rt9b.factorize(probe, on_singular="identity")
+        info_identical = bool(
+            np.array_equal(fac.info, ref_fac.info)
+            and fac.degradation is not None
+            and ref_fac.degradation is not None
+            and np.array_equal(
+                fac.degradation.original_info,
+                ref_fac.degradation.original_info,
+            )
+        )
+        res.detail["probe_injected_faults"] = len(chaos9b.events)
+        res.detail["probe_quarantined_bins"] = list(
+            rt9b.last_report.quarantined_bins
+        )
+        res.detail["info_bit_identical"] = info_identical
+        if not info_identical:
+            res.passed = False
+            res.detail["error"] = (
+                "merged info drifted under interleaved fault injection"
+            )
+    report.scenarios.append(res)
+
     return report

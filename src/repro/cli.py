@@ -380,7 +380,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="what to do with singular diagonal blocks "
                     "(default: raise)")
     pv.add_argument("--backend", default=None,
-                    choices=["numpy", "binned", "scipy", "threads"],
+                    choices=["numpy", "binned", "interleaved", "scipy",
+                             "threads"],
                     help="route the batched setup/apply through the "
                     "repro.runtime executor backend (default: direct "
                     "kernel path)")
@@ -405,7 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("kind", choices=[
         "lu_factor", "lu_solve", "gh_factor", "gh_solve",
         "ght_factor", "ght_solve", "cublas_factor", "cublas_solve",
-        "inverse_apply",
+        "inverse_apply", "interleaved_factor",
     ])
     pp.add_argument("-m", "--size", type=int, default=32)
     pp.add_argument("-n", "--batch", type=int, default=40000)
@@ -480,7 +481,8 @@ def build_parser() -> argparse.ArgumentParser:
     pto.add_argument("--solves", type=int, default=4,
                      help="batched solves per factorization")
     pto.add_argument("--backend", default="binned",
-                     choices=["numpy", "binned", "scipy", "threads"])
+                     choices=["numpy", "binned", "interleaved", "scipy",
+                              "threads"])
     pto.set_defaults(fn=_cmd_telemetry_overhead)
     return p
 

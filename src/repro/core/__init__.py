@@ -21,6 +21,11 @@ Public surface:
 * :func:`~repro.core.batched_cholesky.cholesky_factor` /
   :func:`~repro.core.batched_cholesky.cholesky_solve` - the SPD variant
   (the paper's stated future work).
+* :func:`~repro.core.interleaved.aos_to_soa` /
+  :func:`~repro.core.interleaved.soa_to_aos` and the
+  ``interleaved_*`` kernels - the structure-of-arrays realisation of
+  the LU/TRSV/Gauss-Huard sweeps (contiguous per-step access across
+  the batch).
 """
 
 from .batch import (
@@ -47,6 +52,16 @@ from .explicit_inverse import (
     invert_factors,
 )
 from .batched_trsv import lower_unit_solve, lu_solve, upper_solve
+from .interleaved import (
+    InterleavedGHFactors,
+    InterleavedLUFactors,
+    aos_to_soa,
+    interleaved_gh_factor,
+    interleaved_gh_solve,
+    interleaved_lu_factor,
+    interleaved_lu_solve,
+    soa_to_aos,
+)
 from .random_batches import random_batch, random_rhs
 from .validation import (
     factorization_errors,
@@ -84,6 +99,14 @@ __all__ = [
     "CholeskyFactors",
     "cholesky_factor",
     "cholesky_solve",
+    "InterleavedLUFactors",
+    "InterleavedGHFactors",
+    "aos_to_soa",
+    "soa_to_aos",
+    "interleaved_lu_factor",
+    "interleaved_lu_solve",
+    "interleaved_gh_factor",
+    "interleaved_gh_solve",
     "random_batch",
     "random_rhs",
     "factorization_errors",

@@ -1,0 +1,498 @@
+"""Interleaved (structure-of-arrays) batched kernels.
+
+The batch-vectorised cores in :mod:`repro.core.batched_lu`,
+:mod:`repro.core.batched_trsv` and :mod:`repro.core.batched_gauss_huard`
+operate on identity-padded AoS tiles of shape ``(nb, tile, tile)``:
+every per-``k`` elimination step addresses one scalar per matrix with a
+stride of ``tile * tile`` elements between consecutive matrices.
+Following Gloster et al., *Efficient Interleaved Batch Matrix Solvers
+for CUDA* (PAPERS.md), this module re-realises the same sweeps on the
+*interleaved* SoA layout ``(tile, tile, nb)``: element ``(r, c)`` of all
+``nb`` matrices sits contiguously, so each elimination step touches
+dense unit-stride vectors of length ``nb`` - the access pattern a GPU
+coalesces perfectly and a CPU prefetches trivially.
+
+The contract with the AoS cores is strict:
+
+* **identical pivoting** - the masked-argmax pivot selection (NaN
+  mapped to ``+inf``, lowest-index tie break) reduces over the row axis
+  in both layouts, and NumPy's ``argmax`` first-occurrence rule makes
+  the chosen pivots equal index-for-index;
+* **identical ``info``** - flag-and-continue semantics, first offending
+  step ``k+1``, bit-identical integer arrays;
+* **identical degradation** - the wrappers delegate to the shared
+  :func:`~repro.core.degradation.substitute_singular_blocks` engine
+  with an SoA refactor callback, so every policy behaves exactly like
+  ``lu_factor``/``gh_factor``.
+
+For LU and the TRSV sweeps every arithmetic operation is elementwise
+(SCAL, GER, AXPY, one divide per step), applied to the same scalars in
+the same order - the results are **bitwise identical** to the AoS
+kernels.  The Gauss-Huard lazy row update and its solve replay contract
+over the ``j`` axis with ``einsum``; the summation order over a
+differently-strided operand is not guaranteed to match the AoS
+reduction, so GH/GH-T results agree to rounding (a few ulps), exactly
+like the ``scipy`` differential anchor.
+
+Factor objects carry their SoA storage plus ``to_aos()`` adapters that
+rebuild the equivalent :class:`~repro.core.batched_lu.LUFactors` /
+:class:`~repro.core.batched_gauss_huard.GHFactors`, which is how the
+``interleaved`` runtime backend reuses the existing
+:func:`~repro.core.explicit_inverse.invert_factors` path for
+``apply_mode="inverse"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .batch import BatchedMatrices, BatchedVectors
+from .batched_gauss_huard import GHFactors
+from .batched_lu import LUFactors
+from .degradation import (
+    DegradationRecord,
+    OnSingular,
+    substitute_singular_blocks,
+)
+from .pivoting import identity_perms, permute_vectors, steps_to_perm
+
+__all__ = [
+    "InterleavedGHFactors",
+    "InterleavedLUFactors",
+    "aos_to_soa",
+    "interleaved_gh_factor",
+    "interleaved_gh_solve",
+    "interleaved_kernel_pair",
+    "interleaved_lu_factor",
+    "interleaved_lu_solve",
+    "soa_to_aos",
+]
+
+
+# -- layout transforms --------------------------------------------------------
+
+
+def aos_to_soa(data: np.ndarray) -> np.ndarray:
+    """AoS -> SoA: move the batch axis last, C-contiguously.
+
+    ``(nb, tile, tile)`` matrices become ``(tile, tile, nb)`` and
+    ``(nb, tile)`` vectors become ``(tile, nb)``.  A pure relabelling of
+    storage: every element is copied bit-for-bit (NaN payloads
+    included), so ``soa_to_aos(aos_to_soa(x))`` reproduces ``x``
+    exactly.  Always a fresh array - degenerate shapes (``nb == 1``,
+    ``tile == 1``) make the transposed *view* C-contiguous already, so
+    a bare ``ascontiguousarray`` would alias the input and in-place
+    kernels would destroy it.
+    """
+    if data.ndim == 3:
+        return data.transpose(1, 2, 0).copy()
+    if data.ndim == 2:
+        return data.T.copy()
+    raise ValueError(
+        f"expected a (nb, tile, tile) or (nb, tile) array, "
+        f"got shape {data.shape}"
+    )
+
+
+def soa_to_aos(data: np.ndarray) -> np.ndarray:
+    """SoA -> AoS: move the batch axis first, C-contiguously.
+
+    Exact inverse of :func:`aos_to_soa` (bit-for-bit round trip, always
+    a fresh array).
+    """
+    if data.ndim == 3:
+        return data.transpose(2, 0, 1).copy()
+    if data.ndim == 2:
+        return data.T.copy()
+    raise ValueError(
+        f"expected a (tile, tile, nb) or (tile, nb) array, "
+        f"got shape {data.shape}"
+    )
+
+
+# -- factor containers --------------------------------------------------------
+
+
+@dataclass
+class InterleavedLUFactors:
+    """Batched LU factors in interleaved storage.
+
+    ``soa[r, c, b]`` holds element ``(r, c)`` of block ``b``'s factors
+    (getrf layout, rows already in pivoted order); ``perm``/``info``
+    follow the :class:`~repro.core.batched_lu.LUFactors` conventions
+    bit for bit.
+    """
+
+    soa: np.ndarray
+    perm: np.ndarray
+    info: np.ndarray
+    sizes: np.ndarray
+    degradation: DegradationRecord | None = None
+
+    @property
+    def nb(self) -> int:
+        return self.soa.shape[2]
+
+    @property
+    def tile(self) -> int:
+        return self.soa.shape[0]
+
+    @property
+    def ok(self) -> bool:
+        return bool((self.info == 0).all())
+
+    def to_aos(self) -> LUFactors:
+        """Equivalent AoS factorization (one layout transform away)."""
+        return LUFactors(
+            factors=BatchedMatrices(soa_to_aos(self.soa), self.sizes.copy()),
+            perm=self.perm,
+            info=self.info,
+            pivoting="implicit",
+            degradation=self.degradation,
+        )
+
+
+@dataclass
+class InterleavedGHFactors:
+    """Batched Gauss-Huard factors in interleaved storage.
+
+    When ``transposed`` is True the SoA array physically holds the
+    GH-T layout (the transpose of the GH storage), mirroring
+    :class:`~repro.core.batched_gauss_huard.GHFactors`.
+    """
+
+    soa: np.ndarray
+    colperm: np.ndarray
+    info: np.ndarray
+    sizes: np.ndarray
+    transposed: bool = False
+    degradation: DegradationRecord | None = None
+
+    @property
+    def nb(self) -> int:
+        return self.soa.shape[2]
+
+    @property
+    def tile(self) -> int:
+        return self.soa.shape[0]
+
+    @property
+    def ok(self) -> bool:
+        return bool((self.info == 0).all())
+
+    def to_aos(self) -> GHFactors:
+        return GHFactors(
+            factors=BatchedMatrices(soa_to_aos(self.soa), self.sizes.copy()),
+            colperm=self.colperm,
+            info=self.info,
+            transposed=self.transposed,
+            degradation=self.degradation,
+        )
+
+
+# -- LU ----------------------------------------------------------------------
+
+
+def _ilu_core(S: np.ndarray):
+    """Implicit-pivoting LU on one interleaved ``(tile, tile, nb)`` batch.
+
+    Step-for-step mirror of
+    :func:`repro.core.batched_lu._factor_implicit`: the same masked
+    argmax (first occurrence = lowest row), the same flag-and-continue
+    ``info`` bookkeeping, and the same elementwise SCAL/GER arithmetic -
+    only the storage order differs, so the results are bitwise equal.
+    Each step's SCAL writes one contiguous ``nb``-vector and the GER
+    updates ``(tile - k - 1)`` of them, which is the locality win of
+    the layout.
+    """
+    tile, _, nb = S.shape
+    barange = np.arange(nb)
+    steps = np.full((nb, tile), -1, dtype=np.int64)
+    pivoted = np.zeros((tile, nb), dtype=bool)
+    info = np.zeros(nb, dtype=np.int64)
+    for k in range(tile):
+        col = np.abs(S[:, k, :])
+        col[pivoted] = -1.0
+        np.copyto(col, np.inf, where=np.isnan(col))
+        ipiv = col.argmax(axis=0)
+        pivot_val = S[ipiv, k, barange]
+        steps[barange, ipiv] = k
+        pivoted[ipiv, barange] = True
+        singular = (pivot_val == 0) | ~np.isfinite(pivot_val)
+        np.copyto(info, k + 1, where=(info == 0) & singular)
+        update = ~pivoted
+        inv_pivot = np.ones_like(pivot_val)
+        np.divide(1.0, pivot_val, out=inv_pivot, where=~singular)
+        scal = S[:, k, :]
+        np.multiply(
+            scal,
+            inv_pivot[None, :],
+            out=scal,
+            where=update & ~singular[None, :],
+        )
+        pivot_row = S[ipiv, :, barange].T  # (tile, nb) view of row ipiv
+        if k + 1 < tile:
+            trailing = S[:, k + 1 :, :]
+            np.subtract(
+                trailing,
+                S[:, k, None, :] * pivot_row[None, k + 1 :, :],
+                out=trailing,
+                where=update[:, None, :],
+            )
+    perm = steps_to_perm(steps)
+    cols = np.arange(tile)
+    out = S[
+        perm.T[:, None, :], cols[None, :, None], barange[None, None, :]
+    ]
+    return np.ascontiguousarray(out), perm, info
+
+
+def interleaved_lu_factor(
+    batch: BatchedMatrices,
+    overwrite: bool = False,
+    on_singular: OnSingular | None = None,
+) -> InterleavedLUFactors:
+    """Implicit-pivoting LU of every block, in interleaved storage.
+
+    Same signature semantics as :func:`repro.core.batched_lu.lu_factor`
+    (``overwrite`` grants permission to destroy the input; the layout
+    transform copies regardless, so the input always survives) and the
+    same ``on_singular`` policies via the shared substitution engine.
+    The returned factors, permutations and ``info`` are bitwise equal
+    to the AoS kernel's.
+    """
+    originals = None
+    if on_singular in ("scalar", "shift"):
+        originals = batch.data
+    sizes = batch.sizes.copy()
+    S = aos_to_soa(batch.data)
+    out, perm, info = _ilu_core(S)
+    record = None
+    if on_singular is not None:
+
+        def refactor(cand: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            sub_out, sub_perm, sub_info = _ilu_core(aos_to_soa(cand))
+            out[:, :, idx] = sub_out
+            perm[idx] = sub_perm
+            return sub_info
+
+        record = substitute_singular_blocks(
+            on_singular,
+            info,
+            refactor,
+            originals,
+            sizes,
+            out.shape[0],
+            out.dtype,
+            kernel="batched LU (interleaved layout)",
+        )
+    return InterleavedLUFactors(
+        soa=out, perm=perm, info=info, sizes=sizes, degradation=record
+    )
+
+
+def interleaved_lu_solve(
+    fac: InterleavedLUFactors, rhs: BatchedVectors
+) -> BatchedVectors:
+    """Batched GETRS on interleaved factors (eager TRSV sweeps).
+
+    Mirrors :func:`repro.core.batched_trsv.lu_solve` with
+    ``variant="eager"``: permutation gather fused with the load, then
+    the unit-lower and upper sweeps.  Each AXPY touches contiguous
+    ``nb``-vectors; the scalar arithmetic matches the AoS sweeps
+    bit for bit.
+    """
+    if not fac.ok:
+        bad = int(np.count_nonzero(fac.info))
+        raise ValueError(
+            f"interleaved_lu_solve called on a factorization with {bad} "
+            "singular block(s); inspect InterleavedLUFactors.info"
+        )
+    if fac.nb != rhs.nb or fac.tile != rhs.tile:
+        raise ValueError("factor/right-hand-side batch mismatch")
+    S = fac.soa
+    tile = fac.tile
+    b = aos_to_soa(permute_vectors(rhs.data, fac.perm))  # (tile, nb)
+    for k in range(tile - 1):
+        b[k + 1 :, :] -= S[k + 1 :, k, :] * b[k, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for k in range(tile - 1, -1, -1):
+            b[k, :] /= S[k, k, :]
+            if k:
+                b[:k, :] -= S[:k, k, :] * b[k, :]
+    return BatchedVectors(soa_to_aos(b), rhs.sizes.copy())
+
+
+# -- Gauss-Huard -------------------------------------------------------------
+
+
+def _igh_core(S: np.ndarray):
+    """Gauss-Huard loop on one interleaved ``(tile, tile, nb)`` batch.
+
+    Mirror of :func:`repro.core.batched_gauss_huard._gh_core`.  The
+    pivot search, column exchange, ``info`` bookkeeping, scaling and
+    eager upward elimination are elementwise and bitwise-faithful; the
+    lazy row update's einsum contracts over a transposed operand order,
+    so its accumulated sums agree with the AoS core to rounding rather
+    than bit for bit (documented in the module docstring).
+    """
+    tile, _, nb = S.shape
+    barange = np.arange(nb)
+    colperm = identity_perms(nb, tile)
+    info = np.zeros(nb, dtype=np.int64)
+    for k in range(tile):
+        if k:
+            S[k, k:, :] -= np.einsum(
+                "jb,jcb->cb", S[k, :k, :], S[:k, k:, :]
+            )
+        row = np.abs(S[k, :, :])
+        row[:k, :] = -1.0
+        np.copyto(row, np.inf, where=np.isnan(row))
+        jpiv = row.argmax(axis=0)
+        swap = jpiv != k
+        if swap.any():
+            ck = S[:, k, :].copy()
+            cj = S[:, jpiv, barange].copy()
+            S[:, k, :] = np.where(swap[None, :], cj, ck)
+            S[:, jpiv, barange] = np.where(swap[None, :], ck, cj)
+            pk = colperm[barange, k].copy()
+            pj = colperm[barange, jpiv].copy()
+            colperm[barange, k] = np.where(swap, pj, pk)
+            colperm[barange, jpiv] = np.where(swap, pk, pj)
+        pivot = S[k, k, :]
+        singular = (pivot == 0) | ~np.isfinite(pivot)
+        np.copyto(info, k + 1, where=(info == 0) & singular)
+        inv_pivot = np.ones_like(pivot)
+        np.divide(1.0, pivot, out=inv_pivot, where=~singular)
+        if k + 1 < tile:
+            S[k, k + 1 :, :] *= inv_pivot[None, :]
+            if k:
+                S[:k, k + 1 :, :] -= (
+                    S[:k, k, None, :] * S[None, k, k + 1 :, :]
+                )
+    return S, colperm, info
+
+
+def interleaved_gh_factor(
+    batch: BatchedMatrices,
+    transposed: bool = False,
+    overwrite: bool = False,
+    on_singular: OnSingular | None = None,
+) -> InterleavedGHFactors:
+    """Gauss-Huard factorization of every block, interleaved storage.
+
+    Mirrors :func:`repro.core.batched_gauss_huard.gh_factor`, including
+    the GH-T transposed layout and all ``on_singular`` policies.
+    """
+    originals = None
+    if on_singular in ("scalar", "shift"):
+        originals = batch.data
+    sizes = batch.sizes.copy()
+    S = aos_to_soa(batch.data)
+    S, colperm, info = _igh_core(S)
+    record = None
+    if on_singular is not None:
+
+        def refactor(cand: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            sub_S, sub_colperm, sub_info = _igh_core(aos_to_soa(cand))
+            S[:, :, idx] = sub_S
+            colperm[idx] = sub_colperm
+            return sub_info
+
+        record = substitute_singular_blocks(
+            on_singular,
+            info,
+            refactor,
+            originals,
+            sizes,
+            S.shape[0],
+            S.dtype,
+            kernel="batched Gauss-Huard (interleaved layout)",
+        )
+    if transposed:
+        S = np.ascontiguousarray(S.transpose(1, 0, 2))
+    return InterleavedGHFactors(
+        soa=S,
+        colperm=colperm,
+        info=info,
+        sizes=sizes,
+        transposed=transposed,
+        degradation=record,
+    )
+
+
+def interleaved_gh_solve(
+    fac: InterleavedGHFactors, rhs: BatchedVectors
+) -> BatchedVectors:
+    """Apply interleaved Gauss-Huard factors to right-hand sides.
+
+    Mirrors :func:`repro.core.batched_gauss_huard.gh_solve`: replay the
+    stages on ``b`` with layout-agnostic row/column accessors, then
+    scatter the column permutation onto the solution.
+    """
+    if not fac.ok:
+        bad = int(np.count_nonzero(fac.info))
+        raise ValueError(
+            f"interleaved_gh_solve called on a factorization with {bad} "
+            "singular block(s); inspect InterleavedGHFactors.info"
+        )
+    if fac.nb != rhs.nb or fac.tile != rhs.tile:
+        raise ValueError("factor/right-hand-side batch mismatch")
+    S = fac.soa
+    tile = fac.tile
+    nb = fac.nb
+    barange = np.arange(nb)
+    b = aos_to_soa(rhs.data)  # (tile, nb)
+
+    if not fac.transposed:
+        row = lambda k: S[k]  # noqa: E731 - local accessors keep the
+        col = lambda k: S[:, k, :]  # noqa: E731   loop body layout-agnostic
+    else:
+        row = lambda k: S[:, k, :]  # noqa: E731
+        col = lambda k: S[k]  # noqa: E731
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for k in range(tile):
+            rk = row(k)
+            if k:
+                b[k, :] -= np.einsum("jb,jb->b", rk[:k], b[:k])
+            b[k, :] /= rk[k]
+            if k:
+                b[:k, :] -= col(k)[:k] * b[k, :]
+    x = np.empty_like(b)
+    x[fac.colperm.T, barange[None, :]] = b
+    return BatchedVectors(soa_to_aos(x), rhs.sizes.copy())
+
+
+# -- backend kernel-pair adapter ---------------------------------------------
+
+
+def interleaved_kernel_pair(method: str):
+    """(factor, solve) pair matching the runtime backends' calling
+    convention (``factor(batch, policy, overwrite)``).
+
+    Supports ``"lu"``, ``"gh"`` and ``"ght"``; the ``gje`` and
+    ``cholesky`` methods have no interleaved realisation (yet) and
+    raise ``ValueError``, the same contract the ``scipy`` backend uses
+    for its LU-only restriction.
+    """
+    if method == "lu":
+        return (
+            lambda b, pol, ow: interleaved_lu_factor(
+                b, overwrite=ow, on_singular=pol
+            ),
+            interleaved_lu_solve,
+        )
+    if method in ("gh", "ght"):
+        return (
+            lambda b, pol, ow, t=(method == "ght"): interleaved_gh_factor(
+                b, transposed=t, overwrite=ow, on_singular=pol
+            ),
+            interleaved_gh_solve,
+        )
+    raise ValueError(
+        "the interleaved kernels support methods 'lu', 'gh' and 'ght' "
+        f"only, got {method!r}"
+    )

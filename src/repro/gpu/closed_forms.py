@@ -43,6 +43,7 @@ __all__ = [
     "gh_factor_counts",
     "gh_solve_counts",
     "inverse_apply_counts",
+    "interleaved_lu_factor_counts",
     "expected_counts",
 ]
 
@@ -237,6 +238,69 @@ def inverse_apply_counts(m: int, es: int) -> KernelStats:
     s.shuffles = m
     s.arith_instructions = m
     s.flops = 2 * m * m
+    return s
+
+
+def interleaved_lu_factor_counts(
+    m: int, es: int, tile: int = WARP_WIDTH
+) -> KernelStats:
+    """Expected counters of a batch-interleaved (SoA) LU factorization.
+
+    One thread per matrix, 32 consecutive matrices per warp: when the
+    warp touches element ``(i, j)`` it reads 32 *consecutive* batch
+    elements of the ``(tile, tile, nb)`` layout, so every access is
+    fully coalesced regardless of ``m`` - the layout's selling point.
+    Per problem the amortised transaction rate is exactly
+    ``elements * es / SECTOR_BYTES`` with no partial-sector waste
+    (contrast :func:`lu_factor_counts`, whose AoS column loads pay up
+    to a full extra sector per column).  No shuffles: lanes never
+    exchange data.
+
+    The price: one thread cannot keep its whole ``m x m`` block in
+    registers, so the right-looking sweep streams the pivot search,
+    the row swap, the SCAL column, and the trailing GER block through
+    global memory every step - the same ``2/3 m^3`` register-tile
+    flops as :func:`lu_factor_counts` but ``O(m^3)`` bytes moved
+    instead of ``O(m^2)``.  The projection prices exactly this trade.
+
+    Like ``inverse_apply``, this kind has no warp realisation in
+    :mod:`repro.gpu.warp_lu` (the NumPy runtime realises the layout in
+    :mod:`repro.core.interleaved`), so it is priced from this closed
+    form directly rather than replay-verified; the
+    ``interleaved_vs_binned`` block of ``BENCH_runtime.json`` is its
+    measured counterpart.
+    """
+    s = KernelStats()
+    loads = 0
+    stores = 0
+    for k in range(m):
+        rem = m - k  # rows in the pivot search
+        trail = m - k - 1  # trailing rows/columns
+        loads += rem  # pivot-column search
+        loads += 2 * m  # row swap reads both rows...
+        stores += 2 * m  # ...and writes them back
+        loads += trail  # SCAL re-reads the pivot column...
+        stores += trail  # ...and writes it scaled
+        # GER: trailing block + pivot row in, trailing block out
+        loads += trail + trail * trail
+        stores += trail * trail
+        # per-element serial instructions: compares, div, SCAL, GER
+        s.arith_instructions += rem + 1 + trail + trail * trail
+        # same full-register-tile flop contract as the AoS kernel
+        ger_cols = tile - 1 - k
+        active = WARP_WIDTH - k - 1
+        s.flops += WARP_WIDTH + active + 2 * active * ger_cols
+    s.global_load_instructions = loads
+    s.global_store_instructions = stores + m  # + pivot record
+    s.bytes_loaded = loads * es
+    s.bytes_stored = stores * es + m * _IDX_BYTES
+    # fully coalesced: amortised sectors, no per-access rounding waste
+    s.global_load_transactions = int(
+        np.ceil(loads * es / SECTOR_BYTES)
+    )
+    s.global_store_transactions = int(
+        np.ceil((stores * es + m * _IDX_BYTES) / SECTOR_BYTES)
+    )
     return s
 
 

@@ -84,6 +84,24 @@ def project_kernel(
             device=device,
             dtype=dtype,
         )
+    if kind == "interleaved_factor":
+        # Batch-interleaved (SoA) LU: one thread per matrix, fully
+        # coalesced but memory-streaming - priced straight from the
+        # closed form, like inverse_apply (no warp realisation; the
+        # NumPy layout kernels live in repro.core.interleaved).  One
+        # thread stages a column of its own block plus loop state.
+        from .closed_forms import interleaved_lu_factor_counts
+        from .profiles import _value_regs
+
+        es = np.dtype(dtype).itemsize
+        return time_batched_kernel(
+            interleaved_lu_factor_counts(m, es),
+            nb,
+            useful_flops_per_problem=2.0 * m**3 / 3.0,
+            regs_per_thread=_value_regs(m + 4, es),
+            device=device,
+            dtype=dtype,
+        )
     if kind not in KERNEL_KINDS:
         raise ValueError(f"unknown kernel kind {kind!r}")
     es = np.dtype(dtype).itemsize

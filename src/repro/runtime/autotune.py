@@ -104,12 +104,12 @@ class ApplyModeTuning:
         )
 
 
-def _best_of(fn, repeats: int) -> float:
+def _best_of(fn, repeats: int, clock=time.perf_counter) -> float:
     best = float("inf")
     for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
+        t0 = clock()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, clock() - t0)
     return best
 
 
@@ -118,6 +118,7 @@ def tune_apply_mode(
     inverse: BackendInverse,
     invert_seconds: float = 0.0,
     repeats: int = 3,
+    clock=time.perf_counter,
 ) -> ApplyModeTuning:
     """Measure both apply paths per unit and disable losing inverses.
 
@@ -126,6 +127,12 @@ def tune_apply_mode(
     matching :class:`~repro.runtime.backends.BackendInverse`, mutated
     in place: list entries whose factor apply won are set to None so
     ``apply_inverse`` routes those bins back to the triangular path.
+
+    ``clock`` is injectable (same convention as the resilience
+    CircuitBreaker): tests pass a scripted clock to force either
+    verdict deterministically instead of depending on wall time.  Each
+    timed run reads the clock exactly twice (start, stop), ``repeats``
+    times per path, factor path first.
     """
     method = state[0]
     _, solve = _kernel_pair(method)
@@ -142,8 +149,10 @@ def tune_apply_mode(
         probe = BatchedVectors(
             np.ones((fac.nb, fac.tile)), np.array(sizes)
         )
-        t_factor = _best_of(lambda: solve(fac, probe), repeats)
-        t_inverse = _best_of(lambda: inverse_apply(inv, probe), repeats)
+        t_factor = _best_of(lambda: solve(fac, probe), repeats, clock)
+        t_inverse = _best_of(
+            lambda: inverse_apply(inv, probe), repeats, clock
+        )
         mode = "inverse" if t_inverse <= t_factor else "factor"
         if mode == "factor":
             if binned:

@@ -25,6 +25,17 @@ can cross-check them against each other:
     ``concurrent.futures`` thread pool (NumPy releases the GIL inside
     the heavy ufuncs, bins are independent).  Bitwise-identical
     results to ``"binned"``.
+``"interleaved"``
+    The binned execution with every bin's kernel running on the
+    structure-of-arrays ``(tile, tile, nb)`` layout of
+    :mod:`repro.core.interleaved` (Gloster et al., PAPERS.md): each
+    per-``k`` elimination step touches contiguous length-``nb``
+    vectors instead of striding across matrices.  LU/TRSV results are
+    bitwise-identical to ``"binned"``; Gauss-Huard agrees to rounding
+    (its lazy-update einsum accumulates in a different order).
+    Supports ``lu``/``gh``/``ght`` (the ``gje`` and ``cholesky``
+    kernels have no interleaved realisation), and inverts via the
+    factors' AoS adapters.
 
 Backends additionally advertise an ``invert`` capability
 (``supports_invert``): building explicit block inverses from an
@@ -68,6 +79,7 @@ from ..core.explicit_inverse import (
     inverse_apply,
     invert_factors,
 )
+from ..core.interleaved import interleaved_kernel_pair
 from ..telemetry.tracer import get_tracer
 from .planner import ExecutionPlan
 from .stats import BinStats
@@ -91,8 +103,22 @@ class BackendUnavailable(RuntimeError):
     """The requested backend cannot run in this environment."""
 
 
+#: state-method prefix marking an interleaved-layout factorization
+_INTERLEAVED_PREFIX = "interleaved:"
+
+
 def _kernel_pair(method: str) -> tuple[Callable, Callable]:
-    """(factor, solve) kernel pair for a method name."""
+    """(factor, solve) kernel pair for a method name.
+
+    Method names prefixed ``"interleaved:"`` (as stored in the
+    interleaved backend's state tuples) dispatch to the SoA kernels of
+    :mod:`repro.core.interleaved`; the shared binned machinery and the
+    apply-mode autotuner then work on interleaved states unchanged.
+    """
+    if method.startswith(_INTERLEAVED_PREFIX):
+        return interleaved_kernel_pair(
+            method[len(_INTERLEAVED_PREFIX) :]
+        )
     if method == "lu":
         return (
             lambda b, pol, ow: lu_factor(
@@ -168,6 +194,10 @@ class Backend:
     #: whether this backend can build explicit inverses for the
     #: ``apply_mode="inverse"`` path (``invert``/``apply_inverse``)
     supports_invert: bool = False
+    #: factorization methods this backend can execute (method-restricted
+    #: backends - scipy, interleaved - narrow this and raise ValueError
+    #: on anything else)
+    supported_methods: tuple = METHODS
 
     def factorize(
         self,
@@ -528,6 +558,53 @@ class ThreadsBackend(Backend):
 
 
 @register_backend
+class InterleavedBackend(Backend):
+    """Per-bin execution on the structure-of-arrays layout.
+
+    Identical bin structure and merge semantics to ``binned`` - the
+    shared machinery handles splitting, ``info`` scatter, degradation
+    merging and telemetry spans - but every bin's factor/solve kernel
+    runs on the interleaved ``(tile, tile, nb)`` storage.  Explicit
+    inverses are built through the factors' ``to_aos()`` adapters, so
+    ``apply_mode="inverse"`` reuses the proven ``invert_factors`` path
+    (the inverse states themselves are layout-independent).
+    """
+
+    name = "interleaved"
+    supports_invert = True
+    #: methods with an interleaved kernel realisation
+    supported_methods = ("lu", "gh", "ght")
+
+    def factorize(self, plan, method="lu", on_singular=None):
+        if method not in self.supported_methods:
+            raise ValueError(
+                "the 'interleaved' backend supports methods "
+                f"{self.supported_methods}, got {method!r}"
+            )
+        return _factor_bins(
+            plan,
+            _INTERLEAVED_PREFIX + method,
+            on_singular,
+            lambda kernel, p: [kernel(b) for b in p.bins],
+        )
+
+    def solve(self, state, plan, rhs):
+        return _solve_bins(state, plan, rhs)
+
+    def invert(self, state, plan):
+        _, facs = state
+        return BackendInverse(
+            states=[invert_factors(f.to_aos()) for f in facs]
+        )
+
+    def apply_inverse(self, inv, state, plan, rhs):
+        return _apply_inverse_bins(inv, state, plan, rhs)
+
+    def bin_stats(self, plan):
+        return _binned_stats(plan)
+
+
+@register_backend
 class ScipyBackend(Backend):
     """Per-block LAPACK (SciPy ``getrf``/``getrs``): the external anchor.
 
@@ -537,6 +614,7 @@ class ScipyBackend(Backend):
     """
 
     name = "scipy"
+    supported_methods = ("lu",)
 
     def factorize(self, plan, method="lu", on_singular=None):
         if method != "lu":

@@ -41,6 +41,13 @@ metrology of this package and aggregates structured pass/fail findings:
     carry no forward accuracy either way and are skipped, not
     excused).
 
+``backends``
+    Every *available* runtime backend (binned, interleaved, threads,
+    scipy, ...) factorizes and solves the well-conditioned batches
+    through the executor and agrees with the ``numpy`` reference to
+    ``diff_tol``, with bitwise-identical ``info`` - a newly registered
+    backend enters this oracle automatically.
+
 Everything is deterministic in ``seed``.  ``quick=True`` trims the
 sweep for CI entry gates (~seconds); the full mode widens tiles and
 adds float32.
@@ -369,6 +376,72 @@ def _check_apply_modes(sweep, seed: int) -> CheckResult:
     )
 
 
+def _check_backends(sweep, seed: int) -> CheckResult:
+    """Differential oracle over every available runtime backend.
+
+    Each registered backend factorizes and solves the well-conditioned
+    batches of the sweep through the ``BatchRuntime`` executor and is
+    held to ``_DIFF_TOL`` against the ``numpy`` reference (the same
+    tolerance contract as the binned dispatch); ``info`` must match
+    bitwise.  A backend registered without entering this sweep cannot
+    happen: the list comes from the registry itself.
+    """
+    from ..runtime import BatchRuntime, available_backends
+
+    failures = {}
+    checked = {}
+    for name, (batch, well) in sweep.items():
+        if not well:
+            continue
+        rhs = _rhs(batch, seed + 43)
+        try:
+            ref_rt = BatchRuntime(backend="numpy", cache=False)
+            ref_fac = ref_rt.factorize(
+                batch, method="lu", use_cache=False
+            )
+            ref_sol = ref_fac.solve(rhs)
+        except Exception as err:  # a broken core must fail the check,
+            failures[name] = {"reference": repr(err)}  # not escape it
+            continue
+        scale = np.max(np.abs(ref_sol.data), axis=1)
+        scale[scale == 0.0] = 1.0
+        for backend in available_backends():
+            if backend == "numpy":
+                continue
+            try:
+                rt = BatchRuntime(backend=backend, cache=False)
+                fac = rt.factorize(batch, method="lu", use_cache=False)
+                sol = fac.solve(rhs)
+            except Exception as err:
+                failures.setdefault(name, {})[backend] = {
+                    "error": repr(err)
+                }
+                continue
+            diff = float(
+                np.max(np.max(np.abs(sol.data - ref_sol.data), axis=1)
+                       / scale)
+            )
+            checked[backend] = max(checked.get(backend, 0.0), diff)
+            if diff > _DIFF_TOL or not np.array_equal(
+                fac.info, ref_fac.info
+            ):
+                failures.setdefault(name, {})[backend] = {
+                    "max_discrepancy": diff,
+                    "info_matches": bool(
+                        np.array_equal(fac.info, ref_fac.info)
+                    ),
+                }
+    return CheckResult(
+        name="backends",
+        passed=not failures,
+        details={
+            "failures": failures,
+            "tol": _DIFF_TOL,
+            "max_discrepancy_per_backend": checked,
+        },
+    )
+
+
 def _check_chaos(quick: bool, seed: int) -> CheckResult:
     """The seeded chaos sweep as a verification check.
 
@@ -407,6 +480,7 @@ def run_verification(
     report.checks.append(_check_differential(sweep, quick, seed))
     report.checks.append(_check_simt(quick, seed))
     report.checks.append(_check_apply_modes(sweep, seed))
+    report.checks.append(_check_backends(sweep, seed))
     if chaos:
         report.checks.append(_check_chaos(quick, chaos_seed))
     return report

@@ -182,12 +182,13 @@ class TestScenarioSuite:
     def test_quick_suite_passes_and_reports(self):
         report = run_chaos_suite(seed=0, quick=True)
         assert report.passed, report.summary()
-        assert len(report.scenarios) == 9
+        assert len(report.scenarios) == 10
         d = report.to_dict()
         assert d["passed"] is True
         assert {s["name"] for s in d["scenarios"]} >= {
             "baseline",
             "factorize-raise-storm",
             "cache-poisoning",
+            "interleaved-sweep-quarantine",
         }
         assert "PASS" in report.summary()

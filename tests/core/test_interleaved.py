@@ -1,0 +1,248 @@
+"""Interleaved (structure-of-arrays) kernels: layout-transform
+round-trip properties and bitwise/rounding parity with the AoS cores.
+
+The AoS<->SoA transforms are pure storage relabellings, so the
+properties here are exact: byte-for-byte round trips (NaN payloads
+included), padding preserved, and the degenerate shapes (empty batch,
+single matrix) handled.  The kernel parity tests then pin the contract
+the runtime backend relies on: LU factors/permutations/``info`` and the
+TRSV sweeps are *bitwise* equal to the AoS kernels, Gauss-Huard agrees
+to rounding (its lazy-update einsum may accumulate in a different
+order), and the degradation policies produce identical records.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BatchedMatrices,
+    aos_to_soa,
+    gh_factor,
+    gh_solve,
+    interleaved_gh_factor,
+    interleaved_gh_solve,
+    interleaved_lu_factor,
+    interleaved_lu_solve,
+    lu_factor,
+    lu_solve,
+    soa_to_aos,
+)
+from repro.core.interleaved import interleaved_kernel_pair
+
+from tests.strategies import batch_shapes, make_batch, make_rhs, seeds
+
+SEED = 11
+
+
+class TestLayoutTransforms:
+    @given(shape=batch_shapes, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_matrix_round_trip_is_bit_exact(self, shape, seed):
+        nb, max_size = shape
+        batch = make_batch(nb, max_size, seed, dominant=False)
+        soa = aos_to_soa(batch.data)
+        assert soa.shape == (batch.tile, batch.tile, nb)
+        assert soa.flags["C_CONTIGUOUS"]
+        back = soa_to_aos(soa)
+        assert back.shape == batch.data.shape
+        assert back.tobytes() == batch.data.tobytes()
+
+    @given(shape=batch_shapes, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_vector_round_trip_is_bit_exact(self, shape, seed):
+        nb, max_size = shape
+        batch = make_batch(nb, max_size, seed, dominant=False)
+        rhs = make_rhs(batch, seed + 1)
+        soa = aos_to_soa(rhs.data)
+        assert soa.shape == (batch.tile, nb)
+        assert soa_to_aos(soa).tobytes() == rhs.data.tobytes()
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_special_values_survive(self, seed):
+        # NaN payloads, signed zeros and infinities are storage bits
+        # like any other; the transform must not canonicalise them.
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((3, 4, 4))
+        data[0, 0, 0] = np.nan
+        data[1, 2, 3] = -0.0
+        data[2, 1, 1] = np.inf
+        assert soa_to_aos(aos_to_soa(data)).tobytes() == data.tobytes()
+
+    @given(shape=batch_shapes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_padding_preserved(self, shape, seed):
+        nb, max_size = shape
+        batch = make_batch(nb, max_size, seed, dominant=True)
+        back = BatchedMatrices(
+            soa_to_aos(aos_to_soa(batch.data)), batch.sizes.copy()
+        )
+        # the identity-padding invariant survives the round trip
+        for i in range(nb):
+            m = int(batch.sizes[i])
+            pad = back.data[i, m:, m:]
+            np.testing.assert_array_equal(
+                pad, np.eye(batch.tile - m)
+            )
+            assert not back.data[i, :m, m:].any()
+            assert not back.data[i, m:, :m].any()
+
+    def test_empty_batch(self):
+        data = np.zeros((0, 8, 8))
+        soa = aos_to_soa(data)
+        assert soa.shape == (8, 8, 0)
+        assert soa_to_aos(soa).shape == (0, 8, 8)
+        vec = np.zeros((0, 8))
+        assert aos_to_soa(vec).shape == (8, 0)
+
+    def test_single_matrix(self):
+        rng = np.random.default_rng(SEED)
+        data = rng.standard_normal((1, 4, 4))
+        soa = aos_to_soa(data)
+        np.testing.assert_array_equal(soa[:, :, 0], data[0])
+        assert soa_to_aos(soa).tobytes() == data.tobytes()
+
+    def test_transform_never_aliases_the_input(self):
+        # regression: for degenerate shapes (nb == 1, tile == 1) the
+        # transposed view is already C-contiguous, so a bare
+        # ascontiguousarray would return a view and the in-place SoA
+        # kernels would destroy the caller's batch
+        for shape in ((1, 4, 4), (4, 1, 1), (1, 1, 1), (1, 4)):
+            data = np.random.default_rng(SEED).standard_normal(shape)
+            soa = aos_to_soa(data)
+            assert not np.shares_memory(soa, data)
+            assert not np.shares_memory(soa_to_aos(soa), soa)
+
+    def test_solve_does_not_mutate_rhs(self):
+        batch = make_batch(1, 1, SEED, dominant=True)
+        rhs = make_rhs(batch, SEED + 1)
+        before = rhs.data.copy()
+        interleaved_lu_solve(interleaved_lu_factor(batch), rhs)
+        interleaved_gh_solve(interleaved_gh_factor(batch), rhs)
+        np.testing.assert_array_equal(rhs.data, before)
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            aos_to_soa(np.zeros(5))
+        with pytest.raises(ValueError, match="expected"):
+            soa_to_aos(np.zeros((2, 2, 2, 2)))
+
+
+class TestLUParity:
+    @given(shape=batch_shapes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_factor_bitwise_equal(self, shape, seed):
+        nb, max_size = shape
+        batch = make_batch(nb, max_size, seed, dominant=False)
+        ref = lu_factor(batch, pivoting="implicit")
+        il = interleaved_lu_factor(batch)
+        np.testing.assert_array_equal(
+            soa_to_aos(il.soa), ref.factors.data
+        )
+        np.testing.assert_array_equal(il.perm, ref.perm)
+        np.testing.assert_array_equal(il.info, ref.info)
+
+    @given(shape=batch_shapes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_solve_bitwise_equal(self, shape, seed):
+        nb, max_size = shape
+        batch = make_batch(nb, max_size, seed, dominant=True)
+        rhs = make_rhs(batch, seed + 1)
+        ref = lu_solve(lu_factor(batch), rhs, variant="eager")
+        il = interleaved_lu_solve(interleaved_lu_factor(batch), rhs)
+        np.testing.assert_array_equal(il.data, ref.data)
+
+    def test_singular_info_and_solve_refusal(self):
+        batch = make_batch(6, 8, SEED, dominant=True)
+        batch.data[2, : batch.sizes[2], : batch.sizes[2]] = 0.0
+        ref = lu_factor(batch)
+        il = interleaved_lu_factor(batch)
+        np.testing.assert_array_equal(il.info, ref.info)
+        assert not il.ok
+        rhs = make_rhs(batch, SEED + 1)
+        with pytest.raises(ValueError, match="singular"):
+            interleaved_lu_solve(il, rhs)
+
+    @pytest.mark.parametrize("policy", ["identity", "scalar", "shift"])
+    def test_degradation_policies_match_aos(self, policy):
+        batch = make_batch(10, 8, SEED, dominant=True)
+        for i in (1, 4):
+            batch.data[i, : batch.sizes[i], : batch.sizes[i]] = 0.0
+        ref = lu_factor(batch, on_singular=policy)
+        il = interleaved_lu_factor(batch, on_singular=policy)
+        np.testing.assert_array_equal(
+            soa_to_aos(il.soa), ref.factors.data
+        )
+        np.testing.assert_array_equal(il.info, ref.info)
+        np.testing.assert_array_equal(
+            il.degradation.original_info, ref.degradation.original_info
+        )
+        np.testing.assert_array_equal(
+            il.degradation.action, ref.degradation.action
+        )
+        np.testing.assert_array_equal(
+            il.degradation.shift, ref.degradation.shift
+        )
+
+    def test_to_aos_round_trips_through_reference_solve(self):
+        batch = make_batch(8, 8, SEED, dominant=True)
+        rhs = make_rhs(batch, SEED + 2)
+        il = interleaved_lu_factor(batch)
+        aos = il.to_aos()
+        np.testing.assert_array_equal(
+            lu_solve(aos, rhs).data,
+            interleaved_lu_solve(il, rhs).data,
+        )
+
+
+class TestGHParity:
+    @pytest.mark.parametrize("transposed", [False, True])
+    @given(shape=batch_shapes, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_factor_and_solve_match_to_rounding(
+        self, shape, seed, transposed
+    ):
+        nb, max_size = shape
+        batch = make_batch(nb, max_size, seed, dominant=True)
+        rhs = make_rhs(batch, seed + 1)
+        ref = gh_factor(batch, transposed=transposed)
+        il = interleaved_gh_factor(batch, transposed=transposed)
+        np.testing.assert_array_equal(il.colperm, ref.colperm)
+        np.testing.assert_array_equal(il.info, ref.info)
+        np.testing.assert_allclose(
+            soa_to_aos(il.soa),
+            ref.factors.data,
+            rtol=1e-12,
+            atol=1e-14,
+        )
+        np.testing.assert_allclose(
+            interleaved_gh_solve(il, rhs).data,
+            gh_solve(ref, rhs).data,
+            rtol=1e-12,
+            atol=1e-14,
+        )
+
+    def test_degradation_policies_match_aos(self):
+        batch = make_batch(9, 8, SEED, dominant=True)
+        batch.data[3, : batch.sizes[3], : batch.sizes[3]] = 0.0
+        for policy in ("identity", "scalar", "shift"):
+            ref = gh_factor(batch, on_singular=policy)
+            il = interleaved_gh_factor(batch, on_singular=policy)
+            np.testing.assert_array_equal(il.info, ref.info)
+            np.testing.assert_array_equal(
+                il.degradation.action, ref.degradation.action
+            )
+
+
+class TestKernelPair:
+    def test_supported_methods(self):
+        for method in ("lu", "gh", "ght"):
+            factor, solve = interleaved_kernel_pair(method)
+            assert callable(factor) and callable(solve)
+
+    def test_unsupported_methods_rejected(self):
+        for method in ("gje", "cholesky", "qr"):
+            with pytest.raises(ValueError, match="interleaved"):
+                interleaved_kernel_pair(method)

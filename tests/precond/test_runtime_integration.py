@@ -34,8 +34,10 @@ class TestBackendEquivalence:
     @pytest.mark.parametrize("method", METHODS)
     @pytest.mark.filterwarnings("ignore:cholesky block-Jacobi")
     def test_apply_matches_legacy_path(self, fem, backend, method):
-        if backend == "scipy" and method != "lu":
-            pytest.skip("scipy backend is LU-only")
+        from repro.runtime.backends import BACKENDS
+
+        if method not in BACKENDS[backend].supported_methods:
+            pytest.skip(f"{backend} backend does not support {method}")
         legacy = BlockJacobiPreconditioner(method, 16).setup(fem)
         routed = BlockJacobiPreconditioner(
             method, 16, backend=backend

@@ -16,7 +16,7 @@ from tests.strategies import make_batch, make_rhs
 
 SEED = 7
 
-INVERTING_BACKENDS = ("numpy", "binned", "threads")
+INVERTING_BACKENDS = ("numpy", "binned", "threads", "interleaved")
 
 
 def _reference(batch, rhs, **kw):
@@ -181,6 +181,79 @@ class TestAutotune:
         np.testing.assert_allclose(
             sol.data, ref.data, rtol=1e-9, atol=1e-12
         )
+
+
+class _ScriptedClock:
+    """Deterministic clock for tune_apply_mode: returns the scripted
+    readings in order (the tuner reads start/stop per timed run)."""
+
+    def __init__(self, readings):
+        self.readings = list(readings)
+
+    def __call__(self):
+        return self.readings.pop(0)
+
+
+class TestDeterministicAutotune:
+    """Regression: the autotuner's verdict must be a pure function of
+    the injected clock, not of wall time (the tests used to rely on
+    real timings and could flip on a loaded machine)."""
+
+    def _single_bin_state(self, backend="binned"):
+        from repro.runtime import get_backend, plan_batch
+
+        batch = make_batch(6, 8, SEED, dominant=True)
+        be = get_backend(backend)
+        plan = plan_batch(batch)
+        fac = be.factorize(plan)
+        inverse = be.invert(fac.state, plan)
+        return fac, inverse
+
+    def test_scripted_clock_forces_inverse_verdict(self):
+        from repro.runtime.autotune import tune_apply_mode
+
+        fac, inverse = self._single_bin_state()
+        # one unit, repeats=1: factor run reads (0, 10), inverse (10, 11)
+        clock = _ScriptedClock([0.0, 10.0, 10.0, 11.0])
+        tuning = tune_apply_mode(
+            fac.state, inverse, invert_seconds=5.0, repeats=1,
+            clock=clock,
+        )
+        assert tuning.mode == "inverse"
+        assert tuning.bins[0].factor_seconds == 10.0
+        assert tuning.bins[0].inverse_seconds == 1.0
+        assert tuning.bins[0].speedup == 10.0
+        assert inverse.states[0] is not None
+        # break-even: 5s setup / 9s-per-apply gain
+        assert tuning.break_even_applies == pytest.approx(5.0 / 9.0)
+
+    def test_scripted_clock_forces_factor_verdict(self):
+        from repro.runtime.autotune import tune_apply_mode
+
+        fac, inverse = self._single_bin_state()
+        clock = _ScriptedClock([0.0, 1.0, 1.0, 11.0])
+        tuning = tune_apply_mode(
+            fac.state, inverse, invert_seconds=5.0, repeats=1,
+            clock=clock,
+        )
+        assert tuning.mode == "factor"
+        assert inverse.states[0] is None
+        assert tuning.break_even_applies == float("inf")
+
+    @pytest.mark.parametrize("backend", ["binned", "interleaved"])
+    def test_verdict_is_reproducible_across_backends(self, backend):
+        from repro.runtime.autotune import tune_apply_mode
+
+        fac, inverse = self._single_bin_state(backend)
+        # repeats=2: factor runs time 3.0 then 5.0 (best 3.0), inverse
+        # runs 1.0 then 2.0 (best 1.0)
+        ticks = [0.0, 3.0, 10.0, 15.0, 20.0, 21.0, 30.0, 32.0]
+        tuning = tune_apply_mode(
+            fac.state, inverse, repeats=2, clock=_ScriptedClock(ticks)
+        )
+        assert tuning.mode == "inverse"
+        assert tuning.bins[0].factor_seconds == 3.0
+        assert tuning.bins[0].inverse_seconds == 1.0
 
 
 class TestResilientApply:

@@ -1,18 +1,20 @@
-"""Differential tests of the runtime backends against the kernels.
+"""Runtime backend registry tests and random-batch bitwise properties.
 
-The backend contract is behavioural: every backend must produce the
-same solutions (binned/threads bitwise vs the monolithic numpy path,
-scipy to LAPACK rounding) and the same degradation semantics as the raw
-kernels, on random *and* adversarial batches.
+The behavioural backend contract (round-trip equivalence, ``info``
+merge order, degradation policies, cache fingerprints, invert
+demotion) lives in the parameterized conformance harness
+(``tests/runtime/test_backend_conformance.py``, ``-m conformance``) -
+one suite over every registered backend instead of per-backend copies.
+This module keeps what the harness does not cover: registry mechanics
+and the Hypothesis property that bitwise-exact backends stay bitwise on
+*random* (not just adversarial) batches.
 """
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.core.batched_lu import lu_factor
-from repro.core.degradation import SingularBlockError
-from repro.core.random_batches import random_batch, random_rhs
+from repro.core.random_batches import random_batch
 from repro.runtime import (
     BACKENDS,
     Backend,
@@ -21,52 +23,23 @@ from repro.runtime import (
     plan_batch,
     register_backend,
 )
-from repro.verify.adversarial import (
-    graded_batch,
-    mixed_size_batch,
-    pivot_tie_batch,
-)
-from repro.verify.metrics import solution_distance
+from tests.runtime.test_backend_conformance import CONTRACT, _solve_with
 from tests.strategies import batch_shapes, make_batch, make_rhs, seeds
 
-#: backends whose binned execution must be bitwise-identical to numpy
-EXACT = ("binned", "threads")
-
-ADVERSARIAL = {
-    "mixed_size": lambda: mixed_size_batch(
-        24, tile=32, seed=0, kind="diag_dominant"
-    ),
-    "pivot_ties": lambda: pivot_tie_batch(24, size=16, seed=0),
-    # 4 decades keeps the LAPACK-vs-kernel comparison above the
-    # rounding floor at the 1e-9 gate
-    "graded": lambda: graded_batch(24, size=16, seed=0, decades=4.0),
-}
+#: backends whose LU execution must be bitwise-identical to numpy,
+#: straight from the conformance contract
+EXACT = sorted(
+    name
+    for name, c in CONTRACT.items()
+    if name != "numpy" and "lu" in c.exact_methods
+)
 
 
-def _solve_with(backend_name, batch, rhs, method="lu", on_singular=None):
-    backend = get_backend(backend_name)
-    plan = plan_batch(batch)
-    fac = backend.factorize(plan, method=method, on_singular=on_singular)
-    return fac, backend.solve(fac.state, plan, rhs)
-
-
-class TestBackendEquivalence:
-    @pytest.mark.parametrize("name", sorted(set(available_backends())))
-    @pytest.mark.parametrize("case", sorted(ADVERSARIAL))
-    def test_adversarial_agreement_with_numpy(self, name, case):
-        batch = ADVERSARIAL[case]()
-        rhs = random_rhs(batch, seed=1)
-        _, ref = _solve_with("numpy", batch, rhs)
-        _, sol = _solve_with(name, batch, rhs)
-        d = solution_distance(sol, ref)
-        assert float(d.max()) <= 1e-9
-        if name in EXACT:
-            np.testing.assert_array_equal(sol.data, ref.data)
-
+class TestBitwiseProperty:
     @pytest.mark.parametrize("name", EXACT)
     @given(batch_shapes, seeds)
     @settings(max_examples=25, deadline=None)
-    def test_binned_is_bitwise_numpy_on_random_batches(
+    def test_exact_backends_are_bitwise_numpy_on_random_batches(
         self, name, shape, seed
     ):
         batch = make_batch(*shape, seed, dominant=False)
@@ -75,106 +48,16 @@ class TestBackendEquivalence:
         _, sol = _solve_with(name, batch, rhs)
         np.testing.assert_array_equal(sol.data, ref.data)
 
-    @pytest.mark.parametrize("method", ["gh", "ght", "gje", "cholesky"])
-    def test_all_methods_agree_with_numpy(self, method):
-        kind = "spd" if method == "cholesky" else "diag_dominant"
-        batch = random_batch(32, size_range=(1, 32), kind=kind, seed=5)
-        rhs = random_rhs(batch, seed=6)
-        _, ref = _solve_with("numpy", batch, rhs, method=method)
-        _, sol = _solve_with("binned", batch, rhs, method=method)
-        if method == "gje":
-            # the inverse-matvec sums over the executed tile, so the
-            # summation length differs between bins - rounding only
-            assert float(solution_distance(sol, ref).max()) <= 1e-12
-        else:
-            np.testing.assert_array_equal(sol.data, ref.data)
-
-    def test_info_matches_kernel_on_clean_batch(self):
-        batch = random_batch(16, size_range=(1, 32), kind="diag_dominant",
-                             seed=2)
-        for name in available_backends():
-            fac, _ = _solve_with(name, batch, random_rhs(batch, seed=3))
-            assert fac.ok
-            assert not fac.info.any()
-
-
-class TestBackendDegradation:
-    def _singular_batch(self):
-        # every block has one exactly-zero row: all must be flagged
-        return random_batch(12, size_range=(2, 32), kind="singular", seed=9)
-
-    @pytest.mark.parametrize("name", EXACT)
-    @pytest.mark.parametrize("policy", ["identity", "scalar", "shift"])
-    def test_policies_match_legacy_kernel(self, name, policy):
-        batch = self._singular_batch()
-        legacy = lu_factor(batch, pivoting="implicit", on_singular=policy)
-        fac, sol = _solve_with(
-            name, batch, random_rhs(batch, seed=10), on_singular=policy
-        )
-        rec, ref = fac.degradation, legacy.degradation
-        np.testing.assert_array_equal(rec.original_info, ref.original_info)
-        np.testing.assert_array_equal(rec.action, ref.action)
-        # shift magnitudes come from norm reductions whose summation
-        # width follows the executed tile: equal to rounding only
-        np.testing.assert_allclose(rec.shift, ref.shift, rtol=1e-12)
-        assert rec.policy == policy
-        np.testing.assert_array_equal(fac.info, legacy.info)
-
-    def test_scipy_identity_policy_matches_legacy(self):
-        if "scipy" not in available_backends():
-            pytest.skip("scipy not installed")
-        batch = self._singular_batch()
-        legacy = lu_factor(batch, pivoting="implicit",
-                           on_singular="identity")
-        fac, _ = _solve_with(
-            "scipy", batch, random_rhs(batch, seed=4),
-            on_singular="identity",
-        )
-        np.testing.assert_array_equal(
-            fac.degradation.action, legacy.degradation.action
-        )
-        assert not fac.info.any()
-
-    @pytest.mark.parametrize("name", sorted(set(available_backends())))
-    def test_raise_policy_reports_all_singular_blocks(self, name):
-        batch = self._singular_batch()
-        plan = plan_batch(batch)
-        with pytest.raises(SingularBlockError) as exc:
-            get_backend(name).factorize(plan, on_singular="raise")
-        # the merged info names every offending block, not just the
-        # first failing bin
-        assert np.count_nonzero(exc.value.info) == batch.nb
-
-    def test_raise_policy_on_clean_batch_records_all_clear(self):
-        batch = random_batch(8, size=8, kind="diag_dominant", seed=1)
-        fac, _ = _solve_with(
-            "binned", batch, random_rhs(batch, seed=2),
-            on_singular="raise",
-        )
-        assert fac.ok
-        assert fac.degradation is not None
-        assert not fac.degradation.action.any()
-
-    def test_no_policy_leaves_info_raw(self):
-        # no solve here: the kernels (rightly) refuse to solve against
-        # a factorization that still carries singular blocks
-        batch = self._singular_batch()
-        fac = get_backend("binned").factorize(
-            plan_batch(batch), on_singular=None
-        )
-        assert not fac.ok
-        assert np.count_nonzero(fac.info) == batch.nb
-        assert fac.degradation is None
-
 
 class TestRegistry:
     def test_known_backends_registered(self):
-        for name in ("numpy", "binned", "threads", "scipy"):
+        for name in ("numpy", "binned", "threads", "scipy",
+                     "interleaved"):
             assert name in BACKENDS
 
     def test_available_excludes_only_missing_deps(self):
         avail = available_backends()
-        assert {"numpy", "binned", "threads"} <= set(avail)
+        assert {"numpy", "binned", "threads", "interleaved"} <= set(avail)
         assert avail == sorted(avail)
 
     def test_get_backend_rejects_unknown(self):
@@ -204,3 +87,11 @@ class TestRegistry:
         batch = random_batch(4, size=4, kind="diag_dominant", seed=0)
         with pytest.raises(ValueError, match="method='lu' only"):
             get_backend("scipy").factorize(plan_batch(batch), method="gh")
+
+    def test_interleaved_backend_rejects_unsupported_methods(self):
+        batch = random_batch(4, size=4, kind="diag_dominant", seed=0)
+        plan = plan_batch(batch)
+        backend = get_backend("interleaved")
+        for method in ("gje", "cholesky"):
+            with pytest.raises(ValueError, match="interleaved"):
+                backend.factorize(plan, method=method)

@@ -23,6 +23,7 @@ class TestRunVerification:
             "differential",
             "simt",
             "apply_modes",
+            "backends",
         }
 
     def test_report_round_trips_through_json(self):
@@ -93,7 +94,7 @@ class TestChaosCheck:
         assert names[-1] == "chaos"
         chaos = report.checks[-1]
         assert chaos.details["passed"] is True
-        assert len(chaos.details["scenarios"]) == 9
+        assert len(chaos.details["scenarios"]) == 10
 
     def test_chaos_off_by_default(self):
         report = run_verification(quick=True)
