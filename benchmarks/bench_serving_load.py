@@ -1,0 +1,85 @@
+"""Serving-layer load baseline: cross-request coalescing amortization.
+
+Drives the deterministic multi-tenant workload of
+``repro.serving.loadgen`` (seeded tenants, scripted clocks) through the
+three serving disciplines and persists the schema-v5 ``serving`` block
+alongside a human-readable table.
+
+Expected shape: the coalesced disciplines report a coalescing ratio
+strictly above 1 (many requests per merged factorization - the
+request-level analogue of the paper's batched-launch amortization),
+the cached discipline additionally reports tenant-cache hits on
+repeated submissions, the solo-rerun leak audit finds zero bit
+differences (cross-tenant isolation), and the concurrency curve's
+ratio grows with the number of requests arriving together.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.bench.serving_load import (
+    format_serving_summary,
+    run_serving_bench,
+)
+from repro.core import random_batch, random_rhs
+from repro.serving import CoalescingEngine, Request
+
+SEED = 0
+
+
+def test_serving_load(benchmark):
+    report = run_serving_bench(quick=False, seed=SEED)
+    write_result("serving_load.txt", format_serving_summary(report))
+
+    assert report["passed"]
+
+    # the amortization gate: coalescing serves many requests per
+    # merged factorization; the naive discipline by construction one
+    naive = report["modes"]["naive"]
+    coalesced = report["modes"]["coalesced"]
+    cached = report["modes"]["coalesced_cached"]
+    assert naive["coalescing_ratio"] == 1.0
+    assert coalesced["coalescing_ratio"] > 1.0
+    assert cached["coalescing_ratio"] > 1.0
+
+    # the isolation gate: sampled coalesced responses re-run solo are
+    # bit-identical (info and solution) - no cross-tenant leakage
+    audit = report["leak_audit"]
+    assert audit["checked"] > 0
+    assert audit["mismatches"] == 0
+
+    # the cache gate: repeat traffic hits the tenant shards
+    assert cached["cache_hits"] > 0
+    assert cached["shards"]["tenants"] > 0
+
+    # the concurrency curve: the ratio tracks how many requests
+    # arrive together (each wave merges into one factorization)
+    curve = report["concurrency_curve"]
+    ratios = [r["coalescing_ratio"] for r in curve]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0]
+
+    # timing anchor: one coalesced wave (64 tenants, one flush)
+    wave = []
+    for i in range(64):
+        batch = random_batch(
+            4, size_range=(2, 32), kind="diag_dominant", seed=SEED + i
+        )
+        wave.append(
+            Request(
+                tenant=f"t{i:03d}",
+                batch=batch,
+                kind="solve",
+                rhs=random_rhs(batch, seed=SEED + 1000 + i),
+            )
+        )
+    engine = CoalescingEngine()
+
+    def serve_wave():
+        for req in wave:
+            engine.submit(req)
+        return engine.flush()
+
+    responses = benchmark(serve_wave)
+    assert all(r.status == "ok" for r in responses)
+    assert engine.coalescing_ratio > 1.0

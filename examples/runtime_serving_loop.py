@@ -1,82 +1,142 @@
 #!/usr/bin/env python3
-"""Serving loop: repeated block-Jacobi setup with a factorization cache.
+"""Serving loop: concurrent tenants through the coalescing service.
 
-The serving scenario: the same system matrix is solved against a stream
-of right-hand sides (time steps, requests), and a naive loop pays the
-full preconditioner setup - extraction + batched factorization - every
-time.  A shared :class:`repro.runtime.BatchRuntime` fingerprints the
-extracted diagonal blocks and serves repeated setups from its cache.
+The serving scenario, one level up from a single cached runtime: many
+independent clients (tenants), each with its own small batch of
+diagonal blocks, submit setup/solve jobs concurrently.  The
+``repro.serving`` stack admits them, merges compatible jobs into one
+shared batched factorization per flush (cross-request coalescing - the
+paper's launch amortization applied across requests), scatters results
+back to each tenant, and caches per-tenant handles in sharded,
+TTL/byte-bounded caches.
 
-The script runs the same loop twice - once with a cold cache per
-iteration, once with one shared runtime - and prints what the
-``RuntimeReport`` and the cache counters say about each.
+The script serves identical traffic twice - naively (one factorization
+per request) and coalesced through the asyncio service - prints what
+the engine stats say about each, and cross-checks a few coalesced
+answers bit-for-bit against solo runs.
 
 Run:  python examples/runtime_serving_loop.py
 """
 
+import asyncio
 import time
 
 import numpy as np
 
-from repro.precond import BlockJacobiPreconditioner
+from repro.core import random_batch, random_rhs
 from repro.runtime import BatchRuntime
-from repro.solvers import idrs
-from repro.sparse import fem_block_2d
+from repro.serving import (
+    CoalescingEngine,
+    PreconditionerService,
+    Request,
+    TenantCacheShards,
+)
 
-REQUESTS = 8
-BOUND = 16
+TENANTS = 24
+ROUNDS = 3
 
 
-def serve(A, rhs_stream, runtime):
-    """One serving loop: setup + solve per request, timed."""
-    setup_s, solve_s, iters = 0.0, 0.0, 0
-    for b in rhs_stream:
-        t0 = time.perf_counter()
-        M = BlockJacobiPreconditioner(
-            "lu", BOUND, runtime=runtime
-        ).setup(A)
-        setup_s += time.perf_counter() - t0
-        t0 = time.perf_counter()
-        r = idrs(A, b, s=4, M=M, tol=1e-6, maxiter=2000)
-        solve_s += time.perf_counter() - t0
-        assert r.converged
-        iters += r.iterations
-    return setup_s, solve_s, iters, M
+def make_traffic():
+    """Deterministic per-tenant solve jobs, repeated across rounds
+    (the repetition is what the tenant caches are for)."""
+    rounds = []
+    for r in range(ROUNDS):
+        jobs = []
+        for i in range(TENANTS):
+            batch = random_batch(
+                3, size_range=(2, 24), kind="diag_dominant", seed=i
+            )
+            jobs.append(
+                Request(
+                    tenant=f"tenant-{i:02d}",
+                    batch=batch,
+                    kind="solve",
+                    rhs=random_rhs(batch, seed=100 * r + i),
+                )
+            )
+        rounds.append(jobs)
+    return rounds
+
+
+def serve_naive(rounds):
+    """One factorization per request: the un-amortized baseline."""
+    engine = CoalescingEngine()
+    responses = []
+    t0 = time.perf_counter()
+    for jobs in rounds:
+        for req in jobs:
+            ticket = engine.submit(req)
+            if not ticket.done:
+                engine.flush()
+            responses.append(ticket.response)
+    return engine, responses, time.perf_counter() - t0
+
+
+async def serve_coalesced(rounds):
+    """Concurrent submissions through the asyncio service: jobs
+    arriving within the linger window share one factorization, and
+    repeated rounds hit the per-tenant caches."""
+    engine = CoalescingEngine(
+        shards=TenantCacheShards(
+            per_tenant_entries=4, ttl_seconds=60.0, per_tenant_bytes=1 << 20
+        )
+    )
+    responses = []
+    t0 = time.perf_counter()
+    async with PreconditionerService(engine, max_delay=0.002) as svc:
+        for jobs in rounds:
+            out = await asyncio.gather(*(svc.submit(r) for r in jobs))
+            responses.extend(out)
+    return engine, responses, time.perf_counter() - t0
 
 
 def main() -> None:
-    A = fem_block_2d(24, 24, 4, seed=3)
-    rng = np.random.default_rng(7)
-    rhs_stream = [rng.uniform(-1, 1, A.n_rows) for _ in range(REQUESTS)]
-    print(f"system: n={A.n_rows}, nnz={A.nnz}, {REQUESTS} requests\n")
-
-    # naive: a fresh runtime (empty cache) per request
-    cold_setup, cold_solve, iters, _ = serve(
-        A, rhs_stream, BatchRuntime(cache=False)
+    rounds = make_traffic()
+    total = sum(len(jobs) for jobs in rounds)
+    print(
+        f"traffic: {TENANTS} tenants x {ROUNDS} rounds = {total} "
+        "solve jobs\n"
     )
-    print("cold setup every request:")
-    print(f"  setup {cold_setup * 1e3:7.1f} ms   "
-          f"solve {cold_solve * 1e3:7.1f} ms   ({iters} iterations)\n")
 
-    # cached: one shared runtime across the loop
-    rt = BatchRuntime()
-    warm_setup, warm_solve, iters, M = serve(A, rhs_stream, rt)
-    print("shared runtime (factorization cache):")
-    print(f"  setup {warm_setup * 1e3:7.1f} ms   "
-          f"solve {warm_solve * 1e3:7.1f} ms   ({iters} iterations)")
+    naive_eng, naive_resp, naive_s = serve_naive(rounds)
+    print("naive (one factorization per request):")
+    print(f"  {naive_s * 1e3:7.1f} ms,"
+          f" {naive_eng.stats['executions']} factorizations,"
+          f" coalescing ratio {naive_eng.coalescing_ratio:.2f}\n")
 
-    stats = rt.cache_stats
-    print(f"  cache: {stats.hits} hits / {stats.lookups} lookups "
-          f"(hit rate {stats.hit_rate:.0%}, {stats.entries} entries)")
-    print("  last setup's runtime report:")
-    for line in M.report.runtime.summary().splitlines():
-        print(f"    {line}")
+    co_eng, co_resp, co_s = asyncio.run(serve_coalesced(rounds))
+    stats = co_eng.stats
+    shards = co_eng.shards.stats()
+    print("coalescing service (shared bins + tenant caches):")
+    print(f"  {co_s * 1e3:7.1f} ms,"
+          f" {stats['executions']} factorizations,"
+          f" coalescing ratio {co_eng.coalescing_ratio:.2f}")
+    print(f"  tenant caches: {stats['cache_hits']} hits across "
+          f"{shards['tenants']} shards "
+          f"({shards['bytes'] / 1024:.0f} KiB resident)\n")
 
-    speedup = cold_setup / warm_setup if warm_setup else float("inf")
-    print(f"\nsetup speedup from caching: {speedup:.1f}x "
-          f"over {REQUESTS} requests")
-    assert stats.hits == REQUESTS - 1
-    assert speedup > 1.0
+    # isolation spot check: coalesced answers are bit-identical to
+    # solo runs of the same tenant batch
+    solo = BatchRuntime(cache=False)
+    for req, resp in zip(rounds[0][:4], co_resp[:4]):
+        handle = solo.factorize(req.batch, use_cache=False)
+        assert np.array_equal(handle.info, resp.info)
+        assert np.array_equal(
+            handle.solve(req.rhs).data, resp.solution.data
+        )
+    print("spot check: 4 coalesced answers bit-identical to solo runs")
+
+    assert all(r.status == "ok" for r in naive_resp)
+    assert all(r.status == "ok" for r in co_resp)
+    assert naive_eng.coalescing_ratio == 1.0
+    assert co_eng.coalescing_ratio > 1.0
+    assert stats["cache_hits"] > 0
+    assert stats["executions"] < naive_eng.stats["executions"]
+    print(
+        f"\n{naive_eng.stats['executions']} naive factorizations -> "
+        f"{stats['executions']} coalesced "
+        f"({co_eng.coalescing_ratio:.1f} requests per launch)"
+    )
     print("serving loop OK")
 
 

@@ -10,6 +10,14 @@ backend divergence beyond tolerance fails the run.
 
 Schema history
 --------------
+* v5: top-level ``serving`` block
+  (:mod:`repro.bench.serving_load`): the cross-request coalescing
+  benchmark - per-discipline (naive / coalesced / coalesced+cached)
+  throughput, coalescing ratio, stage-latency percentiles, the
+  concurrency curve, and the solo-rerun leak audit.  The document's
+  ``passed`` now also requires the serving block to pass (ratio > 1
+  in both coalesced modes, zero leak-audit mismatches).  Consumers
+  that ignore unknown keys read v5 documents as v4.
 * v4: top-level ``interleaved_vs_binned`` block: per-tile (4/8/16/32)
   best-of-N factorize wall seconds of the ``binned`` (AoS) dispatch
   versus the ``interleaved`` (SoA) layout on uniform batches, plus the
@@ -44,7 +52,7 @@ __all__ = ["run_backend_sweep", "format_sweep_summary"]
 
 #: version of the BENCH_runtime.json document layout; bump on any
 #: structural change so downstream comparisons can gate on it
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 SCHEMA_NAME = "repro.bench.runtime_sweep"
 
 
@@ -316,7 +324,10 @@ def run_backend_sweep(
     for name, batch in adversarial.items():
         rhs = random_rhs(batch, seed=seed + 2)
         cases.append(_case(name, batch, rhs, backends, tol))
-    passed = all(
+    from .serving_load import run_serving_bench
+
+    serving = run_serving_bench(quick=quick, seed=seed)
+    passed = serving["passed"] and all(
         chk["passed"] for c in cases for chk in c["checks"].values()
     )
     worst = 0.0
@@ -343,6 +354,7 @@ def run_backend_sweep(
             },
             "cases": cases,
             "interleaved_vs_binned": _time_layouts(quick, seed),
+            "serving": serving,
             "max_discrepancy": worst,
             "passed": passed,
             "metrics": metrics_snapshot(),
@@ -400,4 +412,9 @@ def format_sweep_summary(report: dict) -> str:
             ],
             title="interleaved (SoA) vs binned (AoS) factorize",
         )
+    serving = report.get("serving")
+    if serving:
+        from .serving_load import format_serving_summary
+
+        out += "\n\n" + format_serving_summary(serving)
     return out

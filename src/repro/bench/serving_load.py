@@ -1,0 +1,309 @@
+"""Serving-load benchmark: naive vs coalesced vs coalesced+cached.
+
+Drives the deterministic synthetic workload of
+:mod:`repro.serving.loadgen` (thousands of tenants, waves of small
+setup/solve jobs) through three serving disciplines over identical
+traffic:
+
+* ``naive`` - every request factorized on its own (flush after each
+  submit, no tenant caches): the per-request launch overhead the paper
+  sets out to amortize, now at the request level;
+* ``coalesced`` - one flush per wave, so concurrent requests merge
+  into shared warp-tile bins (no caches: pure coalescing effect);
+* ``coalesced_cached`` - coalescing plus per-tenant sharded
+  factorization caches (TTL + byte budgets), the full serving stack.
+
+Each mode reports throughput, the coalescing ratio (requests per
+merged factorization), stage-latency percentiles, shed/cache counters
+- and a **leak audit**: a sample of coalesced responses is re-run solo
+through a fresh runtime and compared bit-for-bit (info and solution).
+Any mismatch would mean one tenant's data influenced another's answer
+through the merged batch; the audit must come back zero.
+
+The request stream and all queue-age accounting run on scripted
+clocks, so two runs differ only in wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..runtime import BatchRuntime
+from ..serving import (
+    CoalescingEngine,
+    LoadProfile,
+    Request,
+    ScriptedClock,
+    TenantCacheShards,
+    generate_load,
+)
+
+__all__ = ["run_serving_bench", "format_serving_summary"]
+
+#: serving disciplines compared over identical traffic
+MODES = ("naive", "coalesced", "coalesced_cached")
+
+#: coalesced responses re-run solo and compared bit-for-bit
+_LEAK_SAMPLE = 24
+
+#: wave sizes of the concurrency curve (requests arriving together)
+_CURVE_LEVELS = (1, 4, 16, 64)
+_QUICK_CURVE_LEVELS = (1, 4, 16)
+
+
+def _profile(quick: bool, seed: int) -> LoadProfile:
+    if quick:
+        return LoadProfile(
+            tenants=200, waves=6, requests_per_wave=16, seed=seed
+        )
+    return LoadProfile(
+        tenants=2000, waves=12, requests_per_wave=64, seed=seed
+    )
+
+
+def _percentiles(values: list[float]) -> dict:
+    if not values:
+        return {"p50": 0.0, "p99": 0.0}
+    arr = np.asarray(values, dtype=np.float64)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+def _run_mode(
+    mode: str, waves: list[list[Request]], profile: LoadProfile
+) -> tuple[dict, list[tuple[Request, object]]]:
+    """Run one discipline; returns (mode summary, (request, response)
+    pairs for the leak audit)."""
+    clock = ScriptedClock()
+    shards = (
+        TenantCacheShards(
+            per_tenant_entries=4,
+            ttl_seconds=60.0,
+            per_tenant_bytes=1 << 22,
+            clock=clock,
+        )
+        if mode == "coalesced_cached"
+        else None
+    )
+    engine = CoalescingEngine(
+        runtime=BatchRuntime(cache=False), shards=shards, clock=clock
+    )
+    pairs: list[tuple[Request, object]] = []
+    t0 = time.perf_counter()
+    for wave in waves:
+        tickets = []
+        for req in wave:
+            ticket = engine.submit(req)
+            tickets.append((req, ticket))
+            if mode == "naive" and not ticket.done:
+                engine.flush()
+        if mode != "naive":
+            engine.flush()
+        pairs.extend((req, t.response) for req, t in tickets if t.done)
+        clock.advance(profile.wave_seconds)
+    wall = time.perf_counter() - t0
+    responses = [r for _, r in pairs if r is not None]
+    ok = [r for r in responses if r.status == "ok"]
+    summary = {
+        "mode": mode,
+        "requests": len(responses),
+        "ok": len(ok),
+        "failed": sum(1 for r in responses if r.status == "failed"),
+        "rejected": sum(1 for r in responses if r.status == "rejected"),
+        "executions": engine.stats["executions"],
+        "coalescing_ratio": engine.coalescing_ratio,
+        "cache_hits": engine.stats["cache_hits"],
+        "cache_hit_rate": (
+            engine.stats["cache_hits"] / len(responses)
+            if responses
+            else 0.0
+        ),
+        "wall_seconds": wall,
+        "throughput_rps": len(responses) / wall if wall > 0 else 0.0,
+        "coalesced_requests_mean": (
+            float(np.mean([r.coalesced_requests for r in ok]))
+            if ok
+            else 0.0
+        ),
+        "latency": {
+            "factor_seconds": _percentiles(
+                [r.factor_seconds for r in ok if not r.cache_hit]
+            ),
+            "solve_seconds": _percentiles(
+                [r.solve_seconds for r in ok if r.kind == "solve"]
+            ),
+            "queue_seconds": _percentiles(
+                [r.queue_seconds for r in ok]
+            ),
+        },
+        "shards": None if shards is None else shards.stats(),
+    }
+    return summary, pairs
+
+
+def _leak_audit(
+    pairs: list[tuple[Request, object]], sample: int, seed: int
+) -> dict:
+    """Re-run sampled coalesced responses solo; any bit difference in
+    ``info`` or the solution is a cross-tenant leak."""
+    done = [
+        (req, resp)
+        for req, resp in pairs
+        if resp is not None and resp.status == "ok"
+    ]
+    rng = np.random.default_rng(seed)
+    if len(done) > sample:
+        idx = rng.choice(len(done), size=sample, replace=False)
+        done = [done[i] for i in sorted(idx)]
+    solo = BatchRuntime(cache=False)
+    checked = 0
+    mismatches = 0
+    for req, resp in done:
+        handle = solo.factorize(
+            req.batch,
+            method=req.method,
+            on_singular=None
+            if req.on_singular in (None, "raise")
+            else req.on_singular,
+            use_cache=False,
+            apply_mode=req.apply_mode,
+        )
+        checked += 1
+        if not np.array_equal(handle.info, resp.info):
+            mismatches += 1
+            continue
+        if req.kind == "solve" and resp.solution is not None:
+            if not np.array_equal(
+                handle.solve(req.rhs).data, resp.solution.data
+            ):
+                mismatches += 1
+    return {"checked": checked, "mismatches": mismatches}
+
+
+def _concurrency_curve(
+    levels: tuple[int, ...], seed: int
+) -> list[dict]:
+    """Coalescing ratio and per-request factor latency as the number
+    of requests arriving together grows - the serving analogue of the
+    paper's batch-size sweep."""
+    rows = []
+    for level in levels:
+        profile = LoadProfile(
+            tenants=max(level * 4, 8),
+            waves=4,
+            requests_per_wave=level,
+            repeat_fraction=0.0,
+            seed=seed + level,
+        )
+        waves = generate_load(profile)
+        summary, _ = _run_mode("coalesced", waves, profile)
+        rows.append(
+            {
+                "concurrency": level,
+                "coalescing_ratio": summary["coalescing_ratio"],
+                "throughput_rps": summary["throughput_rps"],
+                "factor_p50_seconds": summary["latency"][
+                    "factor_seconds"
+                ]["p50"],
+            }
+        )
+    return rows
+
+
+def run_serving_bench(
+    quick: bool = False,
+    seed: int = 0,
+    sample: int = _LEAK_SAMPLE,
+) -> dict:
+    """Benchmark the serving disciplines over identical traffic.
+
+    Returns a JSON-serialisable document; ``["passed"]`` requires a
+    coalescing ratio above 1 in both coalesced modes and a clean leak
+    audit (zero bit differences vs solo runs).
+    """
+    from ..telemetry import to_native
+
+    profile = _profile(quick, seed)
+    waves = generate_load(profile)
+    total = sum(len(w) for w in waves)
+    modes = {}
+    audit = None
+    for mode in MODES:
+        summary, pairs = _run_mode(mode, waves, profile)
+        modes[mode] = summary
+        if mode == "coalesced":
+            audit = _leak_audit(pairs, sample, seed)
+    levels = _QUICK_CURVE_LEVELS if quick else _CURVE_LEVELS
+    curve = _concurrency_curve(levels, seed)
+    passed = (
+        audit is not None
+        and audit["mismatches"] == 0
+        and modes["coalesced"]["coalescing_ratio"] > 1.0
+        and modes["coalesced_cached"]["coalescing_ratio"] > 1.0
+    )
+    return to_native(
+        {
+            "profile": {
+                "tenants": profile.tenants,
+                "waves": profile.waves,
+                "requests_per_wave": profile.requests_per_wave,
+                "total_requests": total,
+                "seed": profile.seed,
+                "quick": quick,
+            },
+            "modes": modes,
+            "concurrency_curve": curve,
+            "leak_audit": audit,
+            "passed": passed,
+        }
+    )
+
+
+def format_serving_summary(report: dict) -> str:
+    """Fixed-width per-mode summary of a serving bench document."""
+    from .reporting import format_table
+
+    rows = []
+    for mode, s in report["modes"].items():
+        rows.append(
+            [
+                mode,
+                s["requests"],
+                f"{s['coalescing_ratio']:.2f}",
+                s["cache_hits"],
+                f"{s['throughput_rps']:.0f}",
+                f"{s['latency']['factor_seconds']['p50'] * 1e3:.2f}",
+                f"{s['latency']['factor_seconds']['p99'] * 1e3:.2f}",
+            ]
+        )
+    audit = report["leak_audit"]
+    status = "PASS" if report["passed"] else "FAIL"
+    out = format_table(
+        ["mode", "reqs", "ratio", "hits", "rps", "factor p50 ms",
+         "p99 ms"],
+        rows,
+        title=(
+            f"serving load [{status}, leak audit "
+            f"{audit['mismatches']}/{audit['checked']} mismatches]"
+        ),
+    )
+    curve = report.get("concurrency_curve")
+    if curve:
+        out += "\n\n" + format_table(
+            ["concurrency", "ratio", "rps", "factor p50 ms"],
+            [
+                [
+                    r["concurrency"],
+                    f"{r['coalescing_ratio']:.2f}",
+                    f"{r['throughput_rps']:.0f}",
+                    f"{r['factor_p50_seconds'] * 1e3:.2f}",
+                ]
+                for r in curve
+            ],
+            title="coalescing vs concurrency",
+        )
+    return out

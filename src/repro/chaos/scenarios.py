@@ -484,4 +484,98 @@ def run_chaos_suite(seed: int = 0, quick: bool = True) -> ChaosReport:
             )
     report.scenarios.append(res)
 
+    # 10. serving-layer tenant isolation under concurrent load: many
+    # tenants coalesced into shared warp-tile bins over a
+    # fault-injected backend, one tenant carrying a genuinely singular
+    # batch.  The poisoned tenant must fail *alone* (structured
+    # ``singular_blocks``), the injected NaN corruption must be
+    # quarantined, every healthy tenant's ``info`` and solution must
+    # stay bit-identical to a clean solo run of its own batch, and the
+    # tainted merged handles must never enter the tenant caches.
+    t0 = time.perf_counter()
+    try:
+        from ..core.random_batches import random_batch, random_rhs
+        from ..serving import CoalescingEngine, Request, TenantCacheShards
+
+        chaos10 = ChaosBackend(
+            get_backend("binned"),
+            [CorruptBinsInjector(rate=1.0, mode="nan", max_bins=1)],
+            seed=seed,
+        )
+        rt10 = BatchRuntime(backend=chaos10, fallback=CHAIN, cache=False)
+        shards = TenantCacheShards()
+        engine = CoalescingEngine(runtime=rt10, shards=shards)
+        healthy = []
+        for i in range(6):
+            batch = random_batch(
+                4, size_range=(2, 16), kind="diag_dominant",
+                seed=seed * 100 + i,
+            )
+            healthy.append(
+                Request(
+                    tenant=f"tenant-{i}",
+                    batch=batch,
+                    kind="solve",
+                    rhs=random_rhs(batch, seed=seed * 100 + 50 + i),
+                )
+            )
+        poisoned_batch = random_batch(
+            3, size=8, kind="diag_dominant", seed=seed + 99
+        )
+        poisoned_batch.data[1, :8, :8] = 0.0  # one singular block
+        requests = healthy + [
+            Request(tenant="poisoned", batch=poisoned_batch, kind="setup")
+        ]
+        for req in requests:
+            engine.submit(req)
+        responses = engine.flush()
+        clean = BatchRuntime(backend="numpy", cache=False)
+        isolated = True
+        for req, resp in zip(healthy, responses[:6]):
+            ref = clean.factorize(req.batch, use_cache=False)
+            if (
+                resp.status != "ok"
+                or not np.array_equal(ref.info, resp.info)
+                or not np.array_equal(
+                    ref.solve(req.rhs).data, resp.solution.data
+                )
+            ):
+                isolated = False
+        p = responses[6]
+        detail = {
+            "injected_faults": len(chaos10.events),
+            "quarantined_bins": list(
+                rt10.last_report.quarantined_bins
+            ),
+            "healthy_bit_identical": isolated,
+            "poisoned_status": p.status,
+            "poisoned_error": p.error,
+            "coalesced_requests": responses[0].coalesced_requests,
+            "tainted_cache_entries": shards.stats()["entries"],
+        }
+        # the poisoned response records the original 7-way merge; the
+        # healthy responses record the 6-way re-run that served them
+        ok = bool(
+            isolated
+            and p.status == "failed"
+            and p.error == "singular_blocks"
+            and p.coalesced_requests == len(requests)
+            and responses[0].coalesced_requests == len(healthy)
+            and chaos10.events
+            and shards.stats()["entries"] == 0
+        )
+        if not ok:
+            detail["error"] = (
+                "tenant isolation violated under coalesced fault "
+                "injection"
+            )
+    except Exception as err:
+        ok, detail = False, {"error": f"unhandled exception: {err!r}"}
+    report.scenarios.append(
+        ChaosScenarioResult(
+            "serving-tenant-isolation", ok, detail,
+            time.perf_counter() - t0,
+        )
+    )
+
     return report

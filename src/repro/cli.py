@@ -24,6 +24,12 @@ Gives downstream users the paper's workflows without writing code:
     (record a hierarchical span trace, written as Chrome/Perfetto
     trace-event JSON) and ``--metrics`` (print the metrics-registry
     snapshot after the run).
+``python -m repro serve-bench --quick``
+    Benchmark the preconditioner-as-a-service layer: identical
+    synthetic multi-tenant traffic served naively, coalesced, and
+    coalesced+cached, with a solo-rerun leak audit; exits nonzero if
+    coalescing does not amortize (ratio <= 1) or any cross-tenant
+    leak is detected.
 ``python -m repro trace-summary out.trace.json --check``
     Fold an exported trace back into the paper's Fig. 9 cost
     decomposition (setup vs apply vs solver); ``--check`` validates
@@ -303,6 +309,32 @@ def _run_bench(args) -> int:
     return 0 if report["passed"] else 1
 
 
+def _cmd_serve_bench(args) -> int:
+    return _with_telemetry(args, lambda: _run_serve_bench(args))
+
+
+def _run_serve_bench(args) -> int:
+    import json
+
+    from .bench.serving_load import (
+        format_serving_summary,
+        run_serving_bench,
+    )
+
+    report = run_serving_bench(quick=args.quick, seed=args.seed)
+    if args.json:
+        payload = json.dumps(report, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.json}")
+    if args.json != "-":
+        print(format_serving_summary(report))
+    return 0 if report["passed"] else 1
+
+
 def _cmd_trace_summary(args) -> int:
     from .telemetry import (
         format_trace_summary,
@@ -455,6 +487,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cross-check divergence tolerance")
     _add_telemetry_args(pbn)
     pbn.set_defaults(fn=_cmd_bench)
+
+    psb = sub.add_parser(
+        "serve-bench",
+        help="serving-layer load benchmark: naive vs coalesced vs "
+        "coalesced+cached over identical multi-tenant traffic "
+        "(exit 1 on ratio <= 1 or any cross-tenant leak)",
+    )
+    psb.add_argument("--quick", action="store_true",
+                     help="trimmed workload for CI smoke gates")
+    psb.add_argument("--seed", type=int, default=0)
+    psb.add_argument("--json", metavar="PATH",
+                     help="write the JSON report to PATH "
+                     "('-' for stdout)")
+    _add_telemetry_args(psb)
+    psb.set_defaults(fn=_cmd_serve_bench)
 
     pts = sub.add_parser(
         "trace-summary",

@@ -146,6 +146,22 @@ class RuntimeFactorization:
         """How many solves this handle has answered (reuse depth)."""
         return self._solves
 
+    @property
+    def nbytes(self) -> int:
+        """Estimated resident bytes of this handle: the pristine source
+        copy, the per-bin factor storage (backends factor the plan's
+        bin batches in place, so their buffers *are* the factors), and
+        any explicit inverses.  Used by the cache's byte budget."""
+        total = int(self.plan.source.data.nbytes)
+        total += int(self.plan.source.sizes.nbytes)
+        for b in self.plan.bins:
+            total += int(b.batch.data.nbytes)
+        if self.inverse is not None:
+            for state in self.inverse.units():
+                if state is not None:
+                    total += int(state.inverses.data.nbytes)
+        return total
+
     def solve(self, rhs: BatchedVectors) -> BatchedVectors:
         """Solve against every block, timed into the handle's report."""
         if rhs.nb != self.plan.nb or rhs.tile != self.plan.source_tile:

@@ -1,0 +1,44 @@
+"""repro.serving: the preconditioner-as-a-service layer.
+
+Many concurrent clients, each with a small batch of diagonal blocks,
+served by one :class:`~repro.runtime.BatchRuntime`: admission control
+with structured load-shedding, cross-request batch coalescing into
+shared warp-tile bins (the paper's launch amortization applied across
+requests), per-tenant sharded factorization caches with TTL and byte
+budgets, and an asyncio front end.  The synchronous core
+(:class:`CoalescingEngine`) is fully deterministic under injected
+clocks; :class:`PreconditionerService` adds event-loop scheduling
+around it.
+"""
+
+from .coalesce import TenantFactorization, merge_batches, merge_rhs
+from .engine import CoalescingEngine
+from .loadgen import LoadProfile, ScriptedClock, generate_load
+from .requests import (
+    JOB_KINDS,
+    REJECT_REASONS,
+    Rejection,
+    Request,
+    Response,
+    Ticket,
+)
+from .service import PreconditionerService
+from .shards import TenantCacheShards
+
+__all__ = [
+    "JOB_KINDS",
+    "REJECT_REASONS",
+    "CoalescingEngine",
+    "LoadProfile",
+    "PreconditionerService",
+    "Rejection",
+    "Request",
+    "Response",
+    "ScriptedClock",
+    "TenantCacheShards",
+    "TenantFactorization",
+    "Ticket",
+    "generate_load",
+    "merge_batches",
+    "merge_rhs",
+]

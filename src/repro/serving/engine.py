@@ -1,0 +1,636 @@
+"""The coalescing engine: admission, batching, execution, scatter-back.
+
+:class:`CoalescingEngine` is the synchronous, deterministic core of the
+preconditioner service.  Requests pass **admission** (structured
+rejection on malformed jobs, oversized batches, full queues, or an open
+circuit breaker), then either hit the tenant's factorization cache and
+resolve immediately, or queue for the next **flush**.  A flush merges
+every compatible pending request (same method / policy / apply mode /
+dtype) into one identity-padded batch, runs a *single*
+:class:`~repro.runtime.BatchRuntime` factorization per merged chunk,
+and scatters results back to each requester by its segment indices -
+the cross-request form of the paper's launch amortization.
+
+The engine is deliberately synchronous and clock-injected: every
+admission decision, flush boundary, and TTL interaction is
+reproducible under a scripted clock, which is what the serving tests
+and the deterministic load benchmark build on.  The asyncio service in
+:mod:`repro.serving.service` adds concurrency *around* this core
+without adding nondeterminism *inside* it.
+
+Fault containment: a flush whose runtime execution was tainted
+(injected fault, quarantined bins, fallback events, poisoned cache)
+still answers its requesters - the runtime already repaired the result
+through quarantine/fallback - but the resulting handles are **never**
+cached into tenant shards, mirroring the runtime's own never-cache-
+tainted rule.  Singular blocks under policy ``None``/``"raise"`` fail
+only the requests that own them; the healthy co-batched requests are
+re-merged and re-factorized once, so one tenant's bad matrix cannot
+fail a neighbour.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..core.batch import BatchedVectors
+from ..runtime.cache import batch_fingerprint
+from ..runtime.executor import BatchRuntime
+from ..telemetry.metrics import get_metrics
+from .coalesce import TenantFactorization, merge_batches, merge_rhs
+from .requests import Rejection, Request, Response, Ticket
+from .shards import TenantCacheShards
+
+__all__ = ["CoalescingEngine"]
+
+
+def _count_request(kind: str, outcome: str) -> None:
+    get_metrics().counter(
+        "repro_serving_requests_total",
+        "Serving jobs by kind and outcome",
+    ).inc(kind=kind, outcome=outcome)
+
+
+def _count_shed(reason: str) -> None:
+    get_metrics().counter(
+        "repro_serving_sheds_total",
+        "Serving jobs refused admission, by structured reason",
+    ).inc(reason=reason)
+
+
+def _observe_stage(stage: str, seconds: float) -> None:
+    get_metrics().histogram(
+        "repro_serving_stage_seconds",
+        "Wall seconds per serving stage",
+    ).observe(seconds, stage=stage)
+
+
+class CoalescingEngine:
+    """Admission + cross-request coalescing over one batch runtime.
+
+    Parameters
+    ----------
+    runtime:
+        The :class:`~repro.runtime.BatchRuntime` that executes merged
+        batches.  Default: a fresh runtime with its *own* cache
+        disabled - merged batches are compositions of many tenants'
+        data and must not be fingerprint-cached as a unit; caching
+        happens per tenant in the shards instead.
+    max_pending:
+        Queue-depth bound; submissions beyond it shed ``queue_full``.
+    max_batch_blocks:
+        Bound on a merged chunk's block count and on any single
+        request (``batch_too_large`` above it).
+    shards:
+        Per-tenant factorization caches (a ready
+        :class:`~repro.serving.shards.TenantCacheShards`); None
+        disables tenant caching entirely.
+    shed_when_breaker_open:
+        Shed new work (``circuit_open``) while the runtime's primary-
+        backend breaker refuses calls, instead of queueing jobs that
+        are likely to burn the fallback chain.  Only meaningful on a
+        resilient runtime.
+    clock:
+        Monotonic time source for queue-age accounting (injectable;
+        the shards carry their own clock for TTL).
+    """
+
+    def __init__(
+        self,
+        runtime: BatchRuntime | None = None,
+        *,
+        max_pending: int = 256,
+        max_batch_blocks: int = 4096,
+        shards: TenantCacheShards | None = None,
+        shed_when_breaker_open: bool = True,
+        clock=time.monotonic,
+    ):
+        if max_pending < 1:
+            raise ValueError(
+                f"max_pending must be positive, got {max_pending}"
+            )
+        if max_batch_blocks < 1:
+            raise ValueError(
+                f"max_batch_blocks must be positive, got {max_batch_blocks}"
+            )
+        self.runtime = (
+            BatchRuntime(cache=False) if runtime is None else runtime
+        )
+        self.max_pending = int(max_pending)
+        self.max_batch_blocks = int(max_batch_blocks)
+        self.shards = shards
+        self.shed_when_breaker_open = bool(shed_when_breaker_open)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pending: list[Ticket] = []
+        self._next_id = 0
+        self._next_flush = 0
+        self._closed = False
+        self.stats = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cache_hits": 0,
+            "rejected": {},
+            "flushes": 0,
+            "executions": 0,
+            "requests_executed": 0,
+            "blocks_executed": 0,
+            "applies": 0,
+        }
+
+    # -- admission ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Requests served per merged factorization (>1 means the
+        coalescer is amortizing launches across requests)."""
+        ex = self.stats["executions"]
+        return self.stats["requests_executed"] / ex if ex else 0.0
+
+    def _gauge_depth(self, depth: int) -> None:
+        get_metrics().gauge(
+            "repro_serving_queue_depth",
+            "Pending serving jobs awaiting a flush",
+        ).set(depth)
+
+    def _reject(self, req: Request, reason: str, **detail) -> Ticket:
+        rejection = Rejection(reason, dict(detail))
+        resp = Response(
+            tenant=req.tenant,
+            kind=req.kind,
+            status="rejected",
+            rejection=rejection,
+        )
+        self.stats["rejected"][reason] = (
+            self.stats["rejected"].get(reason, 0) + 1
+        )
+        _count_shed(reason)
+        _count_request(req.kind, "rejected")
+        return Ticket(request=req, request_id=-1, response=resp)
+
+    def _breaker_open(self) -> bool:
+        if not (self.shed_when_breaker_open and self.runtime.resilient):
+            return False
+        breaker = self.runtime.breakers.breaker(self.runtime.backend.name)
+        return not breaker.allow()
+
+    def _tenant_key(self, req: Request) -> str:
+        """Per-tenant cache key: content fingerprint of the request's
+        own batch plus the execution discriminators.  Tenant-scoped
+        shards make the tenant tag itself redundant, but mixing it in
+        keeps keys unambiguous even if shards are shared."""
+        return batch_fingerprint(
+            req.batch,
+            extra=(req.tenant, req.method, req.on_singular, req.apply_mode),
+        )
+
+    def submit(self, req: Request) -> Ticket:
+        """Admit one job.  The returned ticket is already resolved for
+        rejections and tenant-cache hits; otherwise it resolves at the
+        next :meth:`flush`."""
+        if self._closed:
+            return self._reject(req, "not_running")
+        problem = req.validate()
+        if problem is not None:
+            return self._reject(req, "invalid_request", problem=problem)
+        if req.batch.nb > self.max_batch_blocks:
+            return self._reject(
+                req,
+                "batch_too_large",
+                nb=req.batch.nb,
+                max_batch_blocks=self.max_batch_blocks,
+            )
+        if self._breaker_open():
+            return self._reject(
+                req, "circuit_open", backend=self.runtime.backend.name
+            )
+        self.stats["submitted"] += 1
+        if self.shards is not None:
+            key = self._tenant_key(req)
+            cached = self.shards.get(req.tenant, key)
+            if cached is not None:
+                return self._resolve_cached(req, key, cached)
+        with self._lock:
+            if len(self._pending) >= self.max_pending:
+                depth = len(self._pending)
+                ticket = None
+            else:
+                ticket = Ticket(
+                    request=req,
+                    request_id=self._next_id,
+                    submitted_at=self._clock(),
+                )
+                self._next_id += 1
+                self._pending.append(ticket)
+                depth = len(self._pending)
+        self._gauge_depth(depth)
+        if ticket is None:
+            return self._reject(req, "queue_full", depth=depth)
+        return ticket
+
+    def _resolve_cached(
+        self, req: Request, key: str, tfac: TenantFactorization
+    ) -> Ticket:
+        """Answer a job straight from the tenant's shard."""
+        resp = Response(
+            tenant=req.tenant,
+            kind=req.kind,
+            status="ok",
+            info=tfac.info,
+            handle=tfac,
+            cache_hit=True,
+            coalesced_requests=1,
+            coalesced_blocks=tfac.coalesced_blocks,
+        )
+        if req.kind == "solve":
+            t0 = time.perf_counter()
+            try:
+                resp.solution = tfac.solve(req.rhs)
+            except Exception as err:
+                resp.status = "failed"
+                resp.error = repr(err)
+            resp.solve_seconds = time.perf_counter() - t0
+            _observe_stage("solve", resp.solve_seconds)
+        self.stats["cache_hits"] += 1
+        if resp.status == "ok":
+            self.stats["completed"] += 1
+        else:
+            self.stats["failed"] += 1
+        _count_request(
+            req.kind, "cache_hit" if resp.status == "ok" else "failed"
+        )
+        return Ticket(request=req, request_id=-1, response=resp)
+
+    # -- flushing ----------------------------------------------------------
+
+    def flush(self) -> list[Response]:
+        """Execute everything pending; returns responses in admission
+        order.  Tickets taken by this flush are resolved in place, so
+        concurrent submitters holding them see their responses too."""
+        with self._lock:
+            batch_tickets = self._pending
+            self._pending = []
+            flush_id = self._next_flush
+            self._next_flush += 1
+        self._gauge_depth(0)
+        if not batch_tickets:
+            return []
+        self.stats["flushes"] += 1
+        now = self._clock()
+        for t in batch_tickets:
+            t.response = None
+        # group compatible jobs in admission order, then chunk each
+        # group to the merged-batch bound
+        groups: dict[tuple, list[Ticket]] = {}
+        for t in batch_tickets:
+            groups.setdefault(t.request.coalesce_key, []).append(t)
+        for tickets in groups.values():
+            for chunk in self._chunks(tickets):
+                self._execute_chunk(chunk, flush_id, now)
+        return [t.response for t in batch_tickets]
+
+    def _chunks(self, tickets: list[Ticket]) -> list[list[Ticket]]:
+        chunks: list[list[Ticket]] = []
+        current: list[Ticket] = []
+        blocks = 0
+        for t in tickets:
+            nb = t.request.batch.nb
+            if current and blocks + nb > self.max_batch_blocks:
+                chunks.append(current)
+                current, blocks = [], 0
+            current.append(t)
+            blocks += nb
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _execute_chunk(
+        self, chunk: list[Ticket], flush_id: int, now: float
+    ) -> None:
+        """Factorize one merged chunk and scatter results back."""
+        req0 = chunk[0].request
+        policy = req0.on_singular
+        # under None/"raise" the solve kernels refuse a state holding
+        # unresolved singular blocks, so factorize without a policy,
+        # fail exactly the requests owning singular segments, and rerun
+        # the healthy subset once (see _split_singular)
+        effective_policy = None if policy in (None, "raise") else policy
+        t0 = time.perf_counter()
+        merged, segments = merge_batches([t.request.batch for t in chunk])
+        try:
+            handle = self.runtime.factorize(
+                merged,
+                method=req0.method,
+                on_singular=effective_policy,
+                use_cache=False,
+                apply_mode=req0.apply_mode,
+            )
+        except Exception as err:
+            factor_seconds = time.perf_counter() - t0
+            for t in chunk:
+                self._fail(
+                    t, repr(err), flush_id, now,
+                    factor_seconds=factor_seconds,
+                    coalesced=(len(chunk), merged.nb),
+                )
+            return
+        factor_seconds = time.perf_counter() - t0
+        self.stats["executions"] += 1
+        report = self.runtime.last_report
+        tainted = bool(
+            report is not None
+            and (
+                report.fallback_events
+                or report.quarantined_bins
+                or report.cache_poisoned
+            )
+        )
+        live = list(zip(chunk, segments))
+        if effective_policy is None:
+            live = self._split_singular(
+                live, handle, flush_id, now, factor_seconds,
+                coalesced=(len(chunk), merged.nb),
+            )
+            if live and len(live) < len(chunk):
+                # healthy subset: re-merge and factorize once more so
+                # their solves (and cached handles) are usable
+                self._refactor_healthy(
+                    live, req0, flush_id, now, factor_seconds
+                )
+                return
+        if live:
+            self._resolve_chunk(
+                live, handle, tainted, flush_id, now, factor_seconds,
+                coalesced=(len(chunk), merged.nb),
+            )
+
+    def _split_singular(
+        self, live, handle, flush_id, now, factor_seconds, coalesced
+    ):
+        """Fail requests whose segments hold singular blocks; return
+        the healthy remainder."""
+        healthy = []
+        for t, seg in live:
+            info = handle.info[seg]
+            if np.any(info):
+                self._fail(
+                    t, "singular_blocks", flush_id, now,
+                    factor_seconds=factor_seconds,
+                    coalesced=coalesced,
+                    info=np.ascontiguousarray(info),
+                )
+            else:
+                healthy.append((t, seg))
+        return healthy
+
+    def _refactor_healthy(
+        self, live, req0, flush_id, now, prior_factor_seconds
+    ):
+        """Re-merge and factorize the singular-free subset of a chunk."""
+        tickets = [t for t, _ in live]
+        t0 = time.perf_counter()
+        merged, segments = merge_batches(
+            [t.request.batch for t in tickets]
+        )
+        try:
+            handle = self.runtime.factorize(
+                merged,
+                method=req0.method,
+                on_singular=None,
+                use_cache=False,
+                apply_mode=req0.apply_mode,
+            )
+        except Exception as err:
+            seconds = prior_factor_seconds + (time.perf_counter() - t0)
+            for t in tickets:
+                self._fail(
+                    t, repr(err), flush_id, now,
+                    factor_seconds=seconds,
+                    coalesced=(len(tickets), merged.nb),
+                )
+            return []
+        seconds = prior_factor_seconds + (time.perf_counter() - t0)
+        self.stats["executions"] += 1
+        report = self.runtime.last_report
+        tainted = bool(
+            report is not None
+            and (
+                report.fallback_events
+                or report.quarantined_bins
+                or report.cache_poisoned
+            )
+        )
+        self._resolve_chunk(
+            list(zip(tickets, segments)), handle, tainted, flush_id, now,
+            seconds, coalesced=(len(tickets), merged.nb),
+        )
+        return []
+
+    def _resolve_chunk(
+        self, live, handle, tainted, flush_id, now, factor_seconds,
+        coalesced,
+    ) -> None:
+        """Build tenant views, cache them, answer solves, resolve."""
+        n_requests, n_blocks = coalesced
+        self.stats["requests_executed"] += len(live)
+        self.stats["blocks_executed"] += sum(
+            seg.size for _, seg in live
+        )
+        get_metrics().histogram(
+            "repro_serving_coalesced_requests",
+            "Requests per merged factorization",
+        ).observe(n_requests)
+        get_metrics().histogram(
+            "repro_serving_coalesced_blocks",
+            "Blocks per merged factorization",
+        ).observe(n_blocks)
+        _observe_stage("factor", factor_seconds)
+        views: list[TenantFactorization] = []
+        for t, seg in live:
+            req = t.request
+            key = (
+                self._tenant_key(req) if self.shards is not None else None
+            )
+            tfac = TenantFactorization(
+                tenant=req.tenant,
+                shared=handle,
+                indices=seg,
+                tile=req.batch.tile,
+                sizes=req.batch.sizes.copy(),
+                fingerprint=key,
+            )
+            views.append(tfac)
+            if self.shards is not None and not tainted:
+                self.shards.put(
+                    req.tenant, key, tfac, nbytes=tfac.nbytes
+                )
+        # one merged solve answers every solving requester in the chunk
+        solvers = [
+            (t, seg, tfac)
+            for (t, seg), tfac in zip(live, views)
+            if t.request.kind == "solve"
+        ]
+        solutions: dict[int, BatchedVectors] = {}
+        solve_seconds = 0.0
+        solve_error: str | None = None
+        if solvers:
+            t0 = time.perf_counter()
+            try:
+                merged_rhs = merge_rhs(
+                    handle.plan.source,
+                    [(seg, t.request.rhs) for t, seg, _ in solvers],
+                )
+                merged_out = self.runtime.solve(handle, merged_rhs)
+                for t, seg, tfac in solvers:
+                    sliced = np.ascontiguousarray(
+                        merged_out.data[seg, : tfac.tile]
+                    )
+                    solutions[id(t)] = BatchedVectors(
+                        sliced, tfac.sizes.copy()
+                    )
+            except Exception as err:
+                solve_error = repr(err)
+            solve_seconds = time.perf_counter() - t0
+            _observe_stage("solve", solve_seconds)
+        for (t, seg), tfac in zip(live, views):
+            req = t.request
+            queue_seconds = max(0.0, now - t.submitted_at)
+            _observe_stage("queue", queue_seconds)
+            resp = Response(
+                tenant=req.tenant,
+                kind=req.kind,
+                status="ok",
+                request_id=t.request_id,
+                info=tfac.info,
+                handle=tfac,
+                coalesced_requests=n_requests,
+                coalesced_blocks=n_blocks,
+                flush_id=flush_id,
+                queue_seconds=queue_seconds,
+                factor_seconds=factor_seconds,
+                solve_seconds=solve_seconds if req.kind == "solve" else 0.0,
+            )
+            if req.kind == "solve":
+                sol = solutions.get(id(t))
+                if sol is None:
+                    resp.status = "failed"
+                    resp.error = solve_error or "solve_failed"
+                else:
+                    resp.solution = sol
+            if resp.status == "ok":
+                self.stats["completed"] += 1
+            else:
+                self.stats["failed"] += 1
+            _count_request(req.kind, resp.status)
+            t.response = resp
+
+    def _fail(
+        self, ticket, error, flush_id, now, *, factor_seconds=0.0,
+        coalesced=(0, 0), info=None,
+    ) -> None:
+        req = ticket.request
+        queue_seconds = max(0.0, now - ticket.submitted_at)
+        _observe_stage("queue", queue_seconds)
+        ticket.response = Response(
+            tenant=req.tenant,
+            kind=req.kind,
+            status="failed",
+            request_id=ticket.request_id,
+            info=info,
+            error=error,
+            coalesced_requests=coalesced[0],
+            coalesced_blocks=coalesced[1],
+            flush_id=flush_id,
+            queue_seconds=queue_seconds,
+            factor_seconds=factor_seconds,
+        )
+        self.stats["failed"] += 1
+        _count_request(req.kind, "failed")
+
+    # -- immediate paths ---------------------------------------------------
+
+    def apply(
+        self, tenant: str, handle: TenantFactorization, rhs: BatchedVectors
+    ) -> Response:
+        """Apply a previously returned tenant handle to new right-hand
+        sides - the repeated-apply half of the preconditioner life
+        cycle, no queueing involved."""
+        if self._closed:
+            self.stats["rejected"]["not_running"] = (
+                self.stats["rejected"].get("not_running", 0) + 1
+            )
+            _count_shed("not_running")
+            _count_request("apply", "rejected")
+            return Response(
+                tenant=tenant,
+                kind="apply",
+                status="rejected",
+                rejection=Rejection("not_running"),
+            )
+        if handle.tenant != tenant:
+            self.stats["rejected"]["foreign_handle"] = (
+                self.stats["rejected"].get("foreign_handle", 0) + 1
+            )
+            _count_shed("foreign_handle")
+            _count_request("apply", "rejected")
+            return Response(
+                tenant=tenant,
+                kind="apply",
+                status="rejected",
+                rejection=Rejection(
+                    "foreign_handle",
+                    {"owner": handle.tenant, "caller": tenant},
+                ),
+            )
+        t0 = time.perf_counter()
+        try:
+            solution = handle.solve(rhs)
+        except Exception as err:
+            self.stats["failed"] += 1
+            _count_request("apply", "failed")
+            return Response(
+                tenant=tenant, kind="apply", status="failed",
+                error=repr(err),
+            )
+        seconds = time.perf_counter() - t0
+        _observe_stage("apply", seconds)
+        self.stats["applies"] += 1
+        _count_request("apply", "ok")
+        return Response(
+            tenant=tenant,
+            kind="apply",
+            status="ok",
+            info=handle.info,
+            solution=solution,
+            handle=handle,
+            solve_seconds=seconds,
+        )
+
+    def close(self) -> int:
+        """Stop admitting; pending jobs resolve as ``not_running``
+        rejections.  Returns how many were shed."""
+        with self._lock:
+            self._closed = True
+            stranded = self._pending
+            self._pending = []
+        for t in stranded:
+            t.response = self._reject(t.request, "not_running").response
+        self._gauge_depth(0)
+        return len(stranded)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CoalescingEngine(pending={self.pending}, "
+            f"max_pending={self.max_pending}, "
+            f"max_batch_blocks={self.max_batch_blocks}, "
+            f"ratio={self.coalescing_ratio:.2f})"
+        )

@@ -1,0 +1,193 @@
+"""Request/response vocabulary of the preconditioner service.
+
+Clients talk to the serving layer in *jobs*: a ``setup`` job carries a
+batch of small diagonal blocks and asks for their factorization; a
+``solve`` job additionally carries right-hand sides and asks for the
+solutions in one round trip; an ``apply`` job re-uses a handle returned
+by an earlier setup.  Every job is tagged with a ``tenant`` - the
+isolation unit for caching, accounting and fault containment.
+
+Admission can refuse a job instead of queueing it; the refusal is a
+*structured* :class:`Rejection` (machine-readable reason + detail), not
+an exception string, so load-shedding clients can react (back off,
+re-route, downgrade) without parsing text.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.batch import BatchedMatrices, BatchedVectors
+from ..core.degradation import OnSingular
+
+__all__ = [
+    "JOB_KINDS",
+    "REJECT_REASONS",
+    "Rejection",
+    "Request",
+    "Response",
+    "Ticket",
+]
+
+#: what a request asks for
+JOB_KINDS = ("setup", "solve")
+
+#: structured admission/shedding reasons
+REJECT_REASONS = (
+    "queue_full",        # pending queue at max_pending depth
+    "batch_too_large",   # request nb exceeds max_batch_blocks
+    "circuit_open",      # the runtime's primary-backend breaker is open
+    "invalid_request",   # malformed job (geometry mismatch, bad kind)
+    "foreign_handle",    # apply with a handle another tenant owns
+    "not_running",       # service stopped / engine closed
+)
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a job was refused admission (structured, not prose)."""
+
+    reason: str
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.reason not in REJECT_REASONS:
+            raise ValueError(
+                f"unknown rejection reason {self.reason!r}; expected one "
+                f"of {REJECT_REASONS}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"reason": self.reason, "detail": dict(self.detail)}
+
+
+@dataclass
+class Request:
+    """One job submitted to the serving layer.
+
+    ``batch`` holds the tenant's diagonal blocks (identity padded, as
+    everywhere in :mod:`repro.core`); ``rhs`` is required exactly for
+    ``kind="solve"``.  ``method``/``on_singular``/``apply_mode`` follow
+    the :class:`~repro.runtime.BatchRuntime` conventions - jobs that
+    share all three (and the batch dtype) may be coalesced into one
+    factorization.
+    """
+
+    tenant: str
+    batch: BatchedMatrices
+    kind: str = "solve"
+    rhs: BatchedVectors | None = None
+    method: str = "lu"
+    on_singular: OnSingular | None = None
+    apply_mode: str = "factor"
+
+    def validate(self) -> str | None:
+        """None when well-formed, else a human-readable problem."""
+        if self.kind not in JOB_KINDS:
+            return f"unknown kind {self.kind!r}; expected one of {JOB_KINDS}"
+        if self.kind == "solve":
+            if self.rhs is None:
+                return "solve jobs require rhs"
+            if (
+                self.rhs.nb != self.batch.nb
+                or self.rhs.tile != self.batch.tile
+            ):
+                return (
+                    f"rhs geometry ({self.rhs.nb}, {self.rhs.tile}) does "
+                    f"not match the batch ({self.batch.nb}, "
+                    f"{self.batch.tile})"
+                )
+        elif self.rhs is not None:
+            return "setup jobs do not take rhs"
+        return None
+
+    @property
+    def coalesce_key(self) -> tuple:
+        """Jobs with equal keys may share one merged factorization."""
+        return (
+            self.method,
+            self.on_singular,
+            self.apply_mode,
+            self.batch.dtype.str,
+        )
+
+
+@dataclass
+class Response:
+    """Outcome of one job, whatever path it took.
+
+    ``status`` is one of ``"ok"``, ``"rejected"``, ``"failed"``.  For
+    accepted jobs, ``info`` carries the per-block factorization status
+    in the *requester's* block order (bit-identical to a solo run of
+    the same batch, however the job was co-batched), ``solution`` the
+    solutions for solve jobs, and ``handle`` a tenant-owned
+    factorization for later ``apply`` calls.  ``coalesced_requests`` /
+    ``coalesced_blocks`` describe the merged execution that served the
+    job (1 / own-nb when it ran alone); the ``*_seconds`` stages feed
+    the SLO histograms.
+    """
+
+    tenant: str
+    kind: str
+    status: str
+    request_id: int = -1
+    info: np.ndarray | None = None
+    solution: BatchedVectors | None = None
+    handle: Any = None
+    error: str | None = None
+    rejection: Rejection | None = None
+    cache_hit: bool = False
+    coalesced_requests: int = 0
+    coalesced_blocks: int = 0
+    flush_id: int = -1
+    queue_seconds: float = 0.0
+    factor_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        from ..telemetry.serialize import to_native
+
+        return to_native(
+            {
+                "tenant": self.tenant,
+                "kind": self.kind,
+                "status": self.status,
+                "request_id": self.request_id,
+                "info": None if self.info is None else self.info,
+                "error": self.error,
+                "rejection": (
+                    None if self.rejection is None
+                    else self.rejection.to_dict()
+                ),
+                "cache_hit": self.cache_hit,
+                "coalesced_requests": self.coalesced_requests,
+                "coalesced_blocks": self.coalesced_blocks,
+                "flush_id": self.flush_id,
+                "queue_seconds": self.queue_seconds,
+                "factor_seconds": self.factor_seconds,
+                "solve_seconds": self.solve_seconds,
+            }
+        )
+
+
+@dataclass
+class Ticket:
+    """Handle on a submitted job: resolved at admission (cache hits,
+    rejections) or at the flush that executed it."""
+
+    request: Request
+    request_id: int
+    submitted_at: float = field(default_factory=time.monotonic)
+    response: Response | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None

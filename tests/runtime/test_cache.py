@@ -123,6 +123,145 @@ class TestFactorizationCache:
         assert d["hit_rate"] == 1.0
 
 
+class _Sized:
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTtlEviction:
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            FactorizationCache(ttl_seconds=0.0)
+
+    def test_expired_lookup_is_miss_plus_ttl_eviction(self):
+        clk = Clock()
+        c = FactorizationCache(ttl_seconds=10.0, clock=clk)
+        c.put("k", 1)
+        clk.now = 9.9
+        assert c.get("k") == 1
+        clk.now = 10.0  # age >= ttl: expired
+        assert c.get("k") is None
+        s = c.stats
+        assert s.evictions == 1
+        assert s.eviction_reasons["ttl"] == 1
+        assert s.entries == 0
+
+    def test_contains_and_peek_see_expiry(self):
+        clk = Clock()
+        c = FactorizationCache(ttl_seconds=5.0, clock=clk)
+        c.put("k", 1)
+        assert "k" in c
+        clk.now = 6.0
+        assert "k" not in c
+        assert c.peek("k") is None
+        # peek/contains do not evict; the entry is still resident
+        assert c.stats.entries == 1
+
+    def test_put_evicts_expired_eagerly(self):
+        clk = Clock()
+        c = FactorizationCache(ttl_seconds=5.0, clock=clk)
+        c.put("old", 1)
+        clk.now = 6.0
+        c.put("new", 2)
+        s = c.stats
+        assert s.entries == 1
+        assert s.eviction_reasons["ttl"] == 1
+
+    def test_refresh_resets_age(self):
+        clk = Clock()
+        c = FactorizationCache(ttl_seconds=5.0, clock=clk)
+        c.put("k", 1)
+        clk.now = 4.0
+        c.put("k", 2)  # refresh restamps
+        clk.now = 8.0  # 4s since refresh, 8s since first insert
+        assert c.get("k") == 2
+
+
+class TestByteBudget:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            FactorizationCache(max_bytes=0)
+
+    def test_budget_evicts_lru_until_fit(self):
+        c = FactorizationCache(max_bytes=100)
+        c.put("a", _Sized(40))
+        c.put("b", _Sized(40))
+        c.put("c", _Sized(40))  # 120 > 100: evicts "a"
+        assert "a" not in c
+        assert "b" in c and "c" in c
+        assert c.nbytes == 80
+        assert c.stats.eviction_reasons["bytes"] == 1
+
+    def test_oversized_value_stored_alone(self):
+        c = FactorizationCache(max_bytes=100)
+        c.put("a", _Sized(40))
+        c.put("big", _Sized(500))  # bigger than the whole budget
+        assert "big" in c  # the budget bounds the cache, not the work
+        assert "a" not in c
+        assert c.stats.entries == 1
+
+    def test_nbytes_override_beats_value_attribute(self):
+        c = FactorizationCache(max_bytes=100)
+        c.put("a", _Sized(1000), nbytes=10)  # caller knows better
+        assert "a" in c
+        assert c.nbytes == 10
+
+    def test_valueless_objects_count_zero_bytes(self):
+        c = FactorizationCache(max_bytes=10)
+        for i in range(5):
+            c.put(f"k{i}", f"value-{i}")
+        assert c.stats.entries == 5
+        assert c.nbytes == 0
+
+    def test_invalidate_and_poison_release_bytes(self):
+        c = FactorizationCache(max_bytes=1000)
+        c.put("a", _Sized(100))
+        c.put("b", _Sized(200))
+        c.invalidate("a")
+        assert c.nbytes == 200
+        c.evict_poisoned("b")
+        assert c.nbytes == 0
+        c.put("c", _Sized(50))
+        c.invalidate()
+        assert c.nbytes == 0
+
+    def test_stats_expose_all_axes(self):
+        clk = Clock()
+        c = FactorizationCache(
+            max_entries=8, ttl_seconds=30.0, max_bytes=256, clock=clk
+        )
+        c.put("a", _Sized(64))
+        d = c.stats.to_dict()
+        assert d["bytes"] == 64
+        assert d["max_bytes"] == 256
+        assert d["ttl_seconds"] == 30.0
+        assert set(d["eviction_reasons"]) == {"capacity", "ttl", "bytes"}
+
+    def test_evictions_total_sums_reasons(self):
+        clk = Clock()
+        c = FactorizationCache(
+            max_entries=2, ttl_seconds=10.0, max_bytes=100, clock=clk
+        )
+        c.put("a", _Sized(60))
+        c.put("b", _Sized(60))  # bytes eviction of "a"
+        clk.now = 11.0
+        assert c.get("b") is None  # ttl eviction
+        c.put("c", _Sized(10))
+        c.put("d", _Sized(10))
+        c.put("e", _Sized(10))  # capacity eviction of "c"
+        s = c.stats
+        assert s.eviction_reasons == {"capacity": 1, "ttl": 1, "bytes": 1}
+        assert s.evictions == 3
+
+
 class TestCacheResilienceApi:
     def test_evict_poisoned_counts_separately(self):
         c = FactorizationCache()

@@ -1,0 +1,322 @@
+"""Tests for the coalescing engine: admission, batching, scatter-back,
+backpressure, and fault containment - all under scripted clocks."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosBackend, RaiseInjector
+from repro.runtime import BatchRuntime
+from repro.runtime.backends import get_backend
+from repro.serving import (
+    REJECT_REASONS,
+    CoalescingEngine,
+    Rejection,
+    Request,
+    ScriptedClock,
+    TenantCacheShards,
+)
+from tests.strategies import make_batch, make_rhs
+
+
+def solve_request(tenant, nb=3, max_size=12, seed=0, **kw):
+    batch = make_batch(nb, max_size, seed=seed, dominant=True)
+    return Request(
+        tenant=tenant,
+        batch=batch,
+        kind="solve",
+        rhs=make_rhs(batch, seed=seed + 1000),
+        **kw,
+    )
+
+
+class TestAdmission:
+    def test_rejection_validates_reason(self):
+        with pytest.raises(ValueError, match="unknown rejection"):
+            Rejection("bogus")
+        r = Rejection("queue_full", {"depth": 3})
+        assert r.to_dict() == {
+            "reason": "queue_full", "detail": {"depth": 3},
+        }
+        assert set(REJECT_REASONS) >= {"queue_full", "circuit_open"}
+
+    def test_invalid_requests_shed_with_problem(self):
+        eng = CoalescingEngine()
+        batch = make_batch(2, 8, seed=0, dominant=True)
+        cases = [
+            Request(tenant="t", batch=batch, kind="solve"),  # no rhs
+            Request(tenant="t", batch=batch, kind="warp"),  # bad kind
+            Request(  # geometry mismatch
+                tenant="t",
+                batch=batch,
+                kind="solve",
+                rhs=make_rhs(make_batch(3, 8, seed=1, dominant=True), 2),
+            ),
+            Request(  # setup with rhs
+                tenant="t",
+                batch=batch,
+                kind="setup",
+                rhs=make_rhs(batch, seed=2),
+            ),
+        ]
+        for req in cases:
+            t = eng.submit(req)
+            assert t.done
+            assert t.response.status == "rejected"
+            assert t.response.rejection.reason == "invalid_request"
+            assert t.response.rejection.detail["problem"]
+        assert eng.stats["rejected"]["invalid_request"] == len(cases)
+        assert eng.stats["submitted"] == 0  # shed before admission
+
+    def test_batch_too_large_is_structured(self):
+        eng = CoalescingEngine(max_batch_blocks=4)
+        t = eng.submit(solve_request("t", nb=5))
+        assert t.response.rejection.reason == "batch_too_large"
+        assert t.response.rejection.detail["max_batch_blocks"] == 4
+
+    def test_queue_full_backpressure(self):
+        eng = CoalescingEngine(max_pending=2)
+        t1 = eng.submit(solve_request("a", seed=1))
+        t2 = eng.submit(solve_request("b", seed=2))
+        t3 = eng.submit(solve_request("c", seed=3))
+        assert not t1.done and not t2.done
+        assert t3.response.rejection.reason == "queue_full"
+        # a flush drains the queue and admission resumes
+        eng.flush()
+        t4 = eng.submit(solve_request("d", seed=4))
+        assert not t4.done
+
+    def test_circuit_open_sheds_new_work(self):
+        clock = ScriptedClock()
+        rt = BatchRuntime(
+            backend="binned",
+            fallback=("numpy",),
+            breaker_threshold=1,
+            breaker_cooldown=100.0,
+            clock=clock,
+        )
+        rt.breakers.breaker("binned").record_failure()  # trip it open
+        eng = CoalescingEngine(runtime=rt, clock=clock)
+        t = eng.submit(solve_request("t"))
+        assert t.response.rejection.reason == "circuit_open"
+        # cooldown elapses -> half-open probes are allowed again
+        clock.advance(101.0)
+        t2 = eng.submit(solve_request("t"))
+        assert not t2.done
+
+    def test_close_strands_pending_as_not_running(self):
+        eng = CoalescingEngine()
+        t1 = eng.submit(solve_request("a", seed=1))
+        assert eng.close() == 1
+        assert t1.response.rejection.reason == "not_running"
+        t2 = eng.submit(solve_request("b", seed=2))
+        assert t2.response.rejection.reason == "not_running"
+
+
+class TestCoalescing:
+    def test_flush_preserves_admission_order(self):
+        clock = ScriptedClock()
+        eng = CoalescingEngine(clock=clock)
+        reqs = [solve_request(f"t{i}", seed=i) for i in range(5)]
+        tickets = []
+        for i, req in enumerate(reqs):
+            tickets.append(eng.submit(req))
+            clock.advance(1.0)
+        responses = eng.flush()
+        assert [r.tenant for r in responses] == [
+            f"t{i}" for i in range(5)
+        ]
+        # queue age under the scripted clock: first in waits longest
+        assert [r.queue_seconds for r in responses] == [
+            5.0, 4.0, 3.0, 2.0, 1.0,
+        ]
+        assert all(t.response is r for t, r in zip(tickets, responses))
+        assert responses[0].coalesced_requests == 5
+        assert eng.stats["executions"] == 1
+        assert eng.coalescing_ratio == 5.0
+
+    def test_chunking_respects_max_batch_blocks(self):
+        eng = CoalescingEngine(max_batch_blocks=5)
+        for i in range(4):
+            eng.submit(solve_request(f"t{i}", nb=2, seed=i))
+        responses = eng.flush()
+        # 8 blocks at a 5-block bound -> two chunks of 2 requests
+        assert eng.stats["executions"] == 2
+        assert all(r.coalesced_blocks <= 5 for r in responses)
+        assert all(r.status == "ok" for r in responses)
+
+    def test_incompatible_jobs_never_merge(self):
+        eng = CoalescingEngine()
+        eng.submit(solve_request("a", seed=1, method="lu"))
+        eng.submit(solve_request("b", seed=2, method="gje"))
+        responses = eng.flush()
+        assert eng.stats["executions"] == 2
+        assert all(r.coalesced_requests == 1 for r in responses)
+        assert all(r.status == "ok" for r in responses)
+
+    def test_results_bit_identical_to_solo(self):
+        eng = CoalescingEngine()
+        reqs = [
+            solve_request(f"t{i}", nb=2 + i, max_size=4 * (i + 1), seed=i)
+            for i in range(4)
+        ]
+        for req in reqs:
+            eng.submit(req)
+        responses = eng.flush()
+        for req, resp in zip(reqs, responses):
+            solo = BatchRuntime(cache=False).factorize(
+                req.batch, use_cache=False
+            )
+            np.testing.assert_array_equal(solo.info, resp.info)
+            np.testing.assert_array_equal(
+                solo.solve(req.rhs).data, resp.solution.data
+            )
+
+    def test_setup_jobs_return_usable_handles(self):
+        eng = CoalescingEngine()
+        batch = make_batch(3, 8, seed=5, dominant=True)
+        t = eng.submit(Request(tenant="t", batch=batch, kind="setup"))
+        resp = eng.flush()[0]
+        assert resp.status == "ok"
+        assert resp.solution is None
+        rhs = make_rhs(batch, seed=6)
+        out = eng.apply("t", resp.handle, rhs)
+        assert out.status == "ok"
+        solo = BatchRuntime(cache=False).factorize(
+            batch, use_cache=False
+        )
+        np.testing.assert_array_equal(
+            out.solution.data, solo.solve(rhs).data
+        )
+
+    def test_empty_flush_is_noop(self):
+        eng = CoalescingEngine()
+        assert eng.flush() == []
+        assert eng.stats["flushes"] == 0
+
+
+class TestSingularIsolation:
+    def _singular_request(self, tenant, seed=0):
+        batch = make_batch(3, 8, seed=seed, dominant=True)
+        m = int(batch.sizes[1])
+        batch.data[1, :m, :m] = 0.0
+        return Request(tenant=tenant, batch=batch, kind="setup")
+
+    def test_singular_tenant_fails_alone(self):
+        eng = CoalescingEngine()
+        good = solve_request("good", seed=1)
+        eng.submit(self._singular_request("bad", seed=2))
+        eng.submit(good)
+        bad_resp, good_resp = eng.flush()
+        assert bad_resp.status == "failed"
+        assert bad_resp.error == "singular_blocks"
+        assert bad_resp.info is not None and bad_resp.info[1] > 0
+        assert good_resp.status == "ok"
+        solo = BatchRuntime(cache=False).factorize(
+            good.batch, use_cache=False
+        )
+        np.testing.assert_array_equal(solo.info, good_resp.info)
+        np.testing.assert_array_equal(
+            solo.solve(good.rhs).data, good_resp.solution.data
+        )
+
+    def test_substitution_policy_degrades_in_place(self):
+        eng = CoalescingEngine()
+        req = self._singular_request("t", seed=3)
+        req.on_singular = "identity"
+        eng.submit(req)
+        resp = eng.flush()[0]
+        assert resp.status == "ok"
+        assert (resp.info == 0).all()  # substitution resolves the report
+        deg = resp.handle.shared.degradation
+        assert deg is not None
+        assert deg.original_info[resp.handle.indices].sum() > 0
+
+
+class TestTenantCaching:
+    def test_repeat_submission_hits_shard(self):
+        shards = TenantCacheShards()
+        eng = CoalescingEngine(shards=shards)
+        req = solve_request("t", seed=1)
+        eng.submit(req)
+        first = eng.flush()[0]
+        again = eng.submit(req)
+        assert again.done and again.response.cache_hit
+        np.testing.assert_array_equal(
+            again.response.solution.data, first.solution.data
+        )
+        assert eng.stats["cache_hits"] == 1
+
+    def test_cache_is_tenant_scoped(self):
+        shards = TenantCacheShards()
+        eng = CoalescingEngine(shards=shards)
+        req = solve_request("alice", seed=1)
+        eng.submit(req)
+        eng.flush()
+        # same content, different tenant: no cross-tenant hit
+        other = Request(
+            tenant="bob", batch=req.batch, kind="solve", rhs=req.rhs
+        )
+        t = eng.submit(other)
+        assert not t.done
+
+    def test_tainted_executions_never_cached(self):
+        chaos = ChaosBackend(
+            get_backend("binned"),
+            [RaiseInjector("factorize", rate=1.0)],
+            seed=0,
+        )
+        rt = BatchRuntime(backend=chaos, fallback=("numpy",), cache=False)
+        shards = TenantCacheShards()
+        eng = CoalescingEngine(runtime=rt, shards=shards)
+        eng.submit(solve_request("t", seed=1))
+        resp = eng.flush()[0]
+        assert resp.status == "ok"  # served despite the fault
+        assert chaos.events  # the fault fired
+        assert shards.stats()["entries"] == 0  # but nothing was cached
+
+
+class TestApply:
+    def test_foreign_handle_rejected(self):
+        eng = CoalescingEngine()
+        req = solve_request("owner", seed=1)
+        eng.submit(req)
+        resp = eng.flush()[0]
+        out = eng.apply("thief", resp.handle, req.rhs)
+        assert out.status == "rejected"
+        assert out.rejection.reason == "foreign_handle"
+        assert out.rejection.detail["owner"] == "owner"
+
+    def test_apply_after_close_rejected(self):
+        eng = CoalescingEngine()
+        req = solve_request("t", seed=1)
+        eng.submit(req)
+        resp = eng.flush()[0]
+        eng.close()
+        out = eng.apply("t", resp.handle, req.rhs)
+        assert out.rejection.reason == "not_running"
+
+    def test_apply_geometry_failure_is_structured(self):
+        eng = CoalescingEngine()
+        req = solve_request("t", nb=3, seed=1)
+        eng.submit(req)
+        resp = eng.flush()[0]
+        wrong = make_rhs(make_batch(5, 8, seed=9, dominant=True), 1)
+        out = eng.apply("t", resp.handle, wrong)
+        assert out.status == "failed"
+        assert "geometry" in out.error
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            CoalescingEngine(max_pending=0)
+        with pytest.raises(ValueError, match="max_batch_blocks"):
+            CoalescingEngine(max_batch_blocks=0)
+
+    def test_response_to_dict_serializes(self):
+        eng = CoalescingEngine()
+        eng.submit(solve_request("t", seed=1))
+        d = eng.flush()[0].to_dict()
+        assert d["status"] == "ok"
+        assert isinstance(d["info"], list)
+        assert d["coalesced_requests"] == 1
