@@ -10,6 +10,15 @@ backend divergence beyond tolerance fails the run.
 
 Schema history
 --------------
+* v6: top-level ``overload`` block
+  (:func:`repro.bench.serving_load.run_overload_bench`): the
+  deadline-aware overload sweep - closed-loop client fleets at growing
+  offered load against the FIFO baseline and the EDF+quota discipline,
+  goodput / admitted-queue-p99 curves, shed and brownout counters.
+  ``passed`` additionally requires the overload gate (zero responses
+  delivered past deadline under EDF, FIFO violating the SLO at some
+  level, EDF holding the SLO at >= 2x that level).  Consumers that
+  ignore unknown keys read v6 documents as v5.
 * v5: top-level ``serving`` block
   (:mod:`repro.bench.serving_load`): the cross-request coalescing
   benchmark - per-discipline (naive / coalesced / coalesced+cached)
@@ -52,7 +61,7 @@ __all__ = ["run_backend_sweep", "format_sweep_summary"]
 
 #: version of the BENCH_runtime.json document layout; bump on any
 #: structural change so downstream comparisons can gate on it
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 SCHEMA_NAME = "repro.bench.runtime_sweep"
 
 
@@ -324,11 +333,16 @@ def run_backend_sweep(
     for name, batch in adversarial.items():
         rhs = random_rhs(batch, seed=seed + 2)
         cases.append(_case(name, batch, rhs, backends, tol))
-    from .serving_load import run_serving_bench
+    from .serving_load import run_overload_bench, run_serving_bench
 
     serving = run_serving_bench(quick=quick, seed=seed)
-    passed = serving["passed"] and all(
-        chk["passed"] for c in cases for chk in c["checks"].values()
+    overload = run_overload_bench(quick=quick, seed=seed)
+    passed = (
+        serving["passed"]
+        and overload["passed"]
+        and all(
+            chk["passed"] for c in cases for chk in c["checks"].values()
+        )
     )
     worst = 0.0
     for c in cases:
@@ -355,6 +369,7 @@ def run_backend_sweep(
             "cases": cases,
             "interleaved_vs_binned": _time_layouts(quick, seed),
             "serving": serving,
+            "overload": overload,
             "max_discrepancy": worst,
             "passed": passed,
             "metrics": metrics_snapshot(),
@@ -417,4 +432,9 @@ def format_sweep_summary(report: dict) -> str:
         from .serving_load import format_serving_summary
 
         out += "\n\n" + format_serving_summary(serving)
+    overload = report.get("overload")
+    if overload:
+        from .serving_load import format_overload_summary
+
+        out += "\n\n" + format_overload_summary(overload)
     return out

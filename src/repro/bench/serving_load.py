@@ -30,17 +30,29 @@ import time
 
 import numpy as np
 
+from ..core.random_batches import random_batch, random_rhs
 from ..runtime import BatchRuntime
 from ..serving import (
+    BrownoutController,
+    ClientPolicy,
+    ClosedLoopClient,
     CoalescingEngine,
+    CoDelShedder,
     LoadProfile,
+    OverloadController,
     Request,
     ScriptedClock,
     TenantCacheShards,
+    TenantQuotas,
     generate_load,
 )
 
-__all__ = ["run_serving_bench", "format_serving_summary"]
+__all__ = [
+    "run_serving_bench",
+    "format_serving_summary",
+    "run_overload_bench",
+    "format_overload_summary",
+]
 
 #: serving disciplines compared over identical traffic
 MODES = ("naive", "coalesced", "coalesced_cached")
@@ -261,6 +273,272 @@ def run_serving_bench(
             "passed": passed,
         }
     )
+
+
+# -- overload bench: FIFO vs EDF+quota under offered-load sweep -----------
+
+#: scripted-simulation step and flush cadence (seconds)
+_OVERLOAD_DT = 0.01
+
+#: blocks the engine may execute per flush (the capacity model):
+#: capacity = _OVERLOAD_CAPACITY / _OVERLOAD_DT blocks per second
+_OVERLOAD_CAPACITY = 6
+
+#: blocks per client job
+_OVERLOAD_JOB_BLOCKS = 2
+
+#: client think time and relative deadline (seconds)
+_OVERLOAD_THINK = 0.08
+_OVERLOAD_DEADLINE = 0.1
+
+#: admitted-latency SLO the gate holds EDF to (queue p99, seconds)
+_OVERLOAD_SLO = 0.05
+
+#: offered-load multipliers (clients = _OVERLOAD_CLIENTS_PER_LEVEL x
+#: level); level 2 saturates the capacity model
+_OVERLOAD_LEVELS = (1, 2, 4, 8)
+_QUICK_OVERLOAD_LEVELS = (1, 2, 4)
+_OVERLOAD_CLIENTS_PER_LEVEL = 20
+
+#: window the fleet's first arrivals are spread over (seconds)
+_OVERLOAD_STAGGER = 0.3
+
+#: simulation length in ticks
+_OVERLOAD_TICKS = 300
+_QUICK_OVERLOAD_TICKS = 150
+
+
+def _overload_make_request(seed: int):
+    """Factory for a client's fresh-job generator (small solve jobs)."""
+
+    def make(rng: np.random.Generator) -> Request:
+        batch = random_batch(
+            _OVERLOAD_JOB_BLOCKS,
+            size_range=(4, 16),
+            kind="diag_dominant",
+            seed=int(rng.integers(2**31)),
+        )
+        return Request(
+            tenant="placeholder",
+            batch=batch,
+            kind="solve",
+            rhs=random_rhs(batch, seed=int(rng.integers(2**31))),
+        )
+
+    return make
+
+
+def _overload_engine(policy: str, clock, n_clients: int):
+    """Build the engine for one discipline.
+
+    ``fifo``: the legacy baseline - admission order, no deadline
+    awareness, no overload controller.  ``edf``: deadline-aware
+    scheduling plus quotas + CoDel + brownout.
+    """
+    capacity_bps = _OVERLOAD_CAPACITY / _OVERLOAD_DT
+    overload = None
+    if policy == "edf":
+        overload = OverloadController(
+            quotas=TenantQuotas(
+                # hold aggregate admissions under capacity so the
+                # standing queue drains instead of growing
+                0.85 * capacity_bps / max(1, n_clients),
+                burst_seconds=0.15,
+                min_burst=_OVERLOAD_JOB_BLOCKS,
+            ),
+            shedder=CoDelShedder(target=0.02, interval=0.05),
+            brownout=BrownoutController(
+                enter_pressure=0.75,
+                exit_pressure=0.25,
+                escalate_hold=0.05,
+                recover_hold=0.1,
+            ),
+            reroute_priority=1,
+        )
+    return CoalescingEngine(
+        runtime=BatchRuntime(cache=False),
+        max_pending=4096,
+        clock=clock,
+        scheduling=policy,
+        overload=overload,
+        max_flush_blocks=_OVERLOAD_CAPACITY,
+    )
+
+
+def _run_overload_level(policy: str, level: int, ticks: int, seed: int):
+    """Simulate one (discipline, offered-load) cell under a scripted
+    clock; every decision is a pure function of the seed."""
+    clock = ScriptedClock()
+    n_clients = _OVERLOAD_CLIENTS_PER_LEVEL * level
+    engine = _overload_engine(policy, clock, n_clients)
+    clients = [
+        ClosedLoopClient(
+            f"client-{i:03d}",
+            engine,
+            clock,
+            _overload_make_request(seed + i),
+            policy=ClientPolicy(),
+            think_seconds=_OVERLOAD_THINK,
+            deadline_seconds=_OVERLOAD_DEADLINE,
+            # half the fleet is deprioritised: the brownout reroute
+            # lane's candidates
+            priority=i % 2,
+            # spread first arrivals so the t=0 thundering herd does
+            # not pollute the steady-state percentiles
+            start_delay=(i / n_clients) * _OVERLOAD_STAGGER,
+            seed=seed * 10_007 + i,
+        )
+        for i in range(n_clients)
+    ]
+    for _ in range(ticks):
+        for c in clients:
+            c.tick()
+        engine.flush()
+        clock.advance(_OVERLOAD_DT)
+    sim_seconds = ticks * _OVERLOAD_DT
+    totals: dict = {
+        "jobs": 0, "attempts": 0, "admitted": 0, "completed": 0,
+        "on_time": 0, "violations": 0, "failed": 0, "gave_up": 0,
+        "expired": 0, "hedges": 0,
+    }
+    rejected: dict[str, int] = {}
+    queue_seconds: list[float] = []
+    for c in clients:
+        for k in totals:
+            totals[k] += c.stats[k]
+        for reason, n in c.stats["rejected"].items():
+            rejected[reason] = rejected.get(reason, 0) + n
+        queue_seconds.extend(c.queue_seconds)
+    offered_bps = (
+        n_clients * _OVERLOAD_JOB_BLOCKS
+        / (_OVERLOAD_THINK + _OVERLOAD_DT)
+    )
+    capacity_bps = _OVERLOAD_CAPACITY / _OVERLOAD_DT
+    return {
+        "policy": policy,
+        "level": level,
+        "clients": n_clients,
+        "offered_load": offered_bps / capacity_bps,
+        "goodput_jobs_per_s": totals["on_time"] / sim_seconds,
+        "admitted_queue": _percentiles(queue_seconds),
+        "rejected": rejected,
+        "engine": {
+            "deferred": engine.stats["deferred"],
+            "rerouted": engine.stats["rerouted"],
+            "brownout_demotions": engine.stats["brownout_demotions"],
+            "late_deliveries_prevented": engine.stats[
+                "late_deliveries_prevented"
+            ],
+            "brownout_level": engine.brownout_level,
+            "brownout_transitions": (
+                len(engine.overload.brownout.transitions)
+                if engine.overload is not None
+                and engine.overload.brownout is not None
+                else 0
+            ),
+        },
+        **totals,
+    }
+
+
+def run_overload_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Goodput-vs-offered-load sweep: FIFO baseline vs EDF+quota.
+
+    Each offered-load level runs the *same* closed-loop client fleet
+    against both disciplines under a scripted clock.  ``["passed"]``
+    requires (a) **zero** responses delivered past their deadline
+    under EDF at every level, (b) the FIFO baseline violating the
+    admitted-latency SLO (or delivering late) at some level, and
+    (c) EDF holding admitted queue p99 within the SLO at an offered
+    load at least 2x the first FIFO-violating level.
+    """
+    from ..telemetry import to_native
+
+    levels = _QUICK_OVERLOAD_LEVELS if quick else _OVERLOAD_LEVELS
+    ticks = _QUICK_OVERLOAD_TICKS if quick else _OVERLOAD_TICKS
+    curves = {"fifo": [], "edf": []}
+    for level in levels:
+        for policy in ("fifo", "edf"):
+            curves[policy].append(
+                _run_overload_level(policy, level, ticks, seed)
+            )
+    fifo_first_violation = None
+    for row in curves["fifo"]:
+        if (
+            row["violations"] > 0
+            or row["admitted_queue"]["p99"] > _OVERLOAD_SLO
+        ):
+            fifo_first_violation = row["level"]
+            break
+    edf_zero_late = all(r["violations"] == 0 for r in curves["edf"])
+    edf_max_within_slo = 0
+    for row in curves["edf"]:
+        if row["admitted_queue"]["p99"] <= _OVERLOAD_SLO:
+            edf_max_within_slo = row["level"]
+    passed = (
+        edf_zero_late
+        and fifo_first_violation is not None
+        and edf_max_within_slo >= 2 * fifo_first_violation
+    )
+    return to_native(
+        {
+            "config": {
+                "dt_seconds": _OVERLOAD_DT,
+                "capacity_blocks_per_flush": _OVERLOAD_CAPACITY,
+                "job_blocks": _OVERLOAD_JOB_BLOCKS,
+                "think_seconds": _OVERLOAD_THINK,
+                "deadline_seconds": _OVERLOAD_DEADLINE,
+                "slo_queue_p99_seconds": _OVERLOAD_SLO,
+                "levels": list(levels),
+                "ticks": ticks,
+                "seed": seed,
+                "quick": quick,
+            },
+            "curves": curves,
+            "fifo_first_violation_level": fifo_first_violation,
+            "edf_max_level_within_slo": edf_max_within_slo,
+            "edf_zero_late_deliveries": edf_zero_late,
+            "passed": passed,
+        }
+    )
+
+
+def format_overload_summary(report: dict) -> str:
+    """Fixed-width goodput/latency curves of an overload bench run."""
+    from .reporting import format_table
+
+    out = []
+    for policy in ("fifo", "edf"):
+        rows = []
+        for r in report["curves"][policy]:
+            rows.append(
+                [
+                    f"{r['offered_load']:.2f}x",
+                    r["clients"],
+                    f"{r['goodput_jobs_per_s']:.0f}",
+                    f"{r['admitted_queue']['p99'] * 1e3:.1f}",
+                    r["violations"],
+                    r["expired"],
+                    sum(r["rejected"].values()),
+                    r["engine"]["brownout_level"],
+                ]
+            )
+        out.append(
+            format_table(
+                ["offered", "clients", "goodput/s", "queue p99 ms",
+                 "late", "expired", "sheds", "brownout"],
+                rows,
+                title=f"overload sweep [{policy}]",
+            )
+        )
+    status = "PASS" if report["passed"] else "FAIL"
+    out.append(
+        f"overload gate [{status}]: fifo first violation at level "
+        f"{report['fifo_first_violation_level']}, edf within SLO up to "
+        f"level {report['edf_max_level_within_slo']}, zero late "
+        f"deliveries={report['edf_zero_late_deliveries']}"
+    )
+    return "\n\n".join(out)
 
 
 def format_serving_summary(report: dict) -> str:

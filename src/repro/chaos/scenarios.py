@@ -578,4 +578,124 @@ def run_chaos_suite(seed: int = 0, quick: bool = True) -> ChaosReport:
         )
     )
 
+    # 11. overload storm under latency injection: one bursty tenant
+    # submitting at 10x the well-behaved rate against a deadline-aware
+    # EDF engine with per-tenant quotas, over a backend with injected
+    # factorize latency.  The storm must be absorbed by *its own*
+    # quota (it collects the sheds), every well-behaved tenant keeps
+    # meeting its deadlines, and - the engine's hard guarantee - no
+    # response is ever delivered past its deadline.
+    t0 = time.perf_counter()
+    try:
+        from ..serving import (
+            BrownoutController,
+            ClosedLoopClient,
+            CoalescingEngine,
+            CoDelShedder,
+            OverloadController,
+            ScriptedClock,
+            TenantQuotas,
+        )
+
+        chaos11 = ChaosBackend(
+            get_backend("binned"),
+            [LatencyInjector("factorize", seconds=0.001)],
+            seed=seed,
+        )
+        rt11 = BatchRuntime(backend=chaos11, fallback=CHAIN, cache=False)
+        dt, cap, think = 0.01, 6, 0.08
+        n_good = 5
+        clock = ScriptedClock()
+        overload = OverloadController(
+            quotas=TenantQuotas(
+                0.85 * (cap / dt) / (n_good + 1),
+                burst_seconds=0.15,
+                min_burst=2,
+            ),
+            shedder=CoDelShedder(target=0.02, interval=0.05),
+            brownout=BrownoutController(),
+        )
+        engine = CoalescingEngine(
+            runtime=rt11,
+            max_pending=4096,
+            clock=clock,
+            scheduling="edf",
+            overload=overload,
+            max_flush_blocks=cap,
+        )
+
+        def _mk(client_seed):
+            def make(rng):
+                from ..core.random_batches import random_batch, random_rhs
+
+                b = random_batch(
+                    2, size_range=(4, 16), kind="diag_dominant",
+                    seed=int(rng.integers(2**31)),
+                )
+                return Request(
+                    tenant="x", batch=b, kind="solve",
+                    rhs=random_rhs(b, seed=int(rng.integers(2**31))),
+                )
+
+            return make
+
+        clients = [
+            ClosedLoopClient(
+                f"good-{i}", engine, clock, _mk(seed + i),
+                think_seconds=think, deadline_seconds=0.1,
+                start_delay=i * dt, seed=seed * 101 + i,
+            )
+            for i in range(n_good)
+        ]
+        storm = ClosedLoopClient(
+            "storm", engine, clock, _mk(seed + 999),
+            think_seconds=think / 10.0, deadline_seconds=0.1,
+            seed=seed * 101 + 999,
+        )
+        clients.append(storm)
+        for _ in range(200):
+            for c in clients:
+                c.tick()
+            engine.flush()
+            clock.advance(dt)
+        good = clients[:n_good]
+        good_sheds = sum(
+            sum(c.stats["rejected"].values()) for c in good
+        )
+        storm_sheds = sum(storm.stats["rejected"].values())
+        violations = sum(c.stats["violations"] for c in clients)
+        detail = {
+            "injected_faults": len(chaos11.events),
+            "good_completed": [c.stats["completed"] for c in good],
+            "good_sheds": good_sheds,
+            "storm_completed": storm.stats["completed"],
+            "storm_sheds": storm_sheds,
+            "storm_shed_reasons": dict(storm.stats["rejected"]),
+            "late_deliveries": violations,
+            "late_deliveries_prevented": engine.stats[
+                "late_deliveries_prevented"
+            ],
+            "brownout_level": engine.brownout_level,
+        }
+        ok = bool(
+            violations == 0
+            and all(c.stats["completed"] > 0 for c in good)
+            and all(c.stats["violations"] == 0 for c in good)
+            and storm_sheds > 0
+            and storm_sheds > good_sheds
+            and chaos11.events
+        )
+        if not ok:
+            detail["error"] = (
+                "overload storm leaked onto well-behaved tenants or "
+                "a response was delivered past its deadline"
+            )
+    except Exception as err:
+        ok, detail = False, {"error": f"unhandled exception: {err!r}"}
+    report.scenarios.append(
+        ChaosScenarioResult(
+            "overload-storm", ok, detail, time.perf_counter() - t0
+        )
+    )
+
     return report

@@ -317,11 +317,18 @@ def _run_serve_bench(args) -> int:
     import json
 
     from .bench.serving_load import (
+        format_overload_summary,
         format_serving_summary,
+        run_overload_bench,
         run_serving_bench,
     )
 
-    report = run_serving_bench(quick=args.quick, seed=args.seed)
+    if args.overload:
+        report = run_overload_bench(quick=args.quick, seed=args.seed)
+        fmt = format_overload_summary
+    else:
+        report = run_serving_bench(quick=args.quick, seed=args.seed)
+        fmt = format_serving_summary
     if args.json:
         payload = json.dumps(report, indent=2)
         if args.json == "-":
@@ -331,7 +338,7 @@ def _run_serve_bench(args) -> int:
                 fh.write(payload + "\n")
             print(f"report written to {args.json}")
     if args.json != "-":
-        print(format_serving_summary(report))
+        print(fmt(report))
     return 0 if report["passed"] else 1
 
 
@@ -496,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     psb.add_argument("--quick", action="store_true",
                      help="trimmed workload for CI smoke gates")
+    psb.add_argument("--overload", action="store_true",
+                     help="run the deadline-aware overload sweep "
+                     "instead: FIFO baseline vs EDF+quota goodput and "
+                     "admitted-latency curves (exit 1 unless EDF "
+                     "delivers nothing past deadline and holds the "
+                     "SLO at >= 2x the first FIFO-violating load)")
     psb.add_argument("--seed", type=int, default=0)
     psb.add_argument("--json", metavar="PATH",
                      help="write the JSON report to PATH "

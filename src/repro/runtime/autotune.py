@@ -19,11 +19,11 @@ applies after which the 3x setup premium has paid for itself.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..clock import PERF
 from ..core.batch import BatchedVectors
 from ..core.explicit_inverse import inverse_apply
 from ..telemetry.serialize import to_native
@@ -104,7 +104,7 @@ class ApplyModeTuning:
         )
 
 
-def _best_of(fn, repeats: int, clock=time.perf_counter) -> float:
+def _best_of(fn, repeats: int, clock=PERF) -> float:
     best = float("inf")
     for _ in range(max(1, repeats)):
         t0 = clock()
@@ -118,7 +118,7 @@ def tune_apply_mode(
     inverse: BackendInverse,
     invert_seconds: float = 0.0,
     repeats: int = 3,
-    clock=time.perf_counter,
+    clock=PERF,
 ) -> ApplyModeTuning:
     """Measure both apply paths per unit and disable losing inverses.
 

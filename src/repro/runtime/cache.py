@@ -44,11 +44,11 @@ from __future__ import annotations
 
 import hashlib
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from ..clock import MONOTONIC
 from ..core.batch import BatchedMatrices
 from ..telemetry.metrics import get_metrics
 
@@ -198,7 +198,7 @@ class FactorizationCache:
         max_entries: int = 32,
         ttl_seconds: float | None = None,
         max_bytes: int | None = None,
-        clock=time.monotonic,
+        clock=MONOTONIC,
     ):
         if max_entries < 1:
             raise ValueError(

@@ -33,11 +33,11 @@ to engage which mechanism.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..clock import MONOTONIC
 from ..core.batch import BatchedMatrices, BatchedVectors
 from .backends import Backend
 from .planner import BinPlan, ExecutionPlan
@@ -83,7 +83,7 @@ class CircuitBreaker:
         name: str,
         failure_threshold: int = 3,
         cooldown_seconds: float = 30.0,
-        clock=time.monotonic,
+        clock=MONOTONIC,
     ):
         if failure_threshold < 1:
             raise ValueError(
@@ -157,7 +157,7 @@ class BreakerBoard:
         self,
         failure_threshold: int = 3,
         cooldown_seconds: float = 30.0,
-        clock=time.monotonic,
+        clock=MONOTONIC,
     ):
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds

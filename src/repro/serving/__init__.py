@@ -9,11 +9,34 @@ budgets, and an asyncio front end.  The synchronous core
 (:class:`CoalescingEngine`) is fully deterministic under injected
 clocks; :class:`PreconditionerService` adds event-loop scheduling
 around it.
+
+Overload control: :mod:`repro.serving.overload` supplies per-tenant
+token-bucket quotas, CoDel-style adaptive shedding, and a brownout
+degradation ladder; the engine's ``scheduling="edf"`` mode orders each
+flush earliest-deadline-first and guarantees no response is ever
+delivered past its deadline.  :class:`ClosedLoopClient` is the
+matching client discipline (exponential backoff with seeded jitter,
+``Retry-After`` hints honored, optional hedging).
 """
 
 from .coalesce import TenantFactorization, merge_batches, merge_rhs
-from .engine import CoalescingEngine
-from .loadgen import LoadProfile, ScriptedClock, generate_load
+from .engine import SCHEDULING_MODES, CoalescingEngine
+from .loadgen import (
+    ClientPolicy,
+    ClosedLoopClient,
+    LoadProfile,
+    ScriptedClock,
+    backoff_delay,
+    generate_load,
+)
+from .overload import (
+    BROWNOUT_LEVELS,
+    BrownoutController,
+    CoDelShedder,
+    OverloadController,
+    TenantQuotas,
+    TokenBucket,
+)
 from .requests import (
     JOB_KINDS,
     REJECT_REASONS,
@@ -26,10 +49,17 @@ from .service import PreconditionerService
 from .shards import TenantCacheShards
 
 __all__ = [
+    "BROWNOUT_LEVELS",
     "JOB_KINDS",
     "REJECT_REASONS",
+    "SCHEDULING_MODES",
+    "BrownoutController",
+    "ClientPolicy",
+    "ClosedLoopClient",
+    "CoDelShedder",
     "CoalescingEngine",
     "LoadProfile",
+    "OverloadController",
     "PreconditionerService",
     "Rejection",
     "Request",
@@ -38,6 +68,9 @@ __all__ = [
     "TenantCacheShards",
     "TenantFactorization",
     "Ticket",
+    "TokenBucket",
+    "TenantQuotas",
+    "backoff_delay",
     "generate_load",
     "merge_batches",
     "merge_rhs",

@@ -18,6 +18,21 @@ and the deterministic load benchmark build on.  The asyncio service in
 :mod:`repro.serving.service` adds concurrency *around* this core
 without adding nondeterminism *inside* it.
 
+Overload control (all optional, all deterministic under a scripted
+clock): with ``scheduling="edf"`` the flush orders admitted work
+earliest-deadline-first (ties: priority, then arrival), sheds jobs
+already past their deadline before the merged launch, and audits again
+at scatter-back so a response is *never* delivered late - a missed
+deadline becomes a structured ``deadline_exceeded`` rejection instead.
+``max_flush_blocks`` bounds how many blocks one flush may execute (the
+capacity model that makes backlog dynamics reproducible); the strict
+EDF prefix runs, the remainder is deferred back to the queue front.
+An attached :class:`~repro.serving.overload.OverloadController` adds
+per-tenant token-bucket quotas and CoDel-style sojourn shedding at
+admission, and a brownout ladder that demotes explicit-inverse applies,
+shrinks the service linger window, and finally reroutes the
+lowest-priority traffic to the reference backend.
+
 Fault containment: a flush whose runtime execution was tainted
 (injected fault, quarantined bins, fallback events, poisoned cache)
 still answers its requesters - the runtime already repaired the result
@@ -31,20 +46,26 @@ fail a neighbour.
 
 from __future__ import annotations
 
+import math
 import threading
-import time
 
 import numpy as np
 
+from ..clock import MONOTONIC, PERF
 from ..core.batch import BatchedVectors
 from ..runtime.cache import batch_fingerprint
 from ..runtime.executor import BatchRuntime
 from ..telemetry.metrics import get_metrics
 from .coalesce import TenantFactorization, merge_batches, merge_rhs
+from .overload import OverloadController
 from .requests import Rejection, Request, Response, Ticket
 from .shards import TenantCacheShards
 
-__all__ = ["CoalescingEngine"]
+__all__ = ["CoalescingEngine", "SCHEDULING_MODES"]
+
+#: flush-ordering disciplines: deadline-aware EDF vs. the legacy
+#: admission-order baseline (no deadline checks, no delivery audit)
+SCHEDULING_MODES = ("edf", "fifo")
 
 
 def _count_request(kind: str, outcome: str) -> None:
@@ -94,8 +115,28 @@ class CoalescingEngine:
         are likely to burn the fallback chain.  Only meaningful on a
         resilient runtime.
     clock:
-        Monotonic time source for queue-age accounting (injectable;
-        the shards carry their own clock for TTL).
+        Monotonic time source for queue-age accounting, deadlines and
+        overload decisions (injectable; the shards carry their own
+        clock for TTL).
+    scheduling:
+        ``"edf"`` (default) orders each flush earliest-deadline-first
+        with deadline shedding and the scatter-back delivery audit;
+        ``"fifo"`` is the legacy admission-order baseline that ignores
+        deadlines entirely - the collapsing comparator in the overload
+        benchmark.
+    overload:
+        Optional :class:`~repro.serving.overload.OverloadController`
+        consulted at admission (quotas, CoDel shedding) and after
+        every flush (sojourn feed, brownout pressure).
+    max_flush_blocks:
+        Bound on blocks *executed per flush* - the capacity model.
+        The schedule's prefix up to this budget runs; the remainder is
+        deferred back to the queue front (counted in
+        ``stats["deferred"]``).  None (default) keeps the unbounded
+        legacy behaviour.
+    reference_runtime:
+        Runtime for the brownout reroute lane.  Default: a lazily
+        built reference (``numpy``) runtime without caching.
     """
 
     def __init__(
@@ -106,7 +147,11 @@ class CoalescingEngine:
         max_batch_blocks: int = 4096,
         shards: TenantCacheShards | None = None,
         shed_when_breaker_open: bool = True,
-        clock=time.monotonic,
+        clock=MONOTONIC,
+        scheduling: str = "edf",
+        overload: OverloadController | None = None,
+        max_flush_blocks: int | None = None,
+        reference_runtime: BatchRuntime | None = None,
     ):
         if max_pending < 1:
             raise ValueError(
@@ -116,6 +161,15 @@ class CoalescingEngine:
             raise ValueError(
                 f"max_batch_blocks must be positive, got {max_batch_blocks}"
             )
+        if scheduling not in SCHEDULING_MODES:
+            raise ValueError(
+                f"unknown scheduling {scheduling!r}; expected one of "
+                f"{SCHEDULING_MODES}"
+            )
+        if max_flush_blocks is not None and max_flush_blocks < 1:
+            raise ValueError(
+                f"max_flush_blocks must be positive, got {max_flush_blocks}"
+            )
         self.runtime = (
             BatchRuntime(cache=False) if runtime is None else runtime
         )
@@ -124,6 +178,12 @@ class CoalescingEngine:
         self.shards = shards
         self.shed_when_breaker_open = bool(shed_when_breaker_open)
         self._clock = clock
+        self.scheduling = scheduling
+        self.overload = overload
+        self.max_flush_blocks = (
+            None if max_flush_blocks is None else int(max_flush_blocks)
+        )
+        self._reference_runtime = reference_runtime
         self._lock = threading.Lock()
         self._pending: list[Ticket] = []
         self._next_id = 0
@@ -140,6 +200,10 @@ class CoalescingEngine:
             "requests_executed": 0,
             "blocks_executed": 0,
             "applies": 0,
+            "deferred": 0,
+            "rerouted": 0,
+            "brownout_demotions": 0,
+            "late_deliveries_prevented": 0,
         }
 
     # -- admission ---------------------------------------------------------
@@ -162,8 +226,35 @@ class CoalescingEngine:
             "Pending serving jobs awaiting a flush",
         ).set(depth)
 
-    def _reject(self, req: Request, reason: str, **detail) -> Ticket:
-        rejection = Rejection(reason, dict(detail))
+    @property
+    def linger_scale(self) -> float:
+        """Multiplier the async service applies to its linger window;
+        shrinks under brownout so batches close (and drain) faster."""
+        if self.overload is not None and self.overload.shrink_linger():
+            return 0.25
+        return 1.0
+
+    @property
+    def brownout_level(self) -> str:
+        return "normal" if self.overload is None else self.overload.level
+
+    @property
+    def reference_runtime(self) -> BatchRuntime:
+        """The brownout reroute lane (lazily built reference runtime)."""
+        if self._reference_runtime is None:
+            self._reference_runtime = BatchRuntime(
+                backend="numpy", cache=False
+            )
+        return self._reference_runtime
+
+    def _reject(
+        self,
+        req: Request,
+        reason: str,
+        retry_after: float | None = None,
+        **detail,
+    ) -> Ticket:
+        rejection = Rejection(reason, dict(detail), retry_after=retry_after)
         resp = Response(
             tenant=req.tenant,
             kind=req.kind,
@@ -176,6 +267,16 @@ class CoalescingEngine:
         _count_shed(reason)
         _count_request(req.kind, "rejected")
         return Ticket(request=req, request_id=-1, response=resp)
+
+    def _shed_ticket(
+        self, ticket: Ticket, reason: str, now: float, **detail
+    ) -> None:
+        """Resolve an already-queued ticket as shed (in place, so
+        waiters holding it observe the rejection)."""
+        resp = self._reject(ticket.request, reason, **detail).response
+        resp.request_id = ticket.request_id
+        resp.queue_seconds = max(0.0, now - ticket.submitted_at)
+        ticket.response = resp
 
     def _breaker_open(self) -> bool:
         if not (self.shed_when_breaker_open and self.runtime.resilient):
@@ -213,12 +314,36 @@ class CoalescingEngine:
             return self._reject(
                 req, "circuit_open", backend=self.runtime.backend.name
             )
+        now = self._clock()
+        if (
+            self.scheduling == "edf"
+            and req.deadline is not None
+            and now > req.deadline
+        ):
+            return self._reject(
+                req, "deadline_exceeded",
+                deadline=req.deadline, now=now, stage="admission",
+            )
+        if self.overload is not None:
+            retry_after = self.overload.quota_admit(
+                req.tenant, req.batch.nb, now
+            )
+            if retry_after > 0.0:
+                return self._reject(
+                    req, "tenant_quota_exceeded",
+                    retry_after=retry_after, nb=req.batch.nb,
+                )
         self.stats["submitted"] += 1
         if self.shards is not None:
             key = self._tenant_key(req)
             cached = self.shards.get(req.tenant, key)
             if cached is not None:
                 return self._resolve_cached(req, key, cached)
+        if self.overload is not None and self.overload.should_shed(now):
+            return self._reject(
+                req, "overloaded",
+                retry_after=self.overload.shed_retry_after(now),
+            )
         with self._lock:
             if len(self._pending) >= self.max_pending:
                 depth = len(self._pending)
@@ -250,15 +375,16 @@ class CoalescingEngine:
             cache_hit=True,
             coalesced_requests=1,
             coalesced_blocks=tfac.coalesced_blocks,
+            delivered_at=self._clock(),
         )
         if req.kind == "solve":
-            t0 = time.perf_counter()
+            t0 = PERF()
             try:
                 resp.solution = tfac.solve(req.rhs)
             except Exception as err:
                 resp.status = "failed"
                 resp.error = repr(err)
-            resp.solve_seconds = time.perf_counter() - t0
+            resp.solve_seconds = PERF() - t0
             _observe_stage("solve", resp.solve_seconds)
         self.stats["cache_hits"] += 1
         if resp.status == "ok":
@@ -273,30 +399,140 @@ class CoalescingEngine:
     # -- flushing ----------------------------------------------------------
 
     def flush(self) -> list[Response]:
-        """Execute everything pending; returns responses in admission
-        order.  Tickets taken by this flush are resolved in place, so
+        """Execute the scheduled prefix of the queue; returns the
+        responses of every ticket this flush *resolved* (executed or
+        shed), in admission order.  Deferred tickets stay queued.
+        Tickets taken by this flush are resolved in place, so
         concurrent submitters holding them see their responses too."""
         with self._lock:
             batch_tickets = self._pending
             self._pending = []
             flush_id = self._next_flush
             self._next_flush += 1
-        self._gauge_depth(0)
         if not batch_tickets:
+            self._gauge_depth(0)
             return []
         self.stats["flushes"] += 1
         now = self._clock()
-        for t in batch_tickets:
+        admitted, deferred = self._schedule(batch_tickets, now)
+        if deferred:
+            self.stats["deferred"] += len(deferred)
+            with self._lock:
+                # deferred work re-queues *ahead* of anything admitted
+                # since the flush started (it is older)
+                self._pending = deferred + self._pending
+                depth = len(self._pending)
+        else:
+            with self._lock:
+                depth = len(self._pending)
+        self._gauge_depth(depth)
+        for t in admitted:
             t.response = None
-        # group compatible jobs in admission order, then chunk each
-        # group to the merged-batch bound
+        demote = (
+            self.overload is not None and self.overload.demote_apply()
+        )
+        # group compatible jobs in schedule order (EDF or admission),
+        # then chunk each group to the merged-batch bound; under
+        # brownout, inverse applies demote to the factor path and the
+        # lowest-priority lane reroutes to the reference runtime
         groups: dict[tuple, list[Ticket]] = {}
-        for t in batch_tickets:
-            groups.setdefault(t.request.coalesce_key, []).append(t)
-        for tickets in groups.values():
+        for t in admitted:
+            req = t.request
+            apply_mode = req.apply_mode
+            if demote and apply_mode == "inverse":
+                apply_mode = "factor"
+                self.stats["brownout_demotions"] += 1
+            reroute = (
+                self.overload is not None
+                and self.overload.reroute(req.priority)
+            )
+            key = (
+                req.method,
+                req.on_singular,
+                apply_mode,
+                req.batch.dtype.str,
+                reroute,
+            )
+            groups.setdefault(key, []).append(t)
+        for key, tickets in groups.items():
+            _, _, apply_mode, _, reroute = key
+            runtime = self.reference_runtime if reroute else self.runtime
+            if reroute:
+                self.stats["rerouted"] += len(tickets)
             for chunk in self._chunks(tickets):
-                self._execute_chunk(chunk, flush_id, now)
-        return [t.response for t in batch_tickets]
+                self._execute_chunk(
+                    chunk, flush_id, now,
+                    runtime=runtime, apply_mode=apply_mode,
+                )
+        if self.overload is not None:
+            self._observe_overload(admitted, deferred, now)
+        resolved = [t for t in batch_tickets if t.response is not None]
+        resolved.sort(key=lambda t: t.request_id)
+        return [t.response for t in resolved]
+
+    def _schedule(
+        self, tickets: list[Ticket], now: float
+    ) -> tuple[list[Ticket], list[Ticket]]:
+        """Order the queue for execution and cut it to capacity.
+
+        Under ``"edf"``: shed already-expired jobs
+        (``deadline_exceeded``, in place), sort the remainder by
+        ``(deadline, priority, arrival)`` with deadline-less jobs
+        last, and - when ``max_flush_blocks`` is set - take the
+        *strict prefix* that fits the block budget, deferring the
+        rest.  Under ``"fifo"``: admission order, no deadline checks,
+        same capacity cut.
+        """
+        if self.scheduling == "edf":
+            live: list[Ticket] = []
+            for t in tickets:
+                d = t.request.deadline
+                if d is not None and now > d:
+                    self._shed_ticket(
+                        t, "deadline_exceeded", now,
+                        deadline=d, observed=now, stage="queue",
+                    )
+                else:
+                    live.append(t)
+            live.sort(
+                key=lambda t: (
+                    t.request.deadline
+                    if t.request.deadline is not None
+                    else math.inf,
+                    t.request.priority,
+                    t.request_id,
+                )
+            )
+        else:
+            live = list(tickets)
+        if self.max_flush_blocks is None:
+            return live, []
+        admitted: list[Ticket] = []
+        blocks = 0
+        for i, t in enumerate(live):
+            nb = t.request.batch.nb
+            if blocks + nb > self.max_flush_blocks and admitted:
+                return admitted, live[i:]
+            admitted.append(t)
+            blocks += nb
+        return admitted, []
+
+    def _observe_overload(
+        self, admitted: list[Ticket], deferred: list[Ticket], now: float
+    ) -> None:
+        """Feed the controller after a flush: per-job sojourns for the
+        CoDel shedder, backlog-vs-capacity pressure for brownout."""
+        for t in admitted:
+            if t.response is not None:
+                self.overload.on_sojourn(
+                    max(0.0, now - t.submitted_at), now
+                )
+        backlog = sum(t.request.batch.nb for t in deferred)
+        if self.max_flush_blocks:
+            pressure = min(1.0, backlog / self.max_flush_blocks)
+        else:
+            pressure = min(1.0, len(deferred) / self.max_pending)
+        self.overload.observe_pressure(pressure, now)
 
     def _chunks(self, tickets: list[Ticket]) -> list[list[Ticket]]:
         chunks: list[list[Ticket]] = []
@@ -314,28 +550,35 @@ class CoalescingEngine:
         return chunks
 
     def _execute_chunk(
-        self, chunk: list[Ticket], flush_id: int, now: float
+        self, chunk: list[Ticket], flush_id: int, now: float,
+        runtime: BatchRuntime | None = None, apply_mode: str | None = None,
     ) -> None:
-        """Factorize one merged chunk and scatter results back."""
+        """Factorize one merged chunk and scatter results back.
+
+        ``runtime``/``apply_mode`` override the engine defaults for
+        brownout lanes (reference reroute, inverse demotion)."""
+        runtime = self.runtime if runtime is None else runtime
         req0 = chunk[0].request
+        if apply_mode is None:
+            apply_mode = req0.apply_mode
         policy = req0.on_singular
         # under None/"raise" the solve kernels refuse a state holding
         # unresolved singular blocks, so factorize without a policy,
         # fail exactly the requests owning singular segments, and rerun
         # the healthy subset once (see _split_singular)
         effective_policy = None if policy in (None, "raise") else policy
-        t0 = time.perf_counter()
+        t0 = PERF()
         merged, segments = merge_batches([t.request.batch for t in chunk])
         try:
-            handle = self.runtime.factorize(
+            handle = runtime.factorize(
                 merged,
                 method=req0.method,
                 on_singular=effective_policy,
                 use_cache=False,
-                apply_mode=req0.apply_mode,
+                apply_mode=apply_mode,
             )
         except Exception as err:
-            factor_seconds = time.perf_counter() - t0
+            factor_seconds = PERF() - t0
             for t in chunk:
                 self._fail(
                     t, repr(err), flush_id, now,
@@ -343,9 +586,9 @@ class CoalescingEngine:
                     coalesced=(len(chunk), merged.nb),
                 )
             return
-        factor_seconds = time.perf_counter() - t0
+        factor_seconds = PERF() - t0
         self.stats["executions"] += 1
-        report = self.runtime.last_report
+        report = runtime.last_report
         tainted = bool(
             report is not None
             and (
@@ -364,13 +607,14 @@ class CoalescingEngine:
                 # healthy subset: re-merge and factorize once more so
                 # their solves (and cached handles) are usable
                 self._refactor_healthy(
-                    live, req0, flush_id, now, factor_seconds
+                    live, req0, flush_id, now, factor_seconds,
+                    runtime=runtime, apply_mode=apply_mode,
                 )
                 return
         if live:
             self._resolve_chunk(
                 live, handle, tainted, flush_id, now, factor_seconds,
-                coalesced=(len(chunk), merged.nb),
+                coalesced=(len(chunk), merged.nb), runtime=runtime,
             )
 
     def _split_singular(
@@ -393,24 +637,28 @@ class CoalescingEngine:
         return healthy
 
     def _refactor_healthy(
-        self, live, req0, flush_id, now, prior_factor_seconds
+        self, live, req0, flush_id, now, prior_factor_seconds,
+        runtime: BatchRuntime | None = None, apply_mode: str | None = None,
     ):
         """Re-merge and factorize the singular-free subset of a chunk."""
+        runtime = self.runtime if runtime is None else runtime
+        if apply_mode is None:
+            apply_mode = req0.apply_mode
         tickets = [t for t, _ in live]
-        t0 = time.perf_counter()
+        t0 = PERF()
         merged, segments = merge_batches(
             [t.request.batch for t in tickets]
         )
         try:
-            handle = self.runtime.factorize(
+            handle = runtime.factorize(
                 merged,
                 method=req0.method,
                 on_singular=None,
                 use_cache=False,
-                apply_mode=req0.apply_mode,
+                apply_mode=apply_mode,
             )
         except Exception as err:
-            seconds = prior_factor_seconds + (time.perf_counter() - t0)
+            seconds = prior_factor_seconds + (PERF() - t0)
             for t in tickets:
                 self._fail(
                     t, repr(err), flush_id, now,
@@ -418,9 +666,9 @@ class CoalescingEngine:
                     coalesced=(len(tickets), merged.nb),
                 )
             return []
-        seconds = prior_factor_seconds + (time.perf_counter() - t0)
+        seconds = prior_factor_seconds + (PERF() - t0)
         self.stats["executions"] += 1
-        report = self.runtime.last_report
+        report = runtime.last_report
         tainted = bool(
             report is not None
             and (
@@ -431,15 +679,16 @@ class CoalescingEngine:
         )
         self._resolve_chunk(
             list(zip(tickets, segments)), handle, tainted, flush_id, now,
-            seconds, coalesced=(len(tickets), merged.nb),
+            seconds, coalesced=(len(tickets), merged.nb), runtime=runtime,
         )
         return []
 
     def _resolve_chunk(
         self, live, handle, tainted, flush_id, now, factor_seconds,
-        coalesced,
+        coalesced, runtime: BatchRuntime | None = None,
     ) -> None:
         """Build tenant views, cache them, answer solves, resolve."""
+        runtime = self.runtime if runtime is None else runtime
         n_requests, n_blocks = coalesced
         self.stats["requests_executed"] += len(live)
         self.stats["blocks_executed"] += sum(
@@ -483,13 +732,13 @@ class CoalescingEngine:
         solve_seconds = 0.0
         solve_error: str | None = None
         if solvers:
-            t0 = time.perf_counter()
+            t0 = PERF()
             try:
                 merged_rhs = merge_rhs(
                     handle.plan.source,
                     [(seg, t.request.rhs) for t, seg, _ in solvers],
                 )
-                merged_out = self.runtime.solve(handle, merged_rhs)
+                merged_out = runtime.solve(handle, merged_rhs)
                 for t, seg, tfac in solvers:
                     sliced = np.ascontiguousarray(
                         merged_out.data[seg, : tfac.tile]
@@ -499,12 +748,27 @@ class CoalescingEngine:
                     )
             except Exception as err:
                 solve_error = repr(err)
-            solve_seconds = time.perf_counter() - t0
+            solve_seconds = PERF() - t0
             _observe_stage("solve", solve_seconds)
+        delivered = self._clock()
         for (t, seg), tfac in zip(live, views):
             req = t.request
             queue_seconds = max(0.0, now - t.submitted_at)
             _observe_stage("queue", queue_seconds)
+            if (
+                self.scheduling == "edf"
+                and req.deadline is not None
+                and delivered > req.deadline
+            ):
+                # scatter-back audit: the answer exists but arrived
+                # late - never deliver it past the deadline
+                self.stats["late_deliveries_prevented"] += 1
+                self._shed_ticket(
+                    t, "deadline_exceeded", now,
+                    deadline=req.deadline, observed=delivered,
+                    stage="delivery",
+                )
+                continue
             resp = Response(
                 tenant=req.tenant,
                 kind=req.kind,
@@ -518,6 +782,7 @@ class CoalescingEngine:
                 queue_seconds=queue_seconds,
                 factor_seconds=factor_seconds,
                 solve_seconds=solve_seconds if req.kind == "solve" else 0.0,
+                delivered_at=delivered,
             )
             if req.kind == "solve":
                 sol = solutions.get(id(t))
@@ -591,7 +856,7 @@ class CoalescingEngine:
                     {"owner": handle.tenant, "caller": tenant},
                 ),
             )
-        t0 = time.perf_counter()
+        t0 = PERF()
         try:
             solution = handle.solve(rhs)
         except Exception as err:
@@ -601,7 +866,7 @@ class CoalescingEngine:
                 tenant=tenant, kind="apply", status="failed",
                 error=repr(err),
             )
-        seconds = time.perf_counter() - t0
+        seconds = PERF() - t0
         _observe_stage("apply", seconds)
         self.stats["applies"] += 1
         _count_request("apply", "ok")

@@ -1,0 +1,411 @@
+"""Overload control for the coalescing engine: quotas, adaptive
+shedding, brownout.
+
+Three cooperating mechanisms, all clock-free (every method takes an
+explicit ``now`` in the engine's clock domain) so decisions replay
+bit-for-bit under a :class:`~repro.clock.ScriptedClock`:
+
+* :class:`TenantQuotas` - per-tenant token buckets in units of
+  *blocks* (the serving layer's cost unit), refilled at
+  ``fair_share_blocks_per_s`` scaled by an optional per-tenant weight.
+  A tenant over its share is shed ``tenant_quota_exceeded`` with the
+  bucket's refill time as the ``Retry-After`` hint, so one storming
+  tenant exhausts *its own* budget instead of everyone's queue.
+* :class:`CoDelShedder` - adaptive shedding driven by queue *sojourn*
+  time, after CoDel (Nichols & Jacobson, CACM 2012): sustained
+  standing-queue delay above ``target`` for a full ``interval`` enters
+  a dropping state that sheds admissions at an
+  ``interval / sqrt(drop_count)`` cadence until the sojourn falls
+  below target again.  Sojourn-based control sheds on the *symptom*
+  (latency) rather than the queue depth, so short bursts pass
+  untouched.
+* :class:`BrownoutController` - graceful degradation under sustained
+  pressure.  A pressure signal in ``[0, 1]`` (the engine derives it
+  from backlog vs. flush capacity) moves the system through
+  :data:`BROWNOUT_LEVELS` with hysteresis: escalate only after
+  ``escalate_hold`` seconds above ``enter_pressure``, recover only
+  after ``recover_hold`` seconds below ``exit_pressure``.  Each level
+  trades result quality/latency for survival: demote explicit-inverse
+  applies to the cheaper factor path, shrink the service's linger
+  window, and - last resort - reroute the lowest-priority traffic to
+  the reference backend.
+
+:class:`OverloadController` bundles the three behind one object the
+engine consults at admission and after every flush.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..telemetry.metrics import get_metrics
+
+__all__ = [
+    "BROWNOUT_LEVELS",
+    "BrownoutController",
+    "CoDelShedder",
+    "OverloadController",
+    "TenantQuotas",
+    "TokenBucket",
+]
+
+#: graceful-degradation ladder, mildest first
+BROWNOUT_LEVELS = ("normal", "demote_apply", "shrink_linger", "reroute")
+
+
+class TokenBucket:
+    """Classic token bucket in continuous time (no background refill
+    thread - tokens accrue lazily from the ``now`` passed in).
+
+    ``rate`` is tokens per second, ``burst`` the bucket capacity.  The
+    bucket starts full, so a quiet tenant can always burst up to its
+    allowance.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0 or burst <= 0:
+            raise ValueError(
+                f"rate and burst must be positive, got {rate}, {burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._stamp: float | None = None
+
+    def _refill(self, now: float) -> None:
+        if self._stamp is not None and now > self._stamp:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+
+    def try_take(self, n: float, now: float) -> float:
+        """Take ``n`` tokens.  Returns 0.0 on success, else the
+        seconds until ``n`` tokens will be available (the caller's
+        ``Retry-After`` hint); the bucket is left untouched on
+        failure."""
+        self._refill(now)
+        if n <= self.tokens:
+            self.tokens -= n
+            return 0.0
+        return (min(n, self.burst) - self.tokens) / self.rate
+
+
+class TenantQuotas:
+    """Per-tenant fair-share admission budgets, in blocks.
+
+    Every tenant gets a token bucket refilled at
+    ``fair_share_blocks_per_s * weight`` (weight defaults to 1.0) with
+    ``burst_seconds`` worth of capacity.  Buckets are created lazily
+    on first sight of a tenant.
+    """
+
+    def __init__(
+        self,
+        fair_share_blocks_per_s: float,
+        *,
+        burst_seconds: float = 1.0,
+        min_burst: float = 0.0,
+        weights: dict[str, float] | None = None,
+    ):
+        if fair_share_blocks_per_s <= 0:
+            raise ValueError(
+                f"fair_share_blocks_per_s must be positive, "
+                f"got {fair_share_blocks_per_s}"
+            )
+        if burst_seconds <= 0:
+            raise ValueError(
+                f"burst_seconds must be positive, got {burst_seconds}"
+            )
+        self.fair_share = float(fair_share_blocks_per_s)
+        self.burst_seconds = float(burst_seconds)
+        # floor on bucket capacity: keep the largest expected job
+        # admissible even when a tiny fair share would size the bucket
+        # below one job
+        self.min_burst = float(min_burst)
+        self.weights = dict(weights or {})
+        self._buckets: dict[str, TokenBucket] = {}
+        self.denied: dict[str, int] = {}
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            rate = self.fair_share * float(self.weights.get(tenant, 1.0))
+            burst = max(self.min_burst, rate * self.burst_seconds)
+            bucket = TokenBucket(rate, burst)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, nb: int, now: float) -> float:
+        """Charge ``nb`` blocks against the tenant's budget.  Returns
+        0.0 when admitted, else the retry-after hint in seconds."""
+        retry_after = self._bucket(tenant).try_take(float(nb), now)
+        if retry_after > 0.0:
+            self.denied[tenant] = self.denied.get(tenant, 0) + 1
+        return retry_after
+
+    def snapshot(self) -> dict:
+        return {
+            "fair_share_blocks_per_s": self.fair_share,
+            "tenants": len(self._buckets),
+            "denied": dict(self.denied),
+        }
+
+
+class CoDelShedder:
+    """CoDel-style adaptive shedding on queue sojourn time.
+
+    Feed it the sojourn of every delivered job via :meth:`on_sojourn`;
+    it watches for a *standing* queue (sojourn continuously above
+    ``target`` for at least ``interval``) and then answers
+    :meth:`should_shed` with True at an increasing cadence
+    (``interval / sqrt(drop_count)``) until the standing queue drains.
+    """
+
+    def __init__(self, target: float = 0.02, interval: float = 0.1):
+        if target <= 0 or interval <= 0:
+            raise ValueError(
+                f"target and interval must be positive, "
+                f"got {target}, {interval}"
+            )
+        self.target = float(target)
+        self.interval = float(interval)
+        self._above_since: float | None = None
+        self.dropping = False
+        self._drop_count = 0
+        self._next_drop = 0.0
+        self.shed_total = 0
+
+    def on_sojourn(self, sojourn: float, now: float) -> None:
+        """Observe one delivered job's queue sojourn at time ``now``."""
+        if sojourn < self.target:
+            self._above_since = None
+            if self.dropping:
+                self.dropping = False
+                self._drop_count = 0
+            return
+        if self._above_since is None:
+            self._above_since = now
+        if (
+            not self.dropping
+            and now - self._above_since >= self.interval
+        ):
+            self.dropping = True
+            self._drop_count = 0
+            self._next_drop = now
+
+    def should_shed(self, now: float) -> bool:
+        """One admission's verdict while in the dropping state."""
+        if not self.dropping or now < self._next_drop:
+            return False
+        self._drop_count += 1
+        self._next_drop = now + self.interval / math.sqrt(self._drop_count)
+        self.shed_total += 1
+        return True
+
+    def retry_after(self, now: float) -> float:
+        """How long a shed client should stay away: the current drop
+        interval."""
+        if not self.dropping:
+            return self.interval
+        return self.interval / math.sqrt(max(1, self._drop_count))
+
+    def snapshot(self) -> dict:
+        return {
+            "target": self.target,
+            "interval": self.interval,
+            "dropping": self.dropping,
+            "drop_count": self._drop_count,
+            "shed_total": self.shed_total,
+        }
+
+
+@dataclass
+class BrownoutController:
+    """Hysteretic ladder over :data:`BROWNOUT_LEVELS`.
+
+    :meth:`observe` is called with a pressure signal in ``[0, 1]``
+    after every flush.  Escalation needs ``escalate_hold`` seconds of
+    sustained pressure at/above ``enter_pressure``; recovery needs
+    ``recover_hold`` seconds at/below ``exit_pressure`` - the gap
+    between the two thresholds is the hysteresis band that stops the
+    controller flapping around a noisy boundary.  Every transition is
+    appended to :attr:`transitions` and emitted as telemetry.
+    """
+
+    enter_pressure: float = 0.75
+    exit_pressure: float = 0.25
+    escalate_hold: float = 0.05
+    recover_hold: float = 0.1
+    level_index: int = 0
+    transitions: list[dict] = field(default_factory=list)
+    _hot_since: float | None = None
+    _cool_since: float | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.exit_pressure < self.enter_pressure <= 1.0:
+            raise ValueError(
+                f"need 0 <= exit_pressure < enter_pressure <= 1, got "
+                f"{self.exit_pressure}, {self.enter_pressure}"
+            )
+        if self.escalate_hold < 0 or self.recover_hold < 0:
+            raise ValueError("hold times must be >= 0")
+
+    @property
+    def level(self) -> str:
+        return BROWNOUT_LEVELS[self.level_index]
+
+    def _transition(self, new_index: int, now: float, pressure: float):
+        old = self.level
+        self.level_index = new_index
+        self.transitions.append(
+            {
+                "at": now,
+                "from": old,
+                "to": self.level,
+                "pressure": pressure,
+            }
+        )
+        get_metrics().counter(
+            "repro_serving_brownout_transitions_total",
+            "Brownout level transitions",
+        ).inc(
+            direction="escalate" if new_index > BROWNOUT_LEVELS.index(old)
+            else "recover",
+            to=self.level,
+        )
+        get_metrics().gauge(
+            "repro_serving_brownout_level",
+            "Current brownout level index (0 = normal)",
+        ).set(self.level_index)
+
+    def observe(self, pressure: float, now: float) -> str:
+        """Feed one pressure sample; returns the (possibly new)
+        level name."""
+        pressure = float(pressure)
+        if pressure >= self.enter_pressure:
+            self._cool_since = None
+            if self._hot_since is None:
+                self._hot_since = now
+            if (
+                self.level_index < len(BROWNOUT_LEVELS) - 1
+                and now - self._hot_since >= self.escalate_hold
+            ):
+                self._transition(self.level_index + 1, now, pressure)
+                self._hot_since = now  # hold again before the next step
+        elif pressure <= self.exit_pressure:
+            self._hot_since = None
+            if self._cool_since is None:
+                self._cool_since = now
+            if (
+                self.level_index > 0
+                and now - self._cool_since >= self.recover_hold
+            ):
+                self._transition(self.level_index - 1, now, pressure)
+                self._cool_since = now
+        else:
+            # inside the hysteresis band: hold the current level
+            self._hot_since = None
+            self._cool_since = None
+        return self.level
+
+    def at_least(self, level: str) -> bool:
+        """True when the current level is ``level`` or deeper."""
+        return self.level_index >= BROWNOUT_LEVELS.index(level)
+
+    def snapshot(self) -> dict:
+        return {
+            "level": self.level,
+            "level_index": self.level_index,
+            "transitions": list(self.transitions),
+        }
+
+
+class OverloadController:
+    """The engine-facing bundle: quotas + shedder + brownout.
+
+    Any of the three may be None to disable that mechanism.
+    ``reroute_priority`` is the numeric priority at/above which jobs
+    are rerouted to the reference backend when brownout reaches its
+    ``reroute`` level (higher number = less urgent, so this reroutes
+    the *least* urgent traffic first).
+    """
+
+    def __init__(
+        self,
+        quotas: TenantQuotas | None = None,
+        shedder: CoDelShedder | None = None,
+        brownout: BrownoutController | None = None,
+        *,
+        reroute_priority: int = 1,
+    ):
+        self.quotas = quotas
+        self.shedder = shedder
+        self.brownout = brownout
+        self.reroute_priority = int(reroute_priority)
+
+    # -- admission-side hooks ---------------------------------------------
+
+    def quota_admit(self, tenant: str, nb: int, now: float) -> float:
+        """0.0 to admit, else the retry-after hint."""
+        if self.quotas is None:
+            return 0.0
+        return self.quotas.admit(tenant, nb, now)
+
+    def should_shed(self, now: float) -> bool:
+        return self.shedder is not None and self.shedder.should_shed(now)
+
+    def shed_retry_after(self, now: float) -> float | None:
+        if self.shedder is None:
+            return None
+        return self.shedder.retry_after(now)
+
+    # -- flush-side hooks --------------------------------------------------
+
+    def on_sojourn(self, sojourn: float, now: float) -> None:
+        if self.shedder is not None:
+            self.shedder.on_sojourn(sojourn, now)
+
+    def observe_pressure(self, pressure: float, now: float) -> str:
+        if self.brownout is None:
+            return BROWNOUT_LEVELS[0]
+        return self.brownout.observe(pressure, now)
+
+    # -- brownout queries --------------------------------------------------
+
+    @property
+    def level(self) -> str:
+        if self.brownout is None:
+            return BROWNOUT_LEVELS[0]
+        return self.brownout.level
+
+    def demote_apply(self) -> bool:
+        return (
+            self.brownout is not None
+            and self.brownout.at_least("demote_apply")
+        )
+
+    def shrink_linger(self) -> bool:
+        return (
+            self.brownout is not None
+            and self.brownout.at_least("shrink_linger")
+        )
+
+    def reroute(self, priority: int) -> bool:
+        return (
+            self.brownout is not None
+            and self.brownout.at_least("reroute")
+            and priority >= self.reroute_priority
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "level": self.level,
+            "quotas": None if self.quotas is None
+            else self.quotas.snapshot(),
+            "shedder": None if self.shedder is None
+            else self.shedder.snapshot(),
+            "brownout": None if self.brownout is None
+            else self.brownout.snapshot(),
+        }

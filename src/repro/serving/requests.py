@@ -15,12 +15,12 @@ re-route, downgrade) without parsing text.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from ..clock import MONOTONIC
 from ..core.batch import BatchedMatrices, BatchedVectors
 from ..core.degradation import OnSingular
 
@@ -38,21 +38,34 @@ JOB_KINDS = ("setup", "solve")
 
 #: structured admission/shedding reasons
 REJECT_REASONS = (
-    "queue_full",        # pending queue at max_pending depth
-    "batch_too_large",   # request nb exceeds max_batch_blocks
-    "circuit_open",      # the runtime's primary-backend breaker is open
-    "invalid_request",   # malformed job (geometry mismatch, bad kind)
-    "foreign_handle",    # apply with a handle another tenant owns
-    "not_running",       # service stopped / engine closed
+    "queue_full",              # pending queue at max_pending depth
+    "batch_too_large",         # request nb exceeds max_batch_blocks
+    "circuit_open",            # the runtime's primary breaker is open
+    "invalid_request",         # malformed job (geometry, bad kind)
+    "foreign_handle",          # apply with a handle another tenant owns
+    "not_running",             # service stopped / engine closed
+    "deadline_exceeded",       # past its deadline (admission, queue
+                               # expiry, or the delivery audit)
+    "tenant_quota_exceeded",   # tenant over its token-bucket fair share
+    "overloaded",              # CoDel-style adaptive shed: sustained
+                               # queue sojourn above target
 )
 
 
 @dataclass(frozen=True)
 class Rejection:
-    """Why a job was refused admission (structured, not prose)."""
+    """Why a job was refused admission (structured, not prose).
+
+    ``retry_after`` is the server's ``Retry-After``-style hint in
+    seconds: how long the client should stay away before the shed
+    condition can clear (token-bucket refill time, CoDel drop
+    interval).  None means "no point retrying on a timer" (malformed
+    jobs, missed deadlines, stopped service).
+    """
 
     reason: str
     detail: dict = field(default_factory=dict)
+    retry_after: float | None = None
 
     def __post_init__(self):
         if self.reason not in REJECT_REASONS:
@@ -62,7 +75,11 @@ class Rejection:
             )
 
     def to_dict(self) -> dict:
-        return {"reason": self.reason, "detail": dict(self.detail)}
+        return {
+            "reason": self.reason,
+            "detail": dict(self.detail),
+            "retry_after": self.retry_after,
+        }
 
 
 @dataclass
@@ -75,6 +92,16 @@ class Request:
     the :class:`~repro.runtime.BatchRuntime` conventions - jobs that
     share all three (and the batch dtype) may be coalesced into one
     factorization.
+
+    ``deadline`` is an *absolute* time in the engine's clock domain
+    (the same ``clock=`` the engine was built with); a job past it is
+    shed (``deadline_exceeded``) rather than served late - at
+    admission, at flush time, and again at scatter-back.  ``priority``
+    breaks earliest-deadline-first ties: lower value = more urgent
+    (priority 0 beats priority 5), and under brownout the *highest*
+    numeric priorities are the first rerouted to the reference
+    backend.  Neither field affects :attr:`coalesce_key` - urgency
+    changes *when* a job runs, never *what* it may merge with.
     """
 
     tenant: str
@@ -84,6 +111,8 @@ class Request:
     method: str = "lu"
     on_singular: OnSingular | None = None
     apply_mode: str = "factor"
+    deadline: float | None = None
+    priority: int = 0
 
     def validate(self) -> str | None:
         """None when well-formed, else a human-readable problem."""
@@ -114,6 +143,23 @@ class Request:
             self.apply_mode,
             self.batch.dtype.str,
         )
+
+    def to_dict(self) -> dict:
+        """Loggable summary (geometry + scheduling metadata, never the
+        block data itself)."""
+        return {
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "nb": int(self.batch.nb),
+            "tile": int(self.batch.tile),
+            "method": self.method,
+            "on_singular": self.on_singular,
+            "apply_mode": self.apply_mode,
+            "deadline": (
+                None if self.deadline is None else float(self.deadline)
+            ),
+            "priority": int(self.priority),
+        }
 
 
 @dataclass
@@ -147,6 +193,10 @@ class Response:
     queue_seconds: float = 0.0
     factor_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: engine-clock time the response was resolved (None for
+    #: rejections); the deadline audit guarantees delivered_at <=
+    #: request.deadline on every ok response under EDF scheduling
+    delivered_at: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -174,6 +224,7 @@ class Response:
                 "queue_seconds": self.queue_seconds,
                 "factor_seconds": self.factor_seconds,
                 "solve_seconds": self.solve_seconds,
+                "delivered_at": self.delivered_at,
             }
         )
 
@@ -185,9 +236,20 @@ class Ticket:
 
     request: Request
     request_id: int
-    submitted_at: float = field(default_factory=time.monotonic)
+    submitted_at: float = field(default_factory=MONOTONIC)
     response: Response | None = None
 
     @property
     def done(self) -> bool:
         return self.response is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "request": self.request.to_dict(),
+            "request_id": self.request_id,
+            "submitted_at": float(self.submitted_at),
+            "done": self.done,
+            "response": (
+                None if self.response is None else self.response.to_dict()
+            ),
+        }

@@ -182,7 +182,7 @@ class TestScenarioSuite:
     def test_quick_suite_passes_and_reports(self):
         report = run_chaos_suite(seed=0, quick=True)
         assert report.passed, report.summary()
-        assert len(report.scenarios) == 11
+        assert len(report.scenarios) == 12
         d = report.to_dict()
         assert d["passed"] is True
         assert {s["name"] for s in d["scenarios"]} >= {
@@ -191,5 +191,6 @@ class TestScenarioSuite:
             "cache-poisoning",
             "interleaved-sweep-quarantine",
             "serving-tenant-isolation",
+            "overload-storm",
         }
         assert "PASS" in report.summary()

@@ -1,0 +1,99 @@
+"""Every serving dataclass serializes to plain JSON - the wire/log
+contract the service and bench reports rely on."""
+
+import json
+
+import pytest
+
+from repro.serving import (
+    CoalescingEngine,
+    Rejection,
+    Request,
+    ScriptedClock,
+)
+from tests.strategies import make_batch, make_rhs
+
+
+def roundtrip(d):
+    """json round-trip; fails on numpy scalars/arrays left behind."""
+    return json.loads(json.dumps(d))
+
+
+def make_request(**kw):
+    batch = make_batch(3, 8, seed=4, dominant=True)
+    return Request(
+        tenant="acme",
+        batch=batch,
+        kind="solve",
+        rhs=make_rhs(batch, seed=5),
+        **kw,
+    )
+
+
+class TestRejectionDict:
+    def test_roundtrip(self):
+        r = Rejection(
+            "tenant_quota_exceeded", {"tenant": "acme"}, retry_after=0.25
+        )
+        assert roundtrip(r.to_dict()) == {
+            "reason": "tenant_quota_exceeded",
+            "detail": {"tenant": "acme"},
+            "retry_after": 0.25,
+        }
+
+    def test_retry_after_defaults_to_null(self):
+        assert roundtrip(Rejection("queue_full").to_dict())[
+            "retry_after"
+        ] is None
+
+
+class TestRequestDict:
+    def test_roundtrip_carries_deadline_and_priority(self):
+        d = roundtrip(
+            make_request(deadline=1.5, priority=2).to_dict()
+        )
+        assert d["tenant"] == "acme"
+        assert d["kind"] == "solve"
+        assert d["nb"] == 3
+        assert d["deadline"] == 1.5
+        assert d["priority"] == 2
+
+    def test_never_embeds_block_data(self):
+        d = make_request().to_dict()
+        assert "batch" not in d and "rhs" not in d
+
+
+class TestResponseAndTicketDicts:
+    @pytest.fixture()
+    def engine(self):
+        return CoalescingEngine(clock=ScriptedClock())
+
+    def test_ok_response_roundtrip(self, engine):
+        t = engine.submit(make_request(deadline=10.0))
+        engine.flush()
+        d = roundtrip(t.response.to_dict())
+        assert d["status"] == "ok"
+        assert d["rejection"] is None
+        assert d["info"] == [0, 0, 0]  # plain list, not ndarray
+        assert d["delivered_at"] is not None
+        assert isinstance(d["queue_seconds"], float)
+
+    def test_rejected_response_roundtrip(self, engine):
+        t = engine.submit(make_request(deadline=-1.0))
+        d = roundtrip(t.response.to_dict())
+        assert d["status"] == "rejected"
+        assert d["rejection"]["reason"] == "deadline_exceeded"
+        assert d["delivered_at"] is None
+
+    def test_ticket_roundtrip_pending_and_done(self, engine):
+        t = engine.submit(make_request())
+        pending = roundtrip(t.to_dict())
+        assert pending["done"] is False
+        assert pending["response"] is None
+        assert pending["request_id"] == t.request_id
+        assert pending["submitted_at"] == 0.0  # scripted clock
+        engine.flush()
+        done = roundtrip(t.to_dict())
+        assert done["done"] is True
+        assert done["response"]["status"] == "ok"
+        assert done["request"] == pending["request"]

@@ -1,0 +1,48 @@
+"""The shared injectable-clock vocabulary (repro.clock)."""
+
+import time
+
+import pytest
+
+from repro.clock import MONOTONIC, PERF, ScriptedClock
+
+
+class TestSharedClocks:
+    def test_production_clocks_are_the_stdlib_timers(self):
+        assert MONOTONIC is time.monotonic
+        assert PERF is time.perf_counter
+
+    def test_scripted_clock_is_a_callable_that_only_we_advance(self):
+        clk = ScriptedClock()
+        assert clk() == 0.0
+        assert clk.advance(1.5) == 1.5
+        assert clk() == 1.5
+        clk.advance(0.0)
+        assert clk() == 1.5
+
+    def test_scripted_clock_custom_start(self):
+        assert ScriptedClock(10.0)() == 10.0
+
+    def test_scripted_clock_refuses_to_rewind(self):
+        with pytest.raises(ValueError, match="rewind"):
+            ScriptedClock().advance(-0.1)
+
+    def test_one_scripted_clock_drives_every_subsystem(self):
+        """The same clock instance is accepted by cache TTLs, breaker
+        cooldowns, and the serving engine - the whole point of the
+        shared module."""
+        from repro.runtime.cache import FactorizationCache
+        from repro.runtime.resilience import CircuitBreaker
+        from repro.serving import CoalescingEngine
+
+        clk = ScriptedClock()
+        cache = FactorizationCache(ttl_seconds=5.0, clock=clk)
+        breaker = CircuitBreaker("clk-test", clock=clk)
+        engine = CoalescingEngine(clock=clk)
+        assert cache is not None and breaker.allow()
+        assert engine.pending == 0
+
+    def test_loadgen_reexports_the_shared_scripted_clock(self):
+        from repro.serving import loadgen
+
+        assert loadgen.ScriptedClock is ScriptedClock

@@ -94,7 +94,7 @@ class TestChaosCheck:
         assert names[-1] == "chaos"
         chaos = report.checks[-1]
         assert chaos.details["passed"] is True
-        assert len(chaos.details["scenarios"]) == 11
+        assert len(chaos.details["scenarios"]) == 12
 
     def test_chaos_off_by_default(self):
         report = run_verification(quick=True)
