@@ -10,6 +10,15 @@ backend divergence beyond tolerance fails the run.
 
 Schema history
 --------------
+* v7: top-level ``obs`` block
+  (:func:`repro.bench.serving_load.run_slo_bench`): the SLO burn-rate
+  / flight-recorder bench - alert counts from the scripted
+  healthy/overload/recovery scenario (exactly one burn alert and one
+  black-box dump expected, plus the number of causal chains
+  reconstructable from the dump) and the observability overhead probe
+  (fully-enabled tracing+SLO+flight path vs disabled, per-request
+  microseconds).  ``passed`` additionally requires the obs gate.
+  Consumers that ignore unknown keys read v7 documents as v6.
 * v6: top-level ``overload`` block
   (:func:`repro.bench.serving_load.run_overload_bench`): the
   deadline-aware overload sweep - closed-loop client fleets at growing
@@ -61,7 +70,7 @@ __all__ = ["run_backend_sweep", "format_sweep_summary"]
 
 #: version of the BENCH_runtime.json document layout; bump on any
 #: structural change so downstream comparisons can gate on it
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 SCHEMA_NAME = "repro.bench.runtime_sweep"
 
 
@@ -333,13 +342,19 @@ def run_backend_sweep(
     for name, batch in adversarial.items():
         rhs = random_rhs(batch, seed=seed + 2)
         cases.append(_case(name, batch, rhs, backends, tol))
-    from .serving_load import run_overload_bench, run_serving_bench
+    from .serving_load import (
+        run_overload_bench,
+        run_serving_bench,
+        run_slo_bench,
+    )
 
     serving = run_serving_bench(quick=quick, seed=seed)
     overload = run_overload_bench(quick=quick, seed=seed)
+    obs = run_slo_bench(quick=quick, seed=seed)
     passed = (
         serving["passed"]
         and overload["passed"]
+        and obs["passed"]
         and all(
             chk["passed"] for c in cases for chk in c["checks"].values()
         )
@@ -370,6 +385,7 @@ def run_backend_sweep(
             "interleaved_vs_binned": _time_layouts(quick, seed),
             "serving": serving,
             "overload": overload,
+            "obs": obs,
             "max_discrepancy": worst,
             "passed": passed,
             "metrics": metrics_snapshot(),
@@ -437,4 +453,9 @@ def format_sweep_summary(report: dict) -> str:
         from .serving_load import format_overload_summary
 
         out += "\n\n" + format_overload_summary(overload)
+    obs = report.get("obs")
+    if obs:
+        from .serving_load import format_slo_summary
+
+        out += "\n\n" + format_slo_summary(obs)
     return out

@@ -52,6 +52,8 @@ __all__ = [
     "format_serving_summary",
     "run_overload_bench",
     "format_overload_summary",
+    "run_slo_bench",
+    "format_slo_summary",
 ]
 
 #: serving disciplines compared over identical traffic
@@ -539,6 +541,284 @@ def format_overload_summary(report: dict) -> str:
         f"deliveries={report['edf_zero_late_deliveries']}"
     )
     return "\n\n".join(out)
+
+
+# -- SLO bench: burn alerts, black boxes, and observability overhead ------
+
+#: admitted-latency bound of the bench's SLO (queue wait, seconds)
+_SLO_LATENCY = 0.05
+
+#: burn-rate windows (scripted seconds) sized so the overload phase
+#: trips the fast+slow pair within a few ticks
+_SLO_FAST_WINDOW = 1.0
+_SLO_SLOW_WINDOW = 3.0
+_SLO_MIN_EVENTS = 8
+
+#: requests per scripted tick in the scenario phases
+_SLO_WAVE = 4
+
+#: scripted queue waits: healthy ticks flush fast, overload ticks
+#: hold the queue past the latency bound
+_SLO_HEALTHY_WAIT = 0.01
+_SLO_OVERLOAD_WAIT = 0.2
+
+_SLO_HEALTHY_TICKS = 8
+_SLO_OVERLOAD_TICKS = 6
+_SLO_RECOVERY_TICKS = 10
+
+#: overhead probe: identical traffic timed with observability fully
+#: on (tracing + SLO engine + flight recorder) vs fully off, in
+#: back-to-back (disabled, enabled) pairs; the reported overhead is
+#: the best pairwise ratio, so common-mode machine-load drift cancels
+#: and only the intrinsic per-request cost remains
+_SLO_REPEATS = 7
+_SLO_OVERHEAD_BOUND = 0.05
+
+
+def _slo_request(tenant: str, seed: int) -> Request:
+    batch = random_batch(
+        2, size_range=(8, 24), kind="diag_dominant", seed=seed
+    )
+    return Request(
+        tenant=tenant,
+        batch=batch,
+        kind="solve",
+        rhs=random_rhs(batch, seed=seed + 1),
+    )
+
+
+def _run_slo_scenario(seed: int) -> dict:
+    """Healthy -> overload -> recovery under a scripted clock.
+
+    The overload phase holds every queued request past the
+    admitted-latency bound, so the ``admitted_latency`` SLO burns on
+    both windows and fires exactly once; the attached flight recorder
+    dumps exactly one black box at that instant.  The recovery phase
+    flushes promptly until the alert resolves.  Tracing is on
+    throughout, so the dump carries the spans needed to reconstruct an
+    admitted request's causal chain.
+    """
+    from ..obs import FlightRecorder, SLOEngine, default_serving_slos
+    from ..obs.report import reconstruct_chain, trace_ids_in_dump
+    from ..telemetry import tracing
+
+    clock = ScriptedClock()
+    slo = SLOEngine(
+        default_serving_slos(
+            latency_threshold=_SLO_LATENCY,
+            fast_window=_SLO_FAST_WINDOW,
+            slow_window=_SLO_SLOW_WINDOW,
+            min_events=_SLO_MIN_EVENTS,
+        ),
+        clock=clock,
+    )
+    flight = FlightRecorder(capacity=2048, horizon=60.0, clock=clock)
+    flight.attach_slo(slo)
+    engine = CoalescingEngine(
+        runtime=BatchRuntime(cache=False),
+        clock=clock,
+        slo=slo,
+        flight=flight,
+    )
+    rng = np.random.default_rng(seed)
+    phases = (
+        ("healthy", _SLO_HEALTHY_TICKS, _SLO_HEALTHY_WAIT),
+        ("overload", _SLO_OVERLOAD_TICKS, _SLO_OVERLOAD_WAIT),
+        ("recovery", _SLO_RECOVERY_TICKS, _SLO_HEALTHY_WAIT),
+    )
+    alerts_after_healthy = None
+    with tracing():
+        for name, ticks, wait in phases:
+            for tick in range(ticks):
+                for i in range(_SLO_WAVE):
+                    engine.submit(
+                        _slo_request(
+                            f"tenant-{(tick * _SLO_WAVE + i) % 16:02d}",
+                            int(rng.integers(2**31)),
+                        )
+                    )
+                clock.advance(wait)
+                engine.flush()
+                if name == "recovery":
+                    # idle time between prompt flushes ages the
+                    # overload samples out of the slow window
+                    clock.advance(0.5)
+                    engine.flush()
+            if name == "healthy":
+                alerts_after_healthy = len(slo.alerts)
+    firing = [a for a in slo.alerts if a["state"] == "firing"]
+    resolved = [a for a in slo.alerts if a["state"] == "resolved"]
+    dump = flight.dumps[0] if flight.dumps else None
+    chains = []
+    if dump is not None:
+        for trace_id in trace_ids_in_dump(dump):
+            chain = reconstruct_chain(dump, trace_id)
+            if chain["complete"] and chain["outcome"] == "delivered":
+                chains.append(chain)
+    return {
+        "alerts": list(slo.alerts),
+        "alerts_after_healthy": alerts_after_healthy,
+        "firing_alerts": len(firing),
+        "firing_slos": sorted({a["slo"] for a in firing}),
+        "resolved_alerts": len(resolved),
+        "flight_dumps": len(flight.dumps),
+        "dump_events": len(dump["events"]) if dump else 0,
+        "dump_spans": len(dump["spans"]) if dump else 0,
+        "complete_chains": len(chains),
+        "example_chain": (
+            [s["stage"] for s in chains[0]["stages"]] if chains else []
+        ),
+        "slo_snapshot": slo.snapshot(),
+    }
+
+
+def _run_slo_overhead(quick: bool, seed: int) -> dict:
+    """Time identical coalesced traffic with observability fully on
+    (tracing + SLO engine + flight recorder) and fully off; report
+    the per-request overhead fraction (best pairwise ratio over
+    back-to-back runs, so load drift cancels)."""
+    from ..obs import FlightRecorder, SLOEngine, default_serving_slos
+    from ..telemetry import tracing
+
+    profile = LoadProfile(
+        tenants=64,
+        waves=3 if quick else 6,
+        requests_per_wave=24,
+        blocks_min=8,
+        blocks_max=16,
+        size_min=16,
+        size_max=32,
+        repeat_fraction=0.0,
+        seed=seed,
+    )
+    waves = generate_load(profile)
+    n_requests = sum(len(w) for w in waves)
+
+    def run_once(obs_on: bool) -> float:
+        clock = ScriptedClock()
+        slo = flight = None
+        if obs_on:
+            slo = SLOEngine(
+                default_serving_slos(latency_threshold=_SLO_LATENCY),
+                clock=clock,
+            )
+            flight = FlightRecorder(capacity=4096, clock=clock)
+            flight.attach_slo(slo)
+        engine = CoalescingEngine(
+            runtime=BatchRuntime(cache=False),
+            clock=clock,
+            slo=slo,
+            flight=flight,
+        )
+
+        def drive() -> float:
+            t0 = time.perf_counter()
+            for wave in waves:
+                for req in wave:
+                    engine.submit(req)
+                engine.flush()
+                clock.advance(profile.wave_seconds)
+            return time.perf_counter() - t0
+
+        if obs_on:
+            with tracing():
+                return drive()
+        return drive()
+
+    pairs = []
+    for _ in range(_SLO_REPEATS):
+        pairs.append((run_once(False), run_once(True)))
+    disabled = min(d for d, _ in pairs)
+    enabled = min(e for _, e in pairs)
+    overhead = max(
+        0.0, min((e - d) / d for d, e in pairs if d > 0)
+    )
+    return {
+        "requests": n_requests,
+        "disabled_wall_seconds": disabled,
+        "enabled_wall_seconds": enabled,
+        "overhead_fraction": overhead,
+        "overhead_per_request_us": (
+            max(0.0, enabled - disabled) / n_requests * 1e6
+            if n_requests
+            else 0.0
+        ),
+        "bound": _SLO_OVERHEAD_BOUND,
+        "within_bound": overhead < _SLO_OVERHEAD_BOUND,
+    }
+
+
+def run_slo_bench(quick: bool = False, seed: int = 0) -> dict:
+    """SLO burn-rate + flight-recorder bench (``serve-bench --slo``).
+
+    Two parts: (a) a scripted healthy/overload/recovery scenario that
+    must produce **exactly one** burn alert firing and **exactly one**
+    flight dump - from which at least one admitted request's complete
+    causal chain (admit -> queue -> coalesced launch -> scatter ->
+    deliver) is reconstructed; (b) an overhead probe holding the
+    fully-enabled observability path under
+    ``_SLO_OVERHEAD_BOUND`` of the disabled path on identical traffic.
+    """
+    from ..telemetry import to_native
+
+    scenario = _run_slo_scenario(seed)
+    overhead = _run_slo_overhead(quick, seed)
+    passed = (
+        scenario["alerts_after_healthy"] == 0
+        and scenario["firing_alerts"] == 1
+        and scenario["firing_slos"] == ["admitted_latency"]
+        and scenario["resolved_alerts"] == 1
+        and scenario["flight_dumps"] == 1
+        and scenario["complete_chains"] > 0
+        and overhead["within_bound"]
+    )
+    return to_native(
+        {
+            "config": {
+                "latency_slo_seconds": _SLO_LATENCY,
+                "fast_window": _SLO_FAST_WINDOW,
+                "slow_window": _SLO_SLOW_WINDOW,
+                "seed": seed,
+                "quick": quick,
+            },
+            "scenario": scenario,
+            "overhead": overhead,
+            "passed": passed,
+        }
+    )
+
+
+def format_slo_summary(report: dict) -> str:
+    """Human-readable summary of an SLO bench document."""
+    s = report["scenario"]
+    o = report["overhead"]
+    status = "PASS" if report["passed"] else "FAIL"
+    lines = [f"slo bench [{status}]"]
+    lines.append(
+        f"  scenario: {s['firing_alerts']} burn alert(s) "
+        f"({', '.join(s['firing_slos']) or 'none'}), "
+        f"{s['resolved_alerts']} resolved, "
+        f"{s['flight_dumps']} flight dump(s) "
+        f"({s['dump_events']} events, {s['dump_spans']} spans)"
+    )
+    lines.append(
+        f"  causal chains reconstructed from the black box: "
+        f"{s['complete_chains']}"
+        + (
+            f" (e.g. {' -> '.join(s['example_chain'])})"
+            if s["example_chain"]
+            else ""
+        )
+    )
+    lines.append(
+        f"  overhead: obs-on {o['enabled_wall_seconds'] * 1e3:.1f} ms vs "
+        f"obs-off {o['disabled_wall_seconds'] * 1e3:.1f} ms over "
+        f"{o['requests']} requests = "
+        f"{o['overhead_fraction'] * 100:.2f}% "
+        f"({o['overhead_per_request_us']:.1f} us/request; "
+        f"bound {o['bound'] * 100:.0f}%)"
+    )
+    return "\n".join(lines)
 
 
 def format_serving_summary(report: dict) -> str:

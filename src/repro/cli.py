@@ -30,9 +30,21 @@ Gives downstream users the paper's workflows without writing code:
     coalesced+cached, with a solo-rerun leak audit; exits nonzero if
     coalescing does not amortize (ratio <= 1) or any cross-tenant
     leak is detected.
+``python -m repro serve-bench --slo``
+    SLO burn-rate / flight-recorder bench: a scripted overload must
+    fire exactly one multi-window burn alert and dump exactly one
+    black box (from which an admitted request's causal chain is
+    reconstructed), and fully-enabled observability must stay within
+    5% of the disabled path on identical traffic.
+``python -m repro obs-report blackbox.json [--chain TRACE_ID]``
+    Inspect a flight-recorder dump: event counts by kind, the
+    triggering alert, and reconstructed per-request causal chains
+    (admission -> queue -> coalesced launch via span links ->
+    scatter-back -> delivery).
 ``python -m repro trace-summary out.trace.json --check``
     Fold an exported trace back into the paper's Fig. 9 cost
-    decomposition (setup vs apply vs solver); ``--check`` validates
+    decomposition (setup vs apply vs solver) plus, for serving
+    traces, the per-tenant stage roll-up; ``--check`` validates
     the trace invariants and exits nonzero on any violation.
 ``python -m repro telemetry-overhead --threshold 0.02``
     Measure the overhead of the *disabled* telemetry path against the
@@ -319,11 +331,16 @@ def _run_serve_bench(args) -> int:
     from .bench.serving_load import (
         format_overload_summary,
         format_serving_summary,
+        format_slo_summary,
         run_overload_bench,
         run_serving_bench,
+        run_slo_bench,
     )
 
-    if args.overload:
+    if args.slo:
+        report = run_slo_bench(quick=args.quick, seed=args.seed)
+        fmt = format_slo_summary
+    elif args.overload:
         report = run_overload_bench(quick=args.quick, seed=args.seed)
         fmt = format_overload_summary
     else:
@@ -359,6 +376,21 @@ def _cmd_trace_summary(args) -> int:
                 print(f"  - {p}")
             return 1
         print("\ntrace OK")
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    import json
+
+    from .obs import format_flight_report, reconstruct_chain
+
+    with open(args.path) as fh:
+        dump = json.load(fh)
+    if args.chain:
+        chain = reconstruct_chain(dump, args.chain)
+        print(json.dumps(chain, indent=2))
+        return 0 if chain["complete"] else 1
+    print(format_flight_report(dump))
     return 0
 
 
@@ -509,6 +541,13 @@ def build_parser() -> argparse.ArgumentParser:
                      "admitted-latency curves (exit 1 unless EDF "
                      "delivers nothing past deadline and holds the "
                      "SLO at >= 2x the first FIFO-violating load)")
+    psb.add_argument("--slo", action="store_true",
+                     help="run the SLO burn-rate / flight-recorder "
+                     "bench instead: a scripted overload must produce "
+                     "exactly one burn alert and one black-box dump "
+                     "(with a reconstructable causal chain), and the "
+                     "fully-enabled observability path must stay "
+                     "within 5%% of the disabled path")
     psb.add_argument("--seed", type=int, default=0)
     psb.add_argument("--json", metavar="PATH",
                      help="write the JSON report to PATH "
@@ -527,6 +566,19 @@ def build_parser() -> argparse.ArgumentParser:
                      "events, monotone timestamps, resolvable parents); "
                      "exit 1 on any problem")
     pts.set_defaults(fn=_cmd_trace_summary)
+
+    por = sub.add_parser(
+        "obs-report",
+        help="inspect a flight-recorder black box: event counts, the "
+        "triggering alert, and per-request causal chains",
+    )
+    por.add_argument("path", help="black-box JSON written by the "
+                     "flight recorder (dump_to / SIGUSR2)")
+    por.add_argument("--chain", metavar="TRACE_ID",
+                     help="print one request's reconstructed causal "
+                     "chain as JSON (exit 1 if the chain is "
+                     "incomplete)")
+    por.set_defaults(fn=_cmd_obs_report)
 
     pto = sub.add_parser(
         "telemetry-overhead",

@@ -1,0 +1,47 @@
+"""repro.obs - end-to-end request observability.
+
+Three cooperating pieces on top of :mod:`repro.telemetry`:
+
+* **Trace-context propagation** (in the tracer itself): the open-span
+  stack lives in a ``contextvars`` context so parentage survives
+  ``asyncio.to_thread``, and span *links* carry causality through the
+  coalesced fan-in (many request spans -> one shared launch) and
+  fan-out (launch -> per-tenant deliver spans).
+* **SLO engine** (:mod:`repro.obs.slo`): declarative objectives with
+  multi-window burn-rate alerts (fast/slow pairs a la the SRE
+  workbook) exposed as metrics and structured alert events.
+* **Flight recorder** (:mod:`repro.obs.flight`): an always-on bounded
+  ring of structured events that dumps a self-contained JSON black
+  box (events + linked spans + metrics) on SLO burn, late-delivery
+  audit, chaos failure, or ``SIGUSR2``/CLI;
+  :mod:`repro.obs.report` reconstructs per-request causal chains
+  from a dump offline.
+"""
+
+from .flight import (
+    FlightRecorder,
+    get_flight_recorder,
+    install_signal_handler,
+    record_flight,
+    set_flight_recorder,
+)
+from .report import (
+    format_flight_report,
+    reconstruct_chain,
+    trace_ids_in_dump,
+)
+from .slo import SLO, SLOEngine, default_serving_slos
+
+__all__ = [
+    "SLO",
+    "SLOEngine",
+    "FlightRecorder",
+    "default_serving_slos",
+    "format_flight_report",
+    "get_flight_recorder",
+    "install_signal_handler",
+    "reconstruct_chain",
+    "record_flight",
+    "set_flight_recorder",
+    "trace_ids_in_dump",
+]

@@ -1,0 +1,174 @@
+"""Black-box analysis: reconstruct causal chains and format reports.
+
+A flight-recorder dump carries the span set with links intact, so the
+full life of one request can be rebuilt offline: the ``admission``
+span, the detached ``request`` envelope, the ``queue`` wait, the
+shared coalesced ``launch`` found by following the fan-in span links,
+and the ``deliver`` (or shed) resolution that links back to the
+launch.  This is the programmatic answer to "what happened to *this*
+request" that the per-layer tracer alone could not give.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "format_flight_report",
+    "reconstruct_chain",
+    "trace_ids_in_dump",
+]
+
+_REQUEST = "serving.request"
+_ADMIT = "serving.admit"
+_QUEUE = "serving.queue"
+_LAUNCH = "serving.launch"
+_DELIVER = "serving.deliver"
+
+
+def trace_ids_in_dump(dump: dict) -> list[str]:
+    """Every trace_id with a request span in the dump, in span order."""
+    out = []
+    for row in dump.get("spans", ()):
+        if row.get("name") == _REQUEST:
+            tid = (row.get("attrs") or {}).get("trace_id")
+            if tid is not None and tid not in out:
+                out.append(tid)
+    return out
+
+
+def reconstruct_chain(dump: dict, trace_id: str) -> dict:
+    """Rebuild one request's causal chain from a black-box dump.
+
+    Returns ``{"trace_id", "outcome", "complete", "stages": [...]}``
+    where each stage is ``{"stage", "name", "span_id", "ts", "dur"}``
+    ordered admission -> queue -> launch -> deliver.  ``complete`` is
+    True when an admitted+delivered request's whole chain (including
+    the launch reached *via span links*) was recovered.
+    """
+    spans = dump.get("spans", [])
+    by_id = {r["span_id"]: r for r in spans if "span_id" in r}
+
+    def _mine(row):
+        return (row.get("attrs") or {}).get("trace_id") == trace_id
+
+    request = next(
+        (r for r in spans if r.get("name") == _REQUEST and _mine(r)), None
+    )
+    admit = next(
+        (r for r in spans if r.get("name") == _ADMIT and _mine(r)), None
+    )
+    queue = next(
+        (r for r in spans if r.get("name") == _QUEUE and _mine(r)), None
+    )
+    deliver = next(
+        (r for r in spans if r.get("name") == _DELIVER and _mine(r)), None
+    )
+    # fan-in: the shared launch links to the per-request span
+    launch = None
+    if request is not None:
+        launch = next(
+            (
+                r
+                for r in spans
+                if r.get("name") == _LAUNCH
+                and request["span_id"] in (r.get("links") or ())
+            ),
+            None,
+        )
+    # fan-out: deliver links back to the launch; prefer that edge when
+    # present (a re-run lane may have produced a second launch)
+    if deliver is not None:
+        for link in deliver.get("links") or ():
+            linked = by_id.get(link)
+            if linked is not None and linked.get("name") == _LAUNCH:
+                launch = linked
+                break
+
+    stages = []
+    for stage, row in (
+        ("admission", admit),
+        ("request", request),
+        ("queue", queue),
+        ("launch", launch),
+        ("deliver", deliver),
+    ):
+        if row is not None:
+            stages.append(
+                {
+                    "stage": stage,
+                    "name": row.get("name"),
+                    "span_id": row.get("span_id"),
+                    "ts": row.get("ts"),
+                    "dur": row.get("dur"),
+                    "attrs": row.get("attrs") or {},
+                }
+            )
+    outcome = None
+    if request is not None:
+        outcome = (request.get("attrs") or {}).get("outcome")
+    elif admit is not None:
+        outcome = (admit.get("attrs") or {}).get("outcome")
+    delivered = outcome == "delivered"
+    complete = (
+        admit is not None
+        and request is not None
+        and queue is not None
+        and (not delivered or (launch is not None and deliver is not None))
+    )
+    events = [
+        e
+        for e in dump.get("events", ())
+        if e.get("trace_id") == trace_id
+    ]
+    return {
+        "trace_id": trace_id,
+        "outcome": outcome,
+        "complete": complete,
+        "stages": stages,
+        "events": events,
+    }
+
+
+def format_flight_report(dump: dict, trace_id: str | None = None) -> str:
+    """Human-readable summary of a black-box dump (the ``obs-report``
+    CLI body)."""
+    meta = dump.get("flight_recorder", {})
+    events = dump.get("events", [])
+    spans = dump.get("spans", [])
+    lines = [
+        "flight-recorder black box",
+        f"  reason    : {meta.get('reason')}",
+        f"  at        : {meta.get('at')}",
+        f"  horizon   : {meta.get('horizon')}s",
+        f"  events    : {len(events)}",
+        f"  spans     : {len(spans)}",
+    ]
+    counts: dict[str, int] = {}
+    for e in events:
+        counts[e.get("kind", "?")] = counts.get(e.get("kind", "?"), 0) + 1
+    if counts:
+        lines.append("  by kind   :")
+        for kind in sorted(counts):
+            lines.append(f"    {kind:<24} {counts[kind]}")
+    alert = (meta.get("context") or {}).get("alert")
+    if alert:
+        lines.append(
+            f"  alert     : {alert.get('slo')} {alert.get('state')} "
+            f"(burn fast={alert.get('burn_fast'):.2f} "
+            f"slow={alert.get('burn_slow'):.2f})"
+        )
+    ids = trace_ids_in_dump(dump)
+    lines.append(f"  requests  : {len(ids)} trace ids in span set")
+    targets = [trace_id] if trace_id else ids[:3]
+    for tid in targets:
+        chain = reconstruct_chain(dump, tid)
+        status = "complete" if chain["complete"] else "partial"
+        lines.append(
+            f"  chain {tid}: outcome={chain['outcome']} [{status}]"
+        )
+        for st in chain["stages"]:
+            dur = st.get("dur")
+            dur_txt = f"{dur * 1e3:8.3f} ms" if dur is not None else "  open"
+            lines.append(
+                f"    {st['stage']:<10} span={st['span_id']:<5} {dur_txt}"
+            )
+    return "\n".join(lines)

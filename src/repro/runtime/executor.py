@@ -66,6 +66,7 @@ from .resilience import (
     single_bin_plan,
     spot_check_factorization,
 )
+from ..obs.flight import record_flight
 from ..telemetry.metrics import get_metrics
 from ..telemetry.tracer import get_tracer
 from .stats import RuntimeReport
@@ -80,8 +81,11 @@ APPLY_MODES = ("factor", "inverse", "auto")
 
 def _note_fallback(report: RuntimeReport, event: dict) -> None:
     """Record a resilience deviation on the report, the metrics
-    registry, and (when tracing) the event stream - one call site per
-    deviation keeps the three views consistent."""
+    registry, the flight recorder, and (when tracing) the event
+    stream - one call site per deviation keeps the views consistent.
+    Quarantines funnel through here too (``action:
+    quarantined_to_numpy``), so the black box always explains *why* a
+    launch was tainted."""
     report.fallback_events.append(event)
     get_metrics().counter(
         "repro_fallback_events_total",
@@ -90,6 +94,7 @@ def _note_fallback(report: RuntimeReport, event: dict) -> None:
         stage=str(event.get("stage", "?")),
         backend=str(event.get("backend", "?")),
     )
+    record_flight("runtime_fallback", **event)
     tr = get_tracer()
     if tr.enabled:
         tr.event("runtime.fallback", **event)

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..clock import MONOTONIC
 from ..core.batch import BatchedMatrices, BatchedVectors
+from ..obs.flight import record_flight
 from .backends import Backend
 from .planner import BinPlan, ExecutionPlan
 
@@ -118,6 +119,11 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.successes += 1
         self._consecutive = 0
+        if self._opened_at is not None:
+            # the half-open probe succeeded: the breaker closes
+            record_flight(
+                "breaker_closed", backend=self.name, trips=self.trips,
+            )
         self._opened_at = None
 
     def record_failure(self) -> None:
@@ -127,9 +133,17 @@ class CircuitBreaker:
             # failed the half-open probe: re-open with a fresh cooldown
             self._opened_at = self._clock()
             self.trips += 1
+            record_flight(
+                "breaker_tripped", backend=self.name, trips=self.trips,
+                probe_failed=True,
+            )
         elif self._consecutive >= self.failure_threshold:
             self._opened_at = self._clock()
             self.trips += 1
+            record_flight(
+                "breaker_tripped", backend=self.name, trips=self.trips,
+                consecutive=self._consecutive,
+            )
 
     def snapshot(self) -> dict:
         return {

@@ -53,9 +53,12 @@ import numpy as np
 
 from ..clock import MONOTONIC, PERF
 from ..core.batch import BatchedVectors
+from ..obs.flight import FlightRecorder, get_flight_recorder
+from ..obs.slo import SLOEngine
 from ..runtime.cache import batch_fingerprint
 from ..runtime.executor import BatchRuntime
 from ..telemetry.metrics import get_metrics
+from ..telemetry.tracer import get_tracer
 from .coalesce import TenantFactorization, merge_batches, merge_rhs
 from .overload import OverloadController
 from .requests import Rejection, Request, Response, Ticket
@@ -137,6 +140,27 @@ class CoalescingEngine:
     reference_runtime:
         Runtime for the brownout reroute lane.  Default: a lazily
         built reference (``numpy``) runtime without caching.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOEngine`.  The engine feeds
+        the conventional objectives it defines (``admitted_latency``
+        against the SLO's own ``threshold``, ``deadline_hit``,
+        ``shed_rate``) and runs ``evaluate`` after every flush; burn
+        alerts flow through the SLO engine's callbacks (where the
+        flight recorder typically hooks its dump).
+    flight:
+        Flight recorder for structured admission/shed/flush events.
+        None (default) records into the process-global recorder;
+        timestamps always come from the engine's own clock so
+        scripted-clock runs stay deterministic.
+
+    Tracing (when the global tracer is enabled) builds the causal
+    span topology: a short ``serving.admit`` span per submission, a
+    detached ``serving.request`` envelope with a ``serving.queue``
+    child per queued job, one ``serving.launch`` span per merged
+    chunk carrying **span links** to every merged request (fan-in),
+    and a ``serving.deliver`` span per scatter-back parented under
+    the request and linking back to the launch (fan-out).  Every
+    span carries the request's ``trace_id``.
     """
 
     def __init__(
@@ -152,6 +176,8 @@ class CoalescingEngine:
         overload: OverloadController | None = None,
         max_flush_blocks: int | None = None,
         reference_runtime: BatchRuntime | None = None,
+        slo: SLOEngine | None = None,
+        flight: FlightRecorder | None = None,
     ):
         if max_pending < 1:
             raise ValueError(
@@ -184,6 +210,8 @@ class CoalescingEngine:
             None if max_flush_blocks is None else int(max_flush_blocks)
         )
         self._reference_runtime = reference_runtime
+        self.slo = slo
+        self._flight = flight
         self._lock = threading.Lock()
         self._pending: list[Ticket] = []
         self._next_id = 0
@@ -247,25 +275,65 @@ class CoalescingEngine:
             )
         return self._reference_runtime
 
+    def _record(self, kind: str, at: float | None = None, **fields) -> None:
+        """Flight-recorder event stamped in the *engine's* clock
+        domain; pass ``at`` wherever a timestamp is already in hand so
+        ticking test clocks aren't advanced by observability."""
+        rec = self._flight
+        if rec is None:
+            rec = get_flight_recorder()
+        if rec.enabled:
+            rec.record(
+                kind, now=self._clock() if at is None else at, **fields
+            )
+
+    def _slo_record(self, name: str, good: bool) -> None:
+        if self.slo is not None:
+            self.slo.record(name, good, now=self._clock())
+
+    def _latency_good(self, queue_seconds: float) -> bool:
+        """Did this delivery meet the admitted-latency objective?  The
+        bound lives on the SLO itself (``threshold``)."""
+        if self.slo is None:
+            return True
+        slo = self.slo.get("admitted_latency")
+        return (
+            slo is None
+            or slo.threshold is None
+            or queue_seconds <= slo.threshold
+        )
+
     def _reject(
         self,
         req: Request,
         reason: str,
         retry_after: float | None = None,
+        at: float | None = None,
         **detail,
     ) -> Ticket:
-        rejection = Rejection(reason, dict(detail), retry_after=retry_after)
+        rejection = Rejection(
+            reason, dict(detail), retry_after=retry_after,
+            trace_id=req.trace_id,
+        )
         resp = Response(
             tenant=req.tenant,
             kind=req.kind,
             status="rejected",
             rejection=rejection,
+            trace_id=req.trace_id,
         )
         self.stats["rejected"][reason] = (
             self.stats["rejected"].get(reason, 0) + 1
         )
         _count_shed(reason)
         _count_request(req.kind, "rejected")
+        self._record(
+            "shed", at=at, tenant=req.tenant, trace_id=req.trace_id,
+            reason=reason, stage=detail.get("stage", "admission"),
+        )
+        self._slo_record("shed_rate", False)
+        if reason == "deadline_exceeded":
+            self._slo_record("deadline_hit", False)
         return Ticket(request=req, request_id=-1, response=resp)
 
     def _shed_ticket(
@@ -273,10 +341,16 @@ class CoalescingEngine:
     ) -> None:
         """Resolve an already-queued ticket as shed (in place, so
         waiters holding it observe the rejection)."""
-        resp = self._reject(ticket.request, reason, **detail).response
+        resp = self._reject(ticket.request, reason, at=now, **detail).response
         resp.request_id = ticket.request_id
         resp.queue_seconds = max(0.0, now - ticket.submitted_at)
         ticket.response = resp
+        if ticket.queue_span is not None:
+            ticket.queue_span.finish()
+            ticket.queue_span = None
+        if ticket.span is not None:
+            ticket.span.finish(outcome="shed", reason=reason)
+            ticket.span = None
 
     def _breaker_open(self) -> bool:
         if not (self.shed_when_breaker_open and self.runtime.resilient):
@@ -298,6 +372,46 @@ class CoalescingEngine:
         """Admit one job.  The returned ticket is already resolved for
         rejections and tenant-cache hits; otherwise it resolves at the
         next :meth:`flush`."""
+        tr = get_tracer()
+        if not tr.enabled:
+            return self._admit(req)
+        aspan = tr.begin(
+            "serving.admit", cat="serving",
+            tenant=req.tenant, trace_id=req.trace_id,
+            kind=req.kind, nb=int(req.batch.nb),
+        )
+        try:
+            ticket = self._admit(req)
+        except Exception:
+            tr.end(aspan, outcome="error")
+            raise
+        if ticket.response is None:
+            outcome = "queued"
+            # the detached request envelope + its queue-wait child;
+            # parentage is explicit, never the ambient context (the
+            # envelope outlives this call and must not adopt whatever
+            # the caller opens next)
+            ticket.span = tr.begin(
+                "serving.request", cat="serving", detached=True,
+                tenant=req.tenant, trace_id=req.trace_id,
+                request_id=ticket.request_id, kind=req.kind,
+                nb=int(req.batch.nb),
+            )
+            ticket.queue_span = tr.begin(
+                "serving.queue", cat="serving", detached=True,
+                parent=ticket.span,
+                tenant=req.tenant, trace_id=req.trace_id,
+            )
+        elif ticket.response.status == "rejected":
+            outcome = "shed"
+        elif ticket.response.cache_hit:
+            outcome = "cache_hit"
+        else:
+            outcome = ticket.response.status
+        tr.end(aspan, outcome=outcome)
+        return ticket
+
+    def _admit(self, req: Request) -> Ticket:
         if self._closed:
             return self._reject(req, "not_running")
         problem = req.validate()
@@ -360,6 +474,13 @@ class CoalescingEngine:
         self._gauge_depth(depth)
         if ticket is None:
             return self._reject(req, "queue_full", depth=depth)
+        self._record(
+            "admit", at=ticket.submitted_at,
+            tenant=req.tenant, trace_id=req.trace_id,
+            request_id=ticket.request_id, job=req.kind,
+            nb=int(req.batch.nb), depth=depth,
+        )
+        self._slo_record("shed_rate", True)
         return ticket
 
     def _resolve_cached(
@@ -376,6 +497,7 @@ class CoalescingEngine:
             coalesced_requests=1,
             coalesced_blocks=tfac.coalesced_blocks,
             delivered_at=self._clock(),
+            trace_id=req.trace_id,
         )
         if req.kind == "solve":
             t0 = PERF()
@@ -394,6 +516,18 @@ class CoalescingEngine:
         _count_request(
             req.kind, "cache_hit" if resp.status == "ok" else "failed"
         )
+        self._record(
+            "admit", at=resp.delivered_at,
+            tenant=req.tenant, trace_id=req.trace_id,
+            job=req.kind, cache_hit=True,
+        )
+        self._slo_record("shed_rate", True)
+        # a cache hit waits for nothing: it always meets the latency SLO
+        self._slo_record("admitted_latency", True)
+        if req.deadline is not None:
+            self._slo_record(
+                "deadline_hit", resp.delivered_at <= req.deadline
+            )
         return Ticket(request=req, request_id=-1, response=resp)
 
     # -- flushing ----------------------------------------------------------
@@ -411,10 +545,36 @@ class CoalescingEngine:
             self._next_flush += 1
         if not batch_tickets:
             self._gauge_depth(0)
+            if self.slo is not None:
+                self.slo.evaluate(self._clock())
             return []
+        tr = get_tracer()
+        fspan = (
+            tr.begin(
+                "serving.flush", cat="serving",
+                flush_id=flush_id, taken=len(batch_tickets),
+            )
+            if tr.enabled
+            else None
+        )
+        try:
+            return self._flush_inner(batch_tickets, flush_id, fspan)
+        finally:
+            if fspan is not None:
+                tr.end(fspan)
+
+    def _flush_inner(
+        self, batch_tickets: list[Ticket], flush_id: int, fspan
+    ) -> list[Response]:
         self.stats["flushes"] += 1
         now = self._clock()
         admitted, deferred = self._schedule(batch_tickets, now)
+        # queue wait ends here for everything this flush executes;
+        # deferred tickets keep their queue spans open
+        for t in admitted:
+            if t.queue_span is not None:
+                t.queue_span.finish()
+                t.queue_span = None
         if deferred:
             self.stats["deferred"] += len(deferred)
             with self._lock:
@@ -468,6 +628,15 @@ class CoalescingEngine:
             self._observe_overload(admitted, deferred, now)
         resolved = [t for t in batch_tickets if t.response is not None]
         resolved.sort(key=lambda t: t.request_id)
+        self._record(
+            "flush", at=now, flush_id=flush_id,
+            taken=len(batch_tickets),
+            resolved=len(resolved), deferred=len(deferred),
+        )
+        if fspan is not None:
+            fspan.set(resolved=len(resolved), deferred=len(deferred))
+        if self.slo is not None:
+            self.slo.evaluate(self._clock())
         return [t.response for t in resolved]
 
     def _schedule(
@@ -567,26 +736,65 @@ class CoalescingEngine:
         # fail exactly the requests owning singular segments, and rerun
         # the healthy subset once (see _split_singular)
         effective_policy = None if policy in (None, "raise") else policy
-        t0 = PERF()
-        merged, segments = merge_batches([t.request.batch for t in chunk])
-        try:
-            handle = runtime.factorize(
-                merged,
-                method=req0.method,
-                on_singular=effective_policy,
-                use_cache=False,
-                apply_mode=apply_mode,
+        tr = get_tracer()
+        lspan = None
+        if tr.enabled:
+            # the shared fan-in span: one launch serving many
+            # requests, each recorded as a span *link* (they are
+            # causes, not children - their lifetimes overlap freely)
+            lspan = tr.begin(
+                "serving.launch", cat="serving",
+                flush_id=flush_id, requests=len(chunk),
+                backend=runtime.backend.name, apply_mode=apply_mode,
             )
-        except Exception as err:
-            factor_seconds = PERF() - t0
             for t in chunk:
-                self._fail(
-                    t, repr(err), flush_id, now,
-                    factor_seconds=factor_seconds,
-                    coalesced=(len(chunk), merged.nb),
+                lspan.add_link(t.span)
+        try:
+            t0 = PERF()
+            cspan = (
+                tr.begin("serving.coalesce", cat="serving")
+                if tr.enabled
+                else None
+            )
+            merged, segments = merge_batches(
+                [t.request.batch for t in chunk]
+            )
+            if cspan is not None:
+                tr.end(cspan, blocks=int(merged.nb))
+            if lspan is not None:
+                lspan.set(blocks=int(merged.nb))
+            try:
+                handle = runtime.factorize(
+                    merged,
+                    method=req0.method,
+                    on_singular=effective_policy,
+                    use_cache=False,
+                    apply_mode=apply_mode,
                 )
-            return
-        factor_seconds = PERF() - t0
+            except Exception as err:
+                factor_seconds = PERF() - t0
+                for t in chunk:
+                    self._fail(
+                        t, repr(err), flush_id, now,
+                        factor_seconds=factor_seconds,
+                        coalesced=(len(chunk), merged.nb),
+                    )
+                return
+            factor_seconds = PERF() - t0
+            self._execute_chunk_resolved(
+                chunk, segments, merged, handle, effective_policy,
+                req0, flush_id, now, factor_seconds,
+                runtime=runtime, apply_mode=apply_mode, launch=lspan,
+            )
+        finally:
+            if lspan is not None:
+                tr.end(lspan)
+
+    def _execute_chunk_resolved(
+        self, chunk, segments, merged, handle, effective_policy,
+        req0, flush_id, now, factor_seconds, *,
+        runtime, apply_mode, launch,
+    ) -> None:
         self.stats["executions"] += 1
         report = runtime.last_report
         tainted = bool(
@@ -615,6 +823,7 @@ class CoalescingEngine:
             self._resolve_chunk(
                 live, handle, tainted, flush_id, now, factor_seconds,
                 coalesced=(len(chunk), merged.nb), runtime=runtime,
+                launch=launch,
             )
 
     def _split_singular(
@@ -645,50 +854,87 @@ class CoalescingEngine:
         if apply_mode is None:
             apply_mode = req0.apply_mode
         tickets = [t for t, _ in live]
-        t0 = PERF()
-        merged, segments = merge_batches(
-            [t.request.batch for t in tickets]
-        )
-        try:
-            handle = runtime.factorize(
-                merged,
-                method=req0.method,
-                on_singular=None,
-                use_cache=False,
-                apply_mode=apply_mode,
+        tr = get_tracer()
+        lspan = None
+        if tr.enabled:
+            lspan = tr.begin(
+                "serving.launch", cat="serving",
+                flush_id=flush_id, requests=len(tickets),
+                backend=runtime.backend.name, apply_mode=apply_mode,
+                rerun=True,
             )
-        except Exception as err:
-            seconds = prior_factor_seconds + (PERF() - t0)
             for t in tickets:
-                self._fail(
-                    t, repr(err), flush_id, now,
-                    factor_seconds=seconds,
-                    coalesced=(len(tickets), merged.nb),
-                )
-            return []
-        seconds = prior_factor_seconds + (PERF() - t0)
-        self.stats["executions"] += 1
-        report = runtime.last_report
-        tainted = bool(
-            report is not None
-            and (
-                report.fallback_events
-                or report.quarantined_bins
-                or report.cache_poisoned
+                lspan.add_link(t.span)
+        try:
+            t0 = PERF()
+            merged, segments = merge_batches(
+                [t.request.batch for t in tickets]
             )
-        )
-        self._resolve_chunk(
-            list(zip(tickets, segments)), handle, tainted, flush_id, now,
-            seconds, coalesced=(len(tickets), merged.nb), runtime=runtime,
-        )
-        return []
+            if lspan is not None:
+                lspan.set(blocks=int(merged.nb))
+            try:
+                handle = runtime.factorize(
+                    merged,
+                    method=req0.method,
+                    on_singular=None,
+                    use_cache=False,
+                    apply_mode=apply_mode,
+                )
+            except Exception as err:
+                seconds = prior_factor_seconds + (PERF() - t0)
+                for t in tickets:
+                    self._fail(
+                        t, repr(err), flush_id, now,
+                        factor_seconds=seconds,
+                        coalesced=(len(tickets), merged.nb),
+                    )
+                return []
+            seconds = prior_factor_seconds + (PERF() - t0)
+            self.stats["executions"] += 1
+            report = runtime.last_report
+            tainted = bool(
+                report is not None
+                and (
+                    report.fallback_events
+                    or report.quarantined_bins
+                    or report.cache_poisoned
+                )
+            )
+            self._resolve_chunk(
+                list(zip(tickets, segments)), handle, tainted, flush_id,
+                now, seconds, coalesced=(len(tickets), merged.nb),
+                runtime=runtime, launch=lspan,
+            )
+            return []
+        finally:
+            if lspan is not None:
+                tr.end(lspan)
 
     def _resolve_chunk(
         self, live, handle, tainted, flush_id, now, factor_seconds,
-        coalesced, runtime: BatchRuntime | None = None,
+        coalesced, runtime: BatchRuntime | None = None, launch=None,
     ) -> None:
         """Build tenant views, cache them, answer solves, resolve."""
         runtime = self.runtime if runtime is None else runtime
+        tr = get_tracer()
+        sspan = (
+            tr.begin("serving.scatter", cat="serving", flush_id=flush_id)
+            if tr.enabled
+            else None
+        )
+        try:
+            self._scatter_back(
+                live, handle, tainted, flush_id, now, factor_seconds,
+                coalesced, runtime, launch,
+            )
+        finally:
+            if sspan is not None:
+                tr.end(sspan)
+
+    def _scatter_back(
+        self, live, handle, tainted, flush_id, now, factor_seconds,
+        coalesced, runtime, launch,
+    ) -> None:
         n_requests, n_blocks = coalesced
         self.stats["requests_executed"] += len(live)
         self.stats["blocks_executed"] += sum(
@@ -750,6 +996,7 @@ class CoalescingEngine:
                 solve_error = repr(err)
             solve_seconds = PERF() - t0
             _observe_stage("solve", solve_seconds)
+        tr = get_tracer()
         delivered = self._clock()
         for (t, seg), tfac in zip(live, views):
             req = t.request
@@ -763,12 +1010,28 @@ class CoalescingEngine:
                 # scatter-back audit: the answer exists but arrived
                 # late - never deliver it past the deadline
                 self.stats["late_deliveries_prevented"] += 1
+                self._record(
+                    "late_delivery_prevented", at=delivered,
+                    tenant=req.tenant,
+                    trace_id=req.trace_id, deadline=req.deadline,
+                    observed=delivered,
+                )
                 self._shed_ticket(
                     t, "deadline_exceeded", now,
                     deadline=req.deadline, observed=delivered,
                     stage="delivery",
                 )
                 continue
+            dspan = None
+            if tr.enabled and t.span is not None:
+                # fan-out: the per-tenant deliver span hangs under the
+                # request envelope and links back to the shared launch
+                dspan = tr.begin(
+                    "serving.deliver", cat="serving", detached=True,
+                    parent=t.span, tenant=req.tenant,
+                    trace_id=req.trace_id, flush_id=flush_id,
+                )
+                dspan.add_link(launch)
             resp = Response(
                 tenant=req.tenant,
                 kind=req.kind,
@@ -783,6 +1046,7 @@ class CoalescingEngine:
                 factor_seconds=factor_seconds,
                 solve_seconds=solve_seconds if req.kind == "solve" else 0.0,
                 delivered_at=delivered,
+                trace_id=req.trace_id,
             )
             if req.kind == "solve":
                 sol = solutions.get(id(t))
@@ -797,6 +1061,23 @@ class CoalescingEngine:
                 self.stats["failed"] += 1
             _count_request(req.kind, resp.status)
             t.response = resp
+            self._slo_record(
+                "admitted_latency",
+                self._latency_good(queue_seconds),
+            )
+            if req.deadline is not None:
+                self._slo_record(
+                    "deadline_hit", delivered <= req.deadline
+                )
+            if dspan is not None:
+                dspan.finish(status=resp.status)
+            if t.span is not None:
+                t.span.finish(
+                    outcome=(
+                        "delivered" if resp.status == "ok" else "failed"
+                    ),
+                )
+                t.span = None
 
     def _fail(
         self, ticket, error, flush_id, now, *, factor_seconds=0.0,
@@ -817,9 +1098,21 @@ class CoalescingEngine:
             flush_id=flush_id,
             queue_seconds=queue_seconds,
             factor_seconds=factor_seconds,
+            trace_id=req.trace_id,
         )
         self.stats["failed"] += 1
         _count_request(req.kind, "failed")
+        self._record(
+            "request_failed", at=now,
+            tenant=req.tenant, trace_id=req.trace_id,
+            error=error,
+        )
+        if ticket.queue_span is not None:
+            ticket.queue_span.finish()
+            ticket.queue_span = None
+        if ticket.span is not None:
+            ticket.span.finish(outcome="failed", error=error)
+            ticket.span = None
 
     # -- immediate paths ---------------------------------------------------
 
@@ -887,8 +1180,9 @@ class CoalescingEngine:
             self._closed = True
             stranded = self._pending
             self._pending = []
+        now = self._clock()
         for t in stranded:
-            t.response = self._reject(t.request, "not_running").response
+            self._shed_ticket(t, "not_running", now)
         self._gauge_depth(0)
         return len(stranded)
 

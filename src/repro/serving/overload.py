@@ -39,6 +39,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..obs.flight import record_flight
 from ..telemetry.metrics import get_metrics
 
 __all__ = [
@@ -279,6 +280,10 @@ class BrownoutController:
             "repro_serving_brownout_level",
             "Current brownout level index (0 = normal)",
         ).set(self.level_index)
+        record_flight(
+            "brownout_transition", now=now,
+            from_level=old, to_level=self.level, pressure=pressure,
+        )
 
     def observe(self, pressure: float, now: float) -> str:
         """Feed one pressure sample; returns the (possibly new)

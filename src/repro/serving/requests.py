@@ -15,6 +15,7 @@ re-route, downgrade) without parsing text.
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -66,6 +67,7 @@ class Rejection:
     reason: str
     detail: dict = field(default_factory=dict)
     retry_after: float | None = None
+    trace_id: str | None = None
 
     def __post_init__(self):
         if self.reason not in REJECT_REASONS:
@@ -79,6 +81,7 @@ class Rejection:
             "reason": self.reason,
             "detail": dict(self.detail),
             "retry_after": self.retry_after,
+            "trace_id": self.trace_id,
         }
 
 
@@ -113,6 +116,15 @@ class Request:
     apply_mode: str = "factor"
     deadline: float | None = None
     priority: int = 0
+    #: request-scoped trace context: minted at construction unless the
+    #: client supplies its own (distributed-tracing hand-off); carried
+    #: on every span, response, rejection and flight-recorder event
+    #: this job touches, and over the wire in every ``to_dict``.
+    trace_id: str | None = None
+
+    def __post_init__(self):
+        if self.trace_id is None:
+            self.trace_id = uuid.uuid4().hex[:16]
 
     def validate(self) -> str | None:
         """None when well-formed, else a human-readable problem."""
@@ -159,6 +171,7 @@ class Request:
                 None if self.deadline is None else float(self.deadline)
             ),
             "priority": int(self.priority),
+            "trace_id": self.trace_id,
         }
 
 
@@ -197,6 +210,9 @@ class Response:
     #: rejections); the deadline audit guarantees delivered_at <=
     #: request.deadline on every ok response under EDF scheduling
     delivered_at: float | None = None
+    #: echoes the request's trace context so a response/log line joins
+    #: back to its spans and flight-recorder events
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -225,6 +241,7 @@ class Response:
                 "factor_seconds": self.factor_seconds,
                 "solve_seconds": self.solve_seconds,
                 "delivered_at": self.delivered_at,
+                "trace_id": self.trace_id,
             }
         )
 
@@ -238,15 +255,25 @@ class Ticket:
     request_id: int
     submitted_at: float = field(default_factory=MONOTONIC)
     response: Response | None = None
+    #: live per-request spans (engine-internal; tracing enabled only):
+    #: ``span`` is the detached request envelope, ``queue_span`` the
+    #: in-queue wait child.  Never serialized.
+    span: Any = field(default=None, repr=False, compare=False)
+    queue_span: Any = field(default=None, repr=False, compare=False)
 
     @property
     def done(self) -> bool:
         return self.response is not None
 
+    @property
+    def trace_id(self) -> str | None:
+        return self.request.trace_id
+
     def to_dict(self) -> dict:
         return {
             "request": self.request.to_dict(),
             "request_id": self.request_id,
+            "trace_id": self.trace_id,
             "submitted_at": float(self.submitted_at),
             "done": self.done,
             "response": (

@@ -15,6 +15,14 @@ pending-queue handoff safe.  Determinism lives in the engine - the
 service adds *scheduling*, and every scheduling decision (flush
 trigger, shed, rejection) is observable through the engine's stats and
 the telemetry registry.
+
+Tracing: ``asyncio.to_thread`` copies the caller's ``contextvars``
+context into the worker thread, and the tracer's span stack lives in
+exactly that context - so the engine's ``serving.flush`` span parents
+under the service-level ``serving.service.flush`` span even though
+the two run on different threads.  (The tracer's old thread-local
+stack silently dropped this parent edge; the regression test in
+``tests/serving/test_trace_propagation.py`` pins the fix.)
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from __future__ import annotations
 import asyncio
 
 from ..core.batch import BatchedVectors
+from ..telemetry.tracer import get_tracer
 from .coalesce import TenantFactorization
 from .engine import CoalescingEngine
 from .requests import Request, Response
@@ -125,9 +134,23 @@ class PreconditionerService:
                 self._timer.cancel()
                 self._timer = None
             self._pending_blocks = 0
-            if self.engine.pending:
-                await asyncio.to_thread(self.engine.flush)
-            return self._resolve_waiters()
+            tr = get_tracer()
+            span = (
+                tr.begin("serving.service.flush", cat="serving")
+                if tr.enabled
+                else None
+            )
+            resolved = 0
+            try:
+                if self.engine.pending:
+                    # to_thread copies this context, so the engine's
+                    # flush span parents under ``span`` cross-thread
+                    await asyncio.to_thread(self.engine.flush)
+                resolved = self._resolve_waiters()
+            finally:
+                if span is not None:
+                    tr.end(span, resolved=resolved)
+            return resolved
 
     def _resolve_waiters(self) -> int:
         resolved = 0

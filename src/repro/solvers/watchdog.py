@@ -33,6 +33,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.flight import record_flight
 from ..telemetry.metrics import get_metrics
 from ..telemetry.tracer import get_tracer
 
@@ -126,13 +127,15 @@ class WatchdogSession:
     _events: list[dict] = field(default_factory=list)
 
     def _note(self, event: dict) -> None:
-        """Record a watchdog event on the session, the metrics registry,
-        and (when tracing) the event stream."""
+        """Record a watchdog event on the session, the metrics
+        registry, the flight recorder, and (when tracing) the event
+        stream."""
         self._events.append(event)
         get_metrics().counter(
             "repro_watchdog_events_total",
             "Watchdog verdicts by kind",
         ).inc(event=str(event.get("event", "?")))
+        record_flight("watchdog", **event)
         tr = get_tracer()
         if tr.enabled:
             tr.event(f"watchdog.{event.get('event', '?')}", **event)

@@ -29,6 +29,7 @@ tracer - undisturbed hot paths cost one attribute check.
 
 from .export import (
     metrics_snapshot,
+    span_to_row,
     to_chrome_trace,
     trace_events_to_jsonl,
     validate_chrome_trace,
@@ -47,7 +48,13 @@ from .metrics import (
 )
 from .overhead import measure_disabled_overhead
 from .serialize import to_native
-from .summary import format_trace_summary, load_trace, summarize_trace
+from .summary import (
+    format_serving_rollup,
+    format_trace_summary,
+    load_trace,
+    summarize_serving,
+    summarize_trace,
+)
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -68,6 +75,7 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "format_serving_rollup",
     "format_trace_summary",
     "get_metrics",
     "get_tracer",
@@ -76,6 +84,8 @@ __all__ = [
     "metrics_snapshot",
     "set_metrics",
     "set_tracer",
+    "span_to_row",
+    "summarize_serving",
     "summarize_trace",
     "to_chrome_trace",
     "to_native",

@@ -20,6 +20,7 @@ from .tracer import Span, Tracer
 
 __all__ = [
     "metrics_snapshot",
+    "span_to_row",
     "to_chrome_trace",
     "trace_events_to_jsonl",
     "validate_chrome_trace",
@@ -38,6 +39,8 @@ def _span_event(span: Span) -> dict:
     args["span_id"] = span.span_id
     if span.parent_id is not None:
         args["parent_id"] = span.parent_id
+    if span.links:
+        args["links"] = list(span.links)
     return {
         "name": span.name,
         "cat": span.cat,
@@ -93,24 +96,29 @@ def write_chrome_trace(tracer: Tracer, path: str) -> dict:
     return doc
 
 
+def span_to_row(s: Span) -> dict:
+    """Flat JSON-safe record for one span (shared by the JSONL export
+    and the flight-recorder black box)."""
+    return {
+        "type": "span",
+        "name": s.name,
+        "ts": s.start,
+        "dur": (s.end if s.end is not None else s.start) - s.start,
+        "tid": s.tid,
+        "span_id": s.span_id,
+        "parent_id": s.parent_id,
+        "links": list(s.links) if s.links else [],
+        "attrs": to_native(s.attrs),
+    }
+
+
 def trace_events_to_jsonl(tracer: Tracer) -> list[str]:
     """One JSON object per line: every span and instant event, in
     timestamp order (the machine-grep-friendly sibling of the Chrome
     document)."""
     rows = []
     for s in tracer.spans():
-        rows.append(
-            {
-                "type": "span",
-                "name": s.name,
-                "ts": s.start,
-                "dur": (s.end if s.end is not None else s.start) - s.start,
-                "tid": s.tid,
-                "span_id": s.span_id,
-                "parent_id": s.parent_id,
-                "attrs": to_native(s.attrs),
-            }
-        )
+        rows.append(span_to_row(s))
     for e in tracer.events():
         rows.append(
             {
@@ -160,7 +168,10 @@ def validate_chrome_trace(doc: dict) -> list[str]:
       X) - i.e. no unbalanced B/E pairs can hide here;
     * per ``(pid, tid)``, timestamps are monotone in file order;
     * every ``args.parent_id`` resolves to an emitted span whose
-      interval contains the child (allowing float rounding slack).
+      interval contains the child (allowing float rounding slack);
+    * every ``args.links`` entry resolves to an emitted span (links
+      express causality across threads, so no containment is
+      required - a launch may outlive the requests it links to).
     """
     problems: list[str] = []
     events = doc.get("traceEvents")
@@ -215,7 +226,14 @@ def validate_chrome_trace(doc: dict) -> list[str]:
             if sid is not None:
                 spans[sid] = ev
     for sid, ev in spans.items():
-        parent_id = (ev.get("args") or {}).get("parent_id")
+        args = ev.get("args") or {}
+        for link in args.get("links") or ():
+            if link not in spans:
+                problems.append(
+                    f"span {ev.get('name')!r} links to unknown span "
+                    f"{link}"
+                )
+        parent_id = args.get("parent_id")
         if parent_id is None:
             continue
         parent = spans.get(parent_id)

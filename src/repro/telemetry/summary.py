@@ -6,6 +6,13 @@ extraction, batched factorization) and *application* inside the solver
 iteration; this tool recovers exactly that split from an exported
 trace, plus a per-span-name roll-up (count, total, self time) so a
 regression in any stage is visible without opening the Perfetto UI.
+
+Traces produced under the serving layer additionally get a per-tenant
+latency breakdown (:func:`summarize_serving`): each ``serving.request``
+envelope is joined to its admission, queue-wait, coalesce, launch and
+scatter spans through ``trace_id`` attributes and the fan-in span
+links recorded on ``serving.launch``, recovering where a tenant's
+latency went even though the launch itself was shared across tenants.
 """
 
 from __future__ import annotations
@@ -13,7 +20,20 @@ from __future__ import annotations
 import json
 from collections import defaultdict
 
-__all__ = ["format_trace_summary", "load_trace", "summarize_trace"]
+__all__ = [
+    "format_serving_rollup",
+    "format_trace_summary",
+    "load_trace",
+    "summarize_serving",
+    "summarize_trace",
+]
+
+#: stage order of the serving roll-up (one request's life, left to
+#: right); ``coalesce``/``launch``/``scatter`` durations are those of
+#: the *shared* launch the request was merged into
+SERVING_STAGES = (
+    "admit", "queue", "coalesce", "launch", "scatter", "deliver",
+)
 
 
 def load_trace(path: str) -> dict:
@@ -109,6 +129,136 @@ def summarize_trace(doc: dict) -> dict:
     }
 
 
+def summarize_serving(doc: dict) -> dict:
+    """Per-tenant serving latency breakdown from a Chrome trace.
+
+    For every ``serving.request`` envelope span the stages are joined
+    causally: ``admit``/``queue``/``deliver`` through the shared
+    ``trace_id`` attribute, the coalesced ``launch`` through the
+    fan-in span link it recorded back to the request span, and
+    ``coalesce``/``scatter`` as children of that launch.  Returns::
+
+        {"tenants": {tenant: {"requests", "outcomes",
+                              "stages": {stage: {count, total_us,
+                                                 mean_us}}}},
+         "requests": N, "launches": N, "links_per_launch": float}
+
+    Empty ``tenants`` means the trace has no serving spans.
+    """
+    spans = _x_events(doc)
+
+    def args(e: dict) -> dict:
+        a = e.get("args")
+        return a if isinstance(a, dict) else {}
+
+    by_name: dict[str, list[dict]] = defaultdict(list)
+    for e in spans:
+        by_name[e.get("name", "?")].append(e)
+    # trace_id -> span, for the per-request stages
+    by_trace: dict[str, dict[str, dict]] = {
+        name: {
+            args(e)["trace_id"]: e
+            for e in by_name.get(f"serving.{name}", [])
+            if "trace_id" in args(e)
+        }
+        for name in ("admit", "queue", "deliver")
+    }
+    # request span_id -> the launch that fanned it in (via span links)
+    launches = by_name.get("serving.launch", [])
+    launch_by_req: dict[int, dict] = {}
+    for launch in launches:
+        for link in args(launch).get("links", []):
+            launch_by_req[link] = launch
+    # launch span_id -> its coalesce / scatter children
+    stage_child: dict[str, dict[int, dict]] = {
+        name: {
+            args(e)["parent_id"]: e
+            for e in by_name.get(f"serving.{name}", [])
+            if args(e).get("parent_id") is not None
+        }
+        for name in ("coalesce", "scatter")
+    }
+
+    tenants: dict[str, dict] = {}
+    for req in by_name.get("serving.request", []):
+        a = args(req)
+        tenant = str(a.get("tenant", "?"))
+        trace_id = a.get("trace_id")
+        rec = tenants.setdefault(
+            tenant,
+            {
+                "requests": 0,
+                "outcomes": defaultdict(int),
+                "stages": {
+                    s: {"count": 0, "total_us": 0.0}
+                    for s in SERVING_STAGES
+                },
+            },
+        )
+        rec["requests"] += 1
+        rec["outcomes"][str(a.get("outcome", "open"))] += 1
+        launch = launch_by_req.get(a.get("span_id"))
+        stage_spans = {
+            "admit": by_trace["admit"].get(trace_id),
+            "queue": by_trace["queue"].get(trace_id),
+            "deliver": by_trace["deliver"].get(trace_id),
+            "launch": launch,
+        }
+        if launch is not None:
+            lid = args(launch).get("span_id")
+            stage_spans["coalesce"] = stage_child["coalesce"].get(lid)
+            stage_spans["scatter"] = stage_child["scatter"].get(lid)
+        for stage, e in stage_spans.items():
+            if e is None:
+                continue
+            st = rec["stages"][stage]
+            st["count"] += 1
+            st["total_us"] += float(e.get("dur", 0.0))
+    for rec in tenants.values():
+        rec["outcomes"] = dict(rec["outcomes"])
+        for st in rec["stages"].values():
+            st["mean_us"] = (
+                st["total_us"] / st["count"] if st["count"] else 0.0
+            )
+    n_links = sum(len(args(e).get("links", [])) for e in launches)
+    return {
+        "tenants": tenants,
+        "requests": sum(r["requests"] for r in tenants.values()),
+        "launches": len(launches),
+        "links_per_launch": n_links / len(launches) if launches else 0.0,
+    }
+
+
+def format_serving_rollup(doc: dict) -> str:
+    """Per-tenant stage table (appended to ``trace-summary`` output
+    when the trace contains serving spans)."""
+    s = summarize_serving(doc)
+    if not s["tenants"]:
+        return ""
+    lines = ["serving roll-up (mean ms per stage, per tenant):"]
+    width = max(max(len(t) for t in s["tenants"]), len("tenant"))
+    header = f"  {'tenant':<{width}}  {'reqs':>5}"
+    for stage in SERVING_STAGES:
+        header += f"  {stage:>9}"
+    lines.append(header)
+    for tenant in sorted(s["tenants"]):
+        rec = s["tenants"][tenant]
+        row = f"  {tenant:<{width}}  {rec['requests']:>5}"
+        for stage in SERVING_STAGES:
+            st = rec["stages"][stage]
+            row += (
+                f"  {st['mean_us'] / 1e3:>9.3f}"
+                if st["count"]
+                else f"  {'-':>9}"
+            )
+        lines.append(row)
+    lines.append(
+        f"  {s['launches']} coalesced launch(es), "
+        f"{s['links_per_launch']:.1f} request(s) fanned in per launch"
+    )
+    return "\n".join(lines)
+
+
 def format_trace_summary(doc: dict, path: str = "") -> str:
     """Human-readable summary (the CLI's output)."""
     s = summarize_trace(doc)
@@ -154,4 +304,8 @@ def format_trace_summary(doc: dict, path: str = "") -> str:
         lines.append("instant events:")
         for name in sorted(s["events"], key=lambda n: -s["events"][n]):
             lines.append(f"  {name:<{width}}  {s['events'][name]:>6}")
+    serving = format_serving_rollup(doc)
+    if serving:
+        lines.append("")
+        lines.append(serving)
     return "\n".join(lines)

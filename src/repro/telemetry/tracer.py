@@ -17,12 +17,19 @@ Design rules:
   records nothing.
 * **Injectable monotonic clock** (same pattern as the circuit
   breakers): tests drive a fake clock and assert exact durations.
-* **Thread-safe collection**: spans nest per thread (a thread-local
-  stack provides parenting); finished spans and instant events append
-  under one lock, so the ``threads`` backend's pool and concurrent
-  serving threads can all trace into the same collector.
+* **Context-propagated nesting**: the open-span stack lives in a
+  :class:`contextvars.ContextVar` holding an immutable tuple, so
+  parentage survives ``asyncio.to_thread`` (which copies the caller's
+  context into the worker) and per-task isolation comes for free.
+  Raw ``threading.Thread`` workers start with an empty context, which
+  preserves the old per-thread isolation for the ``threads`` backend.
+* **Span links** express causality that is not parentage: the serving
+  layer's shared coalesced launch links to every merged per-request
+  span (fan-in), and each scatter-back ``deliver`` span links back to
+  the launch (fan-out).
 * Spans carry **attributes** (backend, tile, nb, cache_hit,
-  fault-taint, ...) settable at open time and en route (``span.set``).
+  fault-taint, trace_id, ...) settable at open time and en route
+  (``span.set``).
 
 Timestamps are seconds relative to the tracer's construction; the
 Chrome-trace exporter converts to microseconds.
@@ -30,6 +37,7 @@ Chrome-trace exporter converts to microseconds.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import threading
 import time
@@ -45,11 +53,20 @@ __all__ = [
     "tracing",
 ]
 
+#: The open-span stack for the current execution context.  An immutable
+#: tuple (never mutated in place) so that context copies made by
+#: ``asyncio.to_thread`` / ``Task`` creation see a consistent snapshot
+#: and mutations in the child context never leak back to the parent.
+#: Shared across tracer instances; parent lookup filters by owner.
+_SPAN_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_span_stack", default=()
+)
+
 
 class Span:
     """One open (then finished) span.
 
-    Mutated only by the opening thread until :meth:`Tracer.end` seals
+    Mutated only by the opening context until :meth:`Tracer.end` seals
     it; after that it is read-only and safe to share.
     """
 
@@ -62,6 +79,7 @@ class Span:
         "span_id",
         "parent_id",
         "tid",
+        "links",
         "_tracer",
     )
 
@@ -84,6 +102,7 @@ class Span:
         self.span_id = span_id
         self.parent_id = parent_id
         self.tid = tid
+        self.links: list[int] | None = None
         self.attrs = attrs
 
     @property
@@ -95,9 +114,29 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def add_link(self, span: "Span | int | None") -> "Span":
+        """Record a causal link to another span (not a parent edge).
+
+        Accepts a :class:`Span` or a raw span id; ``None`` is ignored
+        so call sites can pass optional spans unguarded.
+        """
+        if span is None:
+            return self
+        sid = span.span_id if isinstance(span, Span) else int(span)
+        if self.links is None:
+            self.links = [sid]
+        elif sid not in self.links:
+            self.links.append(sid)
+        return self
+
     def event(self, name: str, **attrs) -> None:
         """Instant event parented to this span."""
         self._tracer._emit_event(name, self.span_id, attrs)
+
+    def finish(self, **attrs) -> None:
+        """Seal this span via its owning tracer (idempotent); the
+        hold-a-span-in-a-struct counterpart of ``with``/``end``."""
+        self._tracer.end(self, **attrs)
 
     # context-manager protocol so ``with tracer.span(...) as sp:`` works
     def __enter__(self) -> "Span":
@@ -126,7 +165,13 @@ class _NullSpan:
     def set(self, **attrs):
         return self
 
+    def add_link(self, span):
+        return self
+
     def event(self, name, **attrs):
+        return None
+
+    def finish(self, **attrs):
         return None
 
 
@@ -143,13 +188,16 @@ class NullTracer:
     def span(self, name, cat="repro", **attrs):
         return _NULL_SPAN
 
-    def begin(self, name, cat="repro", **attrs):
+    def begin(self, name, cat="repro", parent=None, detached=False, **attrs):
         return _NULL_SPAN
 
     def end(self, span, **attrs):
         return None
 
     def event(self, name, **attrs):
+        return None
+
+    def current_span(self):
         return None
 
     def spans(self):
@@ -185,7 +233,6 @@ class Tracer:
         self._clock = clock
         self._t0 = clock()
         self._lock = threading.Lock()
-        self._local = threading.local()
         self._finished: list[Span] = []
         self._events: list[dict] = []
         self._open: dict[int, Span] = {}
@@ -196,13 +243,6 @@ class Tracer:
 
     def _now(self) -> float:
         return self._clock() - self._t0
-
-    def _stack(self) -> list[Span]:
-        st = getattr(self._local, "stack", None)
-        if st is None:
-            st = []
-            self._local.stack = st
-        return st
 
     def _tid(self) -> int:
         """Small stable per-thread id (0 for the first thread seen)."""
@@ -225,16 +265,52 @@ class Tracer:
         with self._lock:
             self._events.append(ev)
 
+    def _seal(self, span: Span, attrs: dict | None) -> None:
+        """Stamp the end time and move the span to the finished list."""
+        span.end = self._now()
+        if attrs:
+            span.attrs.update(attrs)
+        with self._lock:
+            self._open.pop(span.span_id, None)
+            self._finished.append(span)
+
     # -- span API ----------------------------------------------------------
 
-    def begin(self, name: str, cat: str = "repro", **attrs) -> Span:
+    def current_span(self) -> Span | None:
+        """Innermost open span of this tracer in the current context."""
+        for s in reversed(_SPAN_STACK.get()):
+            if s._tracer is self and s.end is None:
+                return s
+        return None
+
+    def begin(
+        self,
+        name: str,
+        cat: str = "repro",
+        parent: "Span | int | None" = None,
+        detached: bool = False,
+        **attrs,
+    ) -> Span:
         """Open a span without a ``with`` block (pair with :meth:`end`).
 
-        Nesting follows the opening thread: the span's parent is the
-        innermost span currently open on this thread.
+        Nesting follows the execution context: the span's parent is
+        the innermost span open in the current :mod:`contextvars`
+        context (which ``asyncio.to_thread`` propagates into worker
+        threads).  ``parent`` overrides that lookup with an explicit
+        span (or raw span id); ``detached=True`` keeps the new span
+        off the context stack, so long-lived per-request spans don't
+        become accidental ancestors of unrelated work.
         """
-        stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
+        if parent is None:
+            parent_id = None
+            for s in reversed(_SPAN_STACK.get()):
+                if s._tracer is self and s.end is None:
+                    parent_id = s.span_id
+                    break
+        elif isinstance(parent, Span):
+            parent_id = parent.span_id
+        else:
+            parent_id = int(parent)
         with self._lock:
             span_id = next(self._ids)
         span = Span(
@@ -247,45 +323,41 @@ class Tracer:
             self._tid(),
             dict(attrs),
         )
-        stack.append(span)
+        if not detached:
+            _SPAN_STACK.set(_SPAN_STACK.get() + (span,))
         with self._lock:
             self._open[span_id] = span
         return span
 
     def end(self, span: Span, **attrs) -> None:
         """Seal a span (idempotent); closes any deeper spans left open
-        on the same thread first, so the tree stays balanced even when
-        an exception skipped an inner ``end``."""
+        in the same context first, so the tree stays balanced even
+        when an exception skipped an inner ``end``.  Spans opened in
+        another context (detached spans, cross-thread hand-offs) are
+        sealed directly without touching the local stack."""
         if not isinstance(span, Span) or span.end is not None:
             return
-        stack = self._stack()
-        while stack:
-            top = stack.pop()
-            top.end = self._now()
-            if attrs and top is span:
-                top.attrs.update(attrs)
-            with self._lock:
-                self._open.pop(top.span_id, None)
-                self._finished.append(top)
+        stack = _SPAN_STACK.get()
+        for idx, top in enumerate(stack):
             if top is span:
+                for deeper in reversed(stack[idx:]):
+                    if deeper.end is None:
+                        deeper._tracer._seal(
+                            deeper, attrs if deeper is span else None
+                        )
+                _SPAN_STACK.set(stack[:idx])
                 return
-        # span was opened on another thread or already unwound: seal it
-        span.end = self._now()
-        if attrs:
-            span.attrs.update(attrs)
-        with self._lock:
-            self._open.pop(span.span_id, None)
-            self._finished.append(span)
+        # span is not on this context's stack: seal it directly
+        self._seal(span, attrs)
 
     def span(self, name: str, cat: str = "repro", **attrs) -> Span:
         """``with tracer.span("precond.setup", backend="binned"): ...``"""
         return self.begin(name, cat, **attrs)
 
     def event(self, name: str, **attrs) -> None:
-        """Instant event parented to the current thread's open span."""
-        stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
-        self._emit_event(name, parent_id, attrs)
+        """Instant event parented to the current context's open span."""
+        cur = self.current_span()
+        self._emit_event(name, cur.span_id if cur else None, attrs)
 
     # -- collection --------------------------------------------------------
 

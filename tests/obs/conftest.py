@@ -1,0 +1,23 @@
+"""Observability test fixtures: isolate every process-global.
+
+The SLO engine publishes gauges/counters, the flight recorder is a
+process singleton, and the tracer is global - each test gets fresh
+instances of all three and restores them afterwards so nothing leaks
+into (or out of) the rest of the suite.
+"""
+
+import pytest
+
+from repro.obs import set_flight_recorder
+from repro.telemetry import get_metrics, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    set_tracer(None)
+    get_metrics().reset()
+    set_flight_recorder(None)
+    yield
+    set_tracer(None)
+    get_metrics().reset()
+    set_flight_recorder(None)

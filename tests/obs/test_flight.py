@@ -1,0 +1,235 @@
+"""Flight recorder unit tests: ring bounds, horizon, black-box dumps
+(valid JSON, monotone timestamps under a scripted clock), SLO
+attachment, the process-global accessor, and the SIGUSR2 hook."""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.clock import ScriptedClock
+from repro.obs import (
+    FlightRecorder,
+    SLO,
+    SLOEngine,
+    get_flight_recorder,
+    install_signal_handler,
+    record_flight,
+    set_flight_recorder,
+)
+from repro.telemetry import Tracer, tracing
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self):
+        clock = ScriptedClock()
+        rec = FlightRecorder(capacity=3, clock=clock)
+        for i in range(5):
+            rec.record("tick", n=i)
+            clock.advance(1.0)
+        events = rec.events()
+        assert [e["n"] for e in events] == [2, 3, 4]
+        assert [e["seq"] for e in events] == [3, 4, 5]
+
+    def test_zero_capacity_disables(self):
+        rec = FlightRecorder(capacity=0)
+        assert not rec.enabled
+        rec.record("tick")
+        assert rec.events() == []
+
+    def test_counts_by_kind(self):
+        rec = FlightRecorder(clock=ScriptedClock())
+        rec.record("a")
+        rec.record("a")
+        rec.record("b")
+        assert rec.counts() == {"a": 2, "b": 1}
+
+    def test_explicit_timestamp_wins(self):
+        clock = ScriptedClock()
+        clock.advance(50.0)
+        rec = FlightRecorder(clock=clock)
+        rec.record("stamped", now=7.25)
+        (ev,) = rec.events()
+        assert ev["ts"] == 7.25
+
+    def test_fields_serialized_native(self):
+        import numpy as np
+
+        rec = FlightRecorder(clock=ScriptedClock())
+        rec.record("typed", count=np.int64(3), frac=np.float64(0.5))
+        (ev,) = rec.events()
+        # numpy scalars become JSON-safe values (int64 is not a
+        # Python int subclass; float64 already subclasses float)
+        assert isinstance(ev["count"], int)
+        assert isinstance(ev["frac"], float)
+        json.dumps(ev)
+
+    def test_clear(self):
+        rec = FlightRecorder(clock=ScriptedClock())
+        rec.record("x")
+        rec.dump("because")
+        rec.clear()
+        assert rec.events() == [] and not rec.dumps
+
+
+class TestDump:
+    def test_dump_is_self_contained_valid_json(self):
+        clock = ScriptedClock()
+        rec = FlightRecorder(clock=clock)
+        rec.record("admit", tenant="a")
+        clock.advance(1.0)
+        rec.record("flush", taken=3)
+        doc = rec.dump("test_trigger", extra="context")
+        again = json.loads(json.dumps(doc))
+        assert again["flight_recorder"]["reason"] == "test_trigger"
+        assert again["flight_recorder"]["context"] == {
+            "extra": "context"
+        }
+        assert [e["kind"] for e in again["events"]] == [
+            "admit", "flush",
+        ]
+        assert isinstance(again["metrics"], dict)
+
+    def test_dump_timestamps_monotone_under_scripted_clock(self):
+        clock = ScriptedClock()
+        rec = FlightRecorder(clock=clock)
+        tr = Tracer(clock=clock)
+        with tracing(tr):
+            for i in range(10):
+                with tr.span(f"work{i}"):
+                    rec.record("work", i=i)
+                    clock.advance(0.5)
+            doc = rec.dump("monotone_check")
+        ts = [e["ts"] for e in doc["events"]]
+        assert ts == sorted(ts)
+        span_ts = [s["ts"] for s in doc["spans"]]
+        assert span_ts == sorted(span_ts)
+        assert all(s["dur"] >= 0.0 for s in doc["spans"])
+
+    def test_horizon_excludes_stale_events(self):
+        clock = ScriptedClock()
+        rec = FlightRecorder(horizon=10.0, clock=clock)
+        rec.record("old")
+        clock.advance(100.0)
+        rec.record("fresh")
+        doc = rec.dump("horizon_check")
+        assert [e["kind"] for e in doc["events"]] == ["fresh"]
+
+    def test_spans_empty_without_tracer(self):
+        rec = FlightRecorder(clock=ScriptedClock())
+        rec.record("x")
+        assert rec.dump("no_tracer")["spans"] == []
+
+    def test_spans_include_links_and_open_spans(self):
+        clock = ScriptedClock()
+        rec = FlightRecorder(clock=clock)
+        tr = Tracer(clock=clock)
+        with tracing(tr):
+            a = tr.begin("req", detached=True)
+            launch = tr.begin("launch", detached=True)
+            launch.add_link(a)
+            tr.end(launch)
+            doc = rec.dump("links")  # ``req`` still open
+            tr.end(a)
+        by_name = {s["name"]: s for s in doc["spans"]}
+        assert by_name["launch"]["links"] == [a.span_id]
+        assert "req" in by_name  # open span captured too
+
+    def test_max_dumps_bounded(self):
+        rec = FlightRecorder(clock=ScriptedClock(), max_dumps=2)
+        for i in range(4):
+            rec.dump(f"r{i}")
+        assert [d["flight_recorder"]["reason"] for d in rec.dumps] == [
+            "r2", "r3",
+        ]
+
+    def test_dump_records_itself(self):
+        rec = FlightRecorder(clock=ScriptedClock())
+        rec.dump("why")
+        (ev,) = rec.events()
+        assert ev["kind"] == "flight_dump" and ev["reason"] == "why"
+
+    def test_dump_to_writes_file(self, tmp_path):
+        rec = FlightRecorder(clock=ScriptedClock())
+        rec.record("x")
+        path = tmp_path / "blackbox.json"
+        doc = rec.dump_to(str(path), "file_check")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(doc)
+        )
+
+
+class TestSLOAttachment:
+    def _burning_engine(self, clock):
+        eng = SLOEngine(
+            [SLO(name="latency", target=0.9, fast_window=1.0,
+                 slow_window=5.0, min_events=4)],
+            clock=clock,
+        )
+        return eng
+
+    def test_dumps_once_on_firing_only(self):
+        clock = ScriptedClock()
+        eng = self._burning_engine(clock)
+        rec = FlightRecorder(clock=clock)
+        rec.attach_slo(eng)
+        for _ in range(30):
+            eng.record("latency", False)
+            clock.advance(0.05)
+        eng.evaluate()
+        assert len(rec.dumps) == 1
+        dump = rec.dumps[0]
+        assert dump["flight_recorder"]["reason"] == "slo_burn:latency"
+        alert = dump["flight_recorder"]["context"]["alert"]
+        assert alert["state"] == "firing"
+        # recovery resolves the alert: recorded, but no second dump
+        for _ in range(40):
+            eng.record("latency", True)
+            clock.advance(0.05)
+        clock.advance(10.0)
+        eng.evaluate()
+        assert len(rec.dumps) == 1
+        kinds = [e["kind"] for e in rec.events()]
+        assert kinds.count("slo_alert") == 2  # firing + resolved
+
+
+class TestGlobals:
+    def test_record_flight_hits_global(self):
+        rec = FlightRecorder(clock=ScriptedClock())
+        set_flight_recorder(rec)
+        record_flight("deep_layer", detail=1)
+        assert get_flight_recorder() is rec
+        assert rec.counts() == {"deep_layer": 1}
+
+    def test_set_none_restores_fresh_default(self):
+        rec = FlightRecorder(capacity=1, clock=ScriptedClock())
+        set_flight_recorder(rec)
+        fresh = set_flight_recorder(None)
+        assert fresh is not rec and fresh.enabled
+        assert get_flight_recorder() is fresh
+
+    def test_disabled_global_drops_records(self):
+        set_flight_recorder(FlightRecorder(capacity=0))
+        record_flight("dropped")
+        assert get_flight_recorder().events() == []
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGUSR2"), reason="no SIGUSR2"
+    )
+    def test_sigusr2_dumps_to_path(self, tmp_path):
+        path = tmp_path / "sig.json"
+        rec = set_flight_recorder(
+            FlightRecorder(clock=ScriptedClock())
+        )
+        rec.record("before_signal")
+        assert install_signal_handler(str(path))
+        try:
+            os.kill(os.getpid(), signal.SIGUSR2)
+            doc = json.loads(path.read_text())
+            assert doc["flight_recorder"]["reason"].startswith("signal:")
+            assert [e["kind"] for e in doc["events"]] == [
+                "before_signal"
+            ]
+        finally:
+            signal.signal(signal.SIGUSR2, signal.SIG_DFL)

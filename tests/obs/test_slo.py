@@ -1,0 +1,177 @@
+"""SLO engine unit tests: burn-rate math, multi-window alert
+lifecycle, cold-start guards, metrics publication."""
+
+import pytest
+
+from repro.clock import ScriptedClock
+from repro.obs import SLO, SLOEngine, default_serving_slos
+from repro.telemetry import get_metrics
+
+
+def _engine(clock, **slo_kw):
+    kw = {
+        "name": "latency",
+        "target": 0.9,  # budget = 0.1, burn math stays round
+        "fast_window": 1.0,
+        "slow_window": 5.0,
+        "burn_threshold": 2.0,
+        "min_events": 4,
+    }
+    kw.update(slo_kw)
+    return SLOEngine([SLO(**kw)], clock=clock)
+
+
+def _feed(eng, clock, good, n, dt=0.05):
+    for _ in range(n):
+        eng.record("latency", good)
+        clock.advance(dt)
+
+
+class TestSLOValidation:
+    def test_target_bounds(self):
+        with pytest.raises(ValueError, match="target"):
+            SLO(name="x", target=1.0)
+        with pytest.raises(ValueError, match="target"):
+            SLO(name="x", target=0.0)
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError, match="window"):
+            SLO(name="x", fast_window=10.0, slow_window=1.0)
+
+    def test_burn_threshold_positive(self):
+        with pytest.raises(ValueError, match="burn_threshold"):
+            SLO(name="x", burn_threshold=0.0)
+
+    def test_budget(self):
+        assert SLO(name="x", target=0.99).budget == pytest.approx(0.01)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([SLO(name="a"), SLO(name="a")])
+
+
+class TestBurnRate:
+    def test_all_good_burns_nothing(self):
+        clock = ScriptedClock()
+        eng = _engine(clock)
+        _feed(eng, clock, True, 20)
+        snap = eng.snapshot()["slos"]["latency"]
+        assert snap["burn_fast"] == 0.0 and snap["burn_slow"] == 0.0
+        assert eng.evaluate() == []
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        clock = ScriptedClock()
+        eng = _engine(clock, min_events=10)
+        # 2 bad out of 10 = 20% bad over a 10% budget -> burn 2.0
+        for i in range(10):
+            eng.record("latency", i >= 8)
+            clock.advance(0.01)
+        snap = eng.snapshot()["slos"]["latency"]
+        assert snap["burn_fast"] == pytest.approx(8.0)
+
+    def test_min_events_cold_start(self):
+        clock = ScriptedClock()
+        eng = _engine(clock, min_events=10)
+        # one catastrophic first sample must not page
+        eng.record("latency", False)
+        assert eng.evaluate() == []
+        snap = eng.snapshot()["slos"]["latency"]
+        assert snap["burn_fast"] is None
+
+    def test_samples_age_out_of_windows(self):
+        clock = ScriptedClock()
+        eng = _engine(clock)
+        _feed(eng, clock, False, 8)
+        clock.advance(100.0)  # past the slow window
+        assert eng.evaluate() == []  # prunes; stale badness never pages
+        snap = eng.snapshot()["slos"]["latency"]
+        assert snap["window_samples"] == 0
+        assert snap["burn_fast"] is None
+
+    def test_unknown_slo_record_ignored(self):
+        eng = _engine(ScriptedClock())
+        eng.record("nonexistent", False)  # silently dropped
+        assert "nonexistent" not in eng
+
+
+class TestAlertLifecycle:
+    def test_firing_needs_both_windows(self):
+        clock = ScriptedClock()
+        eng = _engine(clock, min_events=4)
+        # a fast-window blip: 5 bad samples in 0.25s, then all good.
+        # fast burn is huge but the slow window has not accumulated
+        # min_events of badness... feed good history first so the
+        # slow window exists and stays healthy.
+        _feed(eng, clock, True, 80)  # 4s of good history
+        _feed(eng, clock, False, 5)
+        # slow window: 5 bad / ~85 samples = ~6% bad over 10% budget
+        # -> slow burn < 1 < threshold: no alert
+        assert eng.evaluate() == []
+        assert eng.firing() == []
+
+    def test_sustained_burn_fires_once_then_resolves(self):
+        clock = ScriptedClock()
+        eng = _engine(clock)
+        _feed(eng, clock, True, 10)
+        _feed(eng, clock, False, 30)  # 1.5s of pure badness
+        fired = eng.evaluate()
+        assert [a["state"] for a in fired] == ["firing"]
+        assert eng.firing() == ["latency"]
+        # still burning: no duplicate alert (edge-triggered)
+        _feed(eng, clock, False, 5)
+        assert eng.evaluate() == []
+        # recovery: good samples + time until both burns < 1.0
+        _feed(eng, clock, True, 40)
+        clock.advance(10.0)
+        resolved = eng.evaluate()
+        assert [a["state"] for a in resolved] == ["resolved"]
+        assert eng.firing() == []
+        assert [a["state"] for a in eng.alerts] == [
+            "firing", "resolved",
+        ]
+
+    def test_alert_event_shape(self):
+        clock = ScriptedClock()
+        eng = _engine(clock)
+        _feed(eng, clock, False, 30)
+        (alert,) = eng.evaluate()
+        assert alert["slo"] == "latency"
+        assert alert["state"] == "firing"
+        assert alert["burn_fast"] >= alert["burn_threshold"]
+        assert alert["burn_slow"] >= alert["burn_threshold"]
+        assert alert["fast_window"] == 1.0
+        assert alert["at"] == pytest.approx(clock())
+
+    def test_callbacks_fire_per_transition(self):
+        clock = ScriptedClock()
+        eng = _engine(clock)
+        seen = []
+        eng.on_alert(seen.append)
+        _feed(eng, clock, False, 30)
+        eng.evaluate()
+        assert len(seen) == 1 and seen[0]["state"] == "firing"
+
+    def test_metrics_published(self):
+        clock = ScriptedClock()
+        eng = _engine(clock)
+        _feed(eng, clock, False, 30)
+        eng.evaluate()
+        snap = get_metrics().snapshot()
+        burn = snap["repro_slo_burn_rate"]["values"]
+        assert "slo=latency,window=fast" in burn
+        assert "slo=latency,window=slow" in burn
+        alerts = snap["repro_slo_alerts_total"]["values"]
+        assert alerts == {"slo=latency,state=firing": 1.0}
+
+
+class TestDefaultServingSLOs:
+    def test_three_conventional_objectives(self):
+        slos = default_serving_slos(latency_threshold=0.025)
+        names = [s.name for s in slos]
+        assert names == ["admitted_latency", "deadline_hit", "shed_rate"]
+        by_name = {s.name: s for s in slos}
+        assert by_name["admitted_latency"].threshold == 0.025
+        assert by_name["deadline_hit"].threshold is None
+        eng = SLOEngine(slos, clock=ScriptedClock())
+        assert eng.get("admitted_latency").threshold == 0.025
+        assert "shed_rate" in eng

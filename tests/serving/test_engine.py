@@ -36,7 +36,7 @@ class TestAdmission:
         r = Rejection("queue_full", {"depth": 3})
         assert r.to_dict() == {
             "reason": "queue_full", "detail": {"depth": 3},
-            "retry_after": None,
+            "retry_after": None, "trace_id": None,
         }
         assert set(REJECT_REASONS) >= {"queue_full", "circuit_open"}
 

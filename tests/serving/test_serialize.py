@@ -33,18 +33,20 @@ def make_request(**kw):
 class TestRejectionDict:
     def test_roundtrip(self):
         r = Rejection(
-            "tenant_quota_exceeded", {"tenant": "acme"}, retry_after=0.25
+            "tenant_quota_exceeded", {"tenant": "acme"},
+            retry_after=0.25, trace_id="abc123",
         )
         assert roundtrip(r.to_dict()) == {
             "reason": "tenant_quota_exceeded",
             "detail": {"tenant": "acme"},
             "retry_after": 0.25,
+            "trace_id": "abc123",
         }
 
     def test_retry_after_defaults_to_null(self):
-        assert roundtrip(Rejection("queue_full").to_dict())[
-            "retry_after"
-        ] is None
+        d = roundtrip(Rejection("queue_full").to_dict())
+        assert d["retry_after"] is None
+        assert d["trace_id"] is None
 
 
 class TestRequestDict:
@@ -62,6 +64,18 @@ class TestRequestDict:
         d = make_request().to_dict()
         assert "batch" not in d and "rhs" not in d
 
+    def test_trace_id_minted_and_carried(self):
+        d = roundtrip(make_request().to_dict())
+        assert isinstance(d["trace_id"], str) and d["trace_id"]
+
+    def test_explicit_trace_id_wins(self):
+        d = make_request(trace_id="client-supplied").to_dict()
+        assert d["trace_id"] == "client-supplied"
+
+    def test_trace_ids_are_unique(self):
+        a, b = make_request(), make_request()
+        assert a.trace_id != b.trace_id
+
 
 class TestResponseAndTicketDicts:
     @pytest.fixture()
@@ -69,7 +83,8 @@ class TestResponseAndTicketDicts:
         return CoalescingEngine(clock=ScriptedClock())
 
     def test_ok_response_roundtrip(self, engine):
-        t = engine.submit(make_request(deadline=10.0))
+        req = make_request(deadline=10.0)
+        t = engine.submit(req)
         engine.flush()
         d = roundtrip(t.response.to_dict())
         assert d["status"] == "ok"
@@ -77,13 +92,17 @@ class TestResponseAndTicketDicts:
         assert d["info"] == [0, 0, 0]  # plain list, not ndarray
         assert d["delivered_at"] is not None
         assert isinstance(d["queue_seconds"], float)
+        assert d["trace_id"] == req.trace_id
 
     def test_rejected_response_roundtrip(self, engine):
-        t = engine.submit(make_request(deadline=-1.0))
+        req = make_request(deadline=-1.0)
+        t = engine.submit(req)
         d = roundtrip(t.response.to_dict())
         assert d["status"] == "rejected"
         assert d["rejection"]["reason"] == "deadline_exceeded"
+        assert d["rejection"]["trace_id"] == req.trace_id
         assert d["delivered_at"] is None
+        assert d["trace_id"] == req.trace_id
 
     def test_ticket_roundtrip_pending_and_done(self, engine):
         t = engine.submit(make_request())
@@ -92,8 +111,11 @@ class TestResponseAndTicketDicts:
         assert pending["response"] is None
         assert pending["request_id"] == t.request_id
         assert pending["submitted_at"] == 0.0  # scripted clock
+        assert pending["trace_id"] == t.request.trace_id
+        assert pending["request"]["trace_id"] == t.request.trace_id
         engine.flush()
         done = roundtrip(t.to_dict())
         assert done["done"] is True
         assert done["response"]["status"] == "ok"
+        assert done["response"]["trace_id"] == t.request.trace_id
         assert done["request"] == pending["request"]

@@ -75,6 +75,66 @@ class TestChromeTrace:
         assert loaded == doc
 
 
+def _linked_tracer():
+    """Two detached request spans fanned into one launch span, the
+    deliver span linking back - the serving topology in miniature."""
+    clock = FakeClock()
+    tr = Tracer(clock=clock)
+    reqs = [tr.begin(f"req{i}", detached=True) for i in range(2)]
+    launch = tr.begin("launch", detached=True)
+    for r in reqs:
+        launch.add_link(r)
+    clock.advance(0.005)
+    tr.end(launch)
+    for r in reqs:
+        deliver = tr.begin("deliver", parent=r, detached=True)
+        deliver.add_link(launch)
+        tr.end(deliver)
+        tr.end(r)
+    return tr, reqs, launch
+
+
+class TestLinkFidelity:
+    def test_links_survive_chrome_export_and_validation(self):
+        tr, reqs, launch = _linked_tracer()
+        doc = to_chrome_trace(tr)
+        assert validate_chrome_trace(doc) == []
+        by_name = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert by_name["launch"]["args"]["links"] == [
+            r.span_id for r in reqs
+        ]
+        for e in doc["traceEvents"]:
+            if e["name"] == "deliver":
+                assert e["args"]["links"] == [launch.span_id]
+
+    def test_dangling_link_flagged(self):
+        doc = {
+            "traceEvents": [
+                {"name": "launch", "ph": "X", "ts": 0.0, "dur": 1.0,
+                 "pid": 1, "tid": 0,
+                 "args": {"span_id": 1, "links": [99]}},
+            ]
+        }
+        assert any(
+            "link" in p for p in validate_chrome_trace(doc)
+        )
+
+    def test_links_round_trip_through_jsonl(self):
+        tr, reqs, launch = _linked_tracer()
+        rows = [json.loads(ln) for ln in trace_events_to_jsonl(tr)]
+        by_name = {}
+        for r in rows:
+            by_name.setdefault(r["name"], []).append(r)
+        (launch_row,) = by_name["launch"]
+        assert launch_row["links"] == [r.span_id for r in reqs]
+        for row in by_name["deliver"]:
+            assert row["links"] == [launch.span_id]
+        for row in by_name["req0"] + by_name["req1"]:
+            assert row["links"] == []
+
+
 class TestValidator:
     def test_missing_trace_events(self):
         assert validate_chrome_trace({}) == [

@@ -129,6 +129,90 @@ class TestSpans:
         assert tr.spans() == [] and tr.events() == []
 
 
+class TestContextPropagation:
+    def test_copied_context_carries_parentage(self):
+        # the span stack lives in a contextvar, so a copied context
+        # (what asyncio.to_thread does) preserves the parent edge
+        # even across threads
+        import contextvars
+
+        tr = Tracer(clock=FakeClock())
+        outer = tr.begin("outer")
+        ctx = contextvars.copy_context()
+        results = []
+
+        def worker():
+            child = ctx.run(lambda: tr.begin("child"))
+            ctx.run(lambda: tr.end(child))
+            results.append(child)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        tr.end(outer)
+        assert results[0].parent_id == outer.span_id
+
+    def test_current_span(self):
+        tr = Tracer(clock=FakeClock())
+        assert tr.current_span() is None
+        with tr.span("a") as a:
+            assert tr.current_span() is a
+            with tr.span("b") as b:
+                assert tr.current_span() is b
+            assert tr.current_span() is a
+        assert tr.current_span() is None
+
+    def test_detached_span_is_not_an_ancestor(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("ctx"):
+            d = tr.begin("envelope", detached=True)
+            with tr.span("inner") as inner:
+                pass
+            tr.end(d)
+        # detached spans still record their parent but never become
+        # one through the stack
+        assert d.parent_id is not None
+        assert inner.parent_id != d.span_id
+
+    def test_explicit_parent_override(self):
+        tr = Tracer(clock=FakeClock())
+        a = tr.begin("a", detached=True)
+        b = tr.begin("b", parent=a, detached=True)
+        assert b.parent_id == a.span_id
+        tr.end(b)
+        tr.end(a)
+
+    def test_ending_foreign_span_does_not_unwind_stack(self):
+        tr = Tracer(clock=FakeClock())
+        d = tr.begin("detached", detached=True)
+        with tr.span("live") as live:
+            tr.end(d, outcome="done")  # seals only the foreign span
+            assert d.end is not None
+            assert tr.current_span() is live
+        assert live.end is not None
+
+
+class TestLinks:
+    def test_add_link_records_span_ids(self):
+        tr = Tracer(clock=FakeClock())
+        a = tr.begin("a", detached=True)
+        b = tr.begin("b", detached=True)
+        launch = tr.begin("launch", detached=True)
+        launch.add_link(a)
+        launch.add_link(b.span_id)
+        launch.add_link(a)  # dedup
+        launch.add_link(None)  # ignored
+        for s in (launch, b, a):
+            tr.end(s)
+        assert launch.links == [a.span_id, b.span_id]
+
+    def test_null_span_accepts_links(self):
+        span = NULL_TRACER.begin("x", detached=True)
+        span.add_link(span)
+        span.finish()
+        assert span is _NULL_SPAN
+
+
 class TestGlobals:
     def test_default_is_null(self):
         assert get_tracer() is NULL_TRACER
